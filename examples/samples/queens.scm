@@ -1,0 +1,33 @@
+;;; N-queens, a classic mostly-functional benchmark: counts solutions
+;;; for an 8x8 board.  Run it on the simulated machine with
+;;;
+;;;   dune exec bin/repro.exe -- scheme examples/samples/queens.scm --stats
+;;;
+;;; or under a collector:
+;;;
+;;;   dune exec bin/repro.exe -- scheme examples/samples/queens.scm \
+;;;       --gc gen:256k:8m --stats
+
+(define (safe? row dist placed)
+  (cond ((null? placed) #t)
+        ((= (car placed) row) #f)
+        ((= (abs (- (car placed) row)) dist) #f)
+        (else (safe? row (+ dist 1) (cdr placed)))))
+
+(define (count-queens n)
+  (define (place column placed)
+    (if (= column n)
+        1
+        (fold-left
+         (lambda (acc row)
+           (if (safe? row 1 placed)
+               (+ acc (place (+ column 1) (cons row placed)))
+               acc))
+         0
+         (iota n))))
+  (place 0 '()))
+
+(display "8-queens solutions: ")
+(display (count-queens 8))
+(newline)
+(count-queens 8)
