@@ -1,0 +1,119 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (experiments E-T1..E-F8; see DESIGN.md for the index).  Run lengths
+   are scaled down from the paper's multi-billion-reference traces;
+   set REPRO_SCALE=4 (or more) for longer runs with the same shape.
+   EXPERIMENTS.md records paper-vs-measured for a reference run.
+
+   Part 2 runs Bechamel microbenchmarks of the simulator's own hot
+   paths (host performance, not simulated time).  Skip it with
+   REPRO_SKIP_PERF=1. *)
+
+let ppf = Format.std_formatter
+
+let run_experiments () =
+  Format.fprintf ppf
+    "Cache Performance of Garbage-Collected Programs (PLDI 1994) - \
+     reproduction@.";
+  Format.fprintf ppf "scale factor: %d (set REPRO_SCALE to change)@."
+    (Core.Runner.scale_factor ());
+  Core.Experiments.run_all ppf
+
+(* --- Bechamel microbenchmarks ---------------------------------------- *)
+
+let cache_bench =
+  let cache =
+    Memsim.Cache.create
+      (Memsim.Cache.config ~size_bytes:(64 * 1024) ~block_bytes:64 ())
+  in
+  let counter = ref 0 in
+  Bechamel.Test.make ~name:"cache-access-1k"
+    (Bechamel.Staged.stage (fun () ->
+         for i = 0 to 999 do
+           let addr = (!counter + (i * 24)) land 0xfffffc in
+           Memsim.Cache.access cache addr
+             (if i land 3 = 0 then Memsim.Trace.Alloc_write
+              else Memsim.Trace.Read)
+             Memsim.Trace.Mutator
+         done;
+         counter := !counter + 7919))
+
+let vm_bench =
+  let machine =
+    Vscheme.Machine.create
+      { Vscheme.Machine.default_config with heap_bytes = 32 * 1024 * 1024 }
+  in
+  ignore
+    (Vscheme.Machine.eval_string machine
+       "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))");
+  Bechamel.Test.make ~name:"vscheme-fib-15"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Vscheme.Machine.eval_string machine "(fib 15)")))
+
+let gc_bench =
+  let machine =
+    Vscheme.Machine.create
+      { Vscheme.Machine.default_config with
+        gc = Vscheme.Machine.Cheney { semispace_bytes = 256 * 1024 }
+      }
+  in
+  Bechamel.Test.make ~name:"churn-under-cheney"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Vscheme.Machine.eval_string machine
+              "(let loop ((i 0)) (when (< i 200) (iota 60) (loop (+ i 1))))")))
+
+let analyzer_bench =
+  let bs =
+    Analysis.Block_stats.create
+      { Analysis.Block_stats.block_bytes = 64;
+        cache_bytes = 64 * 1024;
+        dynamic_base = 4096;
+        stack_base = 2048;
+        stack_limit = 4096
+      }
+  in
+  let sink = Analysis.Block_stats.sink bs in
+  let t = ref 0 in
+  Bechamel.Test.make ~name:"block-stats-1k-events"
+    (Bechamel.Staged.stage (fun () ->
+         for i = 0 to 999 do
+           sink.Memsim.Trace.access
+             (4096 + ((!t + (i * 28)) land 0xffffc))
+             Memsim.Trace.Alloc_write Memsim.Trace.Mutator
+         done;
+         t := !t + 4096))
+
+let run_perf () =
+  let open Bechamel in
+  let open Toolkit in
+  Format.fprintf ppf
+    "@.==== simulator microbenchmarks (host performance, Bechamel) ====@.";
+  let grouped =
+    Test.make_grouped ~name:"perf" ~fmt:"%s %s"
+      [ cache_bench; vm_bench; gc_bench; analyzer_bench ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.8) ~kde:(Some 500) ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> Format.fprintf ppf "%-32s %14.1f ns/run@." name est
+      | Some _ | None -> Format.fprintf ppf "%-32s (no estimate)@." name)
+    (List.sort compare rows)
+
+let () =
+  run_experiments ();
+  (match Sys.getenv_opt "REPRO_SKIP_PERF" with
+   | Some "1" -> ()
+   | Some _ | None -> run_perf ());
+  Format.pp_print_flush ppf ()

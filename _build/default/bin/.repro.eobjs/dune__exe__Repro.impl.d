@@ -1,0 +1,1 @@
+bin/repro.ml: Arg Cmd Cmdliner Core Format List Memsim Printf Runner_facade Sexp String Term Vscheme Workloads

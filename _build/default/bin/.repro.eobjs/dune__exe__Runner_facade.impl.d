@@ -1,0 +1,1 @@
+bin/runner_facade.ml: Core Memsim

@@ -1,0 +1,389 @@
+(* The repro command-line tool: run the paper's experiments, execute
+   Scheme programs on the vscheme machine, and do ad-hoc cache
+   simulations of workloads. *)
+
+let ppf = Format.std_formatter
+
+(* --- Shared argument conversions ------------------------------------- *)
+
+let size_conv =
+  let parse s =
+    let mult, body =
+      let n = String.length s in
+      if n = 0 then (1, s)
+      else
+        match s.[n - 1] with
+        | 'k' | 'K' -> (1024, String.sub s 0 (n - 1))
+        | 'm' | 'M' -> (1024 * 1024, String.sub s 0 (n - 1))
+        | '0' .. '9' -> (1, s)
+        | _ -> (0, s)
+    in
+    match int_of_string_opt body with
+    | Some n when mult > 0 && n > 0 -> Ok (n * mult)
+    | Some _ | None -> Error (`Msg (Printf.sprintf "bad size %S (try 64k, 2m)" s))
+  in
+  let print fmt n = Format.fprintf fmt "%a" Memsim.Sweep.pp_size n in
+  Cmdliner.Arg.conv (parse, print)
+
+let gc_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "none" ] -> Ok Vscheme.Machine.No_gc
+    | [ "cheney"; semi ] -> (
+      match Cmdliner.Arg.conv_parser size_conv semi with
+      | Ok semispace_bytes -> Ok (Vscheme.Machine.Cheney { semispace_bytes })
+      | Error _ as e -> e)
+    | [ "marksweep"; nursery; old ] | [ "ms"; nursery; old ] -> (
+      match
+        ( Cmdliner.Arg.conv_parser size_conv nursery,
+          Cmdliner.Arg.conv_parser size_conv old )
+      with
+      | Ok nursery_bytes, Ok old_bytes ->
+        Ok (Vscheme.Machine.Mark_sweep { nursery_bytes; old_bytes })
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+    | [ "gen"; nursery; old ] -> (
+      match
+        ( Cmdliner.Arg.conv_parser size_conv nursery,
+          Cmdliner.Arg.conv_parser size_conv old )
+      with
+      | Ok nursery_bytes, Ok old_bytes ->
+        Ok (Vscheme.Machine.Generational { nursery_bytes; old_bytes })
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+    | _ ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "bad collector %S (none | cheney:SIZE | gen:NURSERY:OLD | \
+              marksweep:NURSERY:OLD)" s))
+  in
+  let print fmt gc =
+    match (gc : Vscheme.Machine.gc_spec) with
+    | Vscheme.Machine.No_gc -> Format.pp_print_string fmt "none"
+    | Vscheme.Machine.Cheney { semispace_bytes } ->
+      Format.fprintf fmt "cheney:%a" Memsim.Sweep.pp_size semispace_bytes
+    | Vscheme.Machine.Generational { nursery_bytes; old_bytes } ->
+      Format.fprintf fmt "gen:%a:%a" Memsim.Sweep.pp_size nursery_bytes
+        Memsim.Sweep.pp_size old_bytes
+    | Vscheme.Machine.Mark_sweep { nursery_bytes; old_bytes } ->
+      Format.fprintf fmt "marksweep:%a:%a" Memsim.Sweep.pp_size nursery_bytes
+        Memsim.Sweep.pp_size old_bytes
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+(* --- experiments ------------------------------------------------------ *)
+
+let list_experiments () =
+  Core.Report.table ppf
+    ~headers:[ "id"; "paper artifact"; "title" ]
+    ~rows:
+      (List.map
+         (fun e ->
+           [ e.Core.Experiments.id; e.Core.Experiments.paper_artifact;
+             e.Core.Experiments.title ])
+         Core.Experiments.all);
+  0
+
+let run_experiments ids =
+  match ids with
+  | [] ->
+    Core.Experiments.run_all ppf;
+    0
+  | ids ->
+    let missing = List.filter (fun id -> Core.Experiments.find id = None) ids in
+    if missing <> [] then begin
+      Format.eprintf "unknown experiment(s): %s@." (String.concat ", " missing);
+      1
+    end
+    else begin
+      List.iter
+        (fun id ->
+          match Core.Experiments.find id with
+          | Some e ->
+            Format.fprintf ppf "@.==== E-%s: %s [%s] ====@."
+              e.Core.Experiments.id e.Core.Experiments.title
+              e.Core.Experiments.paper_artifact;
+            e.Core.Experiments.run ppf
+          | None -> assert false)
+        ids;
+      0
+    end
+
+(* --- scheme ------------------------------------------------------------ *)
+
+let run_scheme file expr gc heap_bytes show_stats =
+  let source =
+    match file, expr with
+    | Some path, None ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+    | None, Some e -> Some e
+    | None, None -> None
+    | Some _, Some _ -> None
+  in
+  match source with
+  | None ->
+    Format.eprintf "scheme: give exactly one of FILE or -e EXPR@.";
+    1
+  | Some source -> (
+    let m =
+      Vscheme.Machine.create
+        { Vscheme.Machine.default_config with gc; heap_bytes }
+    in
+    match Vscheme.Machine.eval_string m source with
+    | v ->
+      let out = Vscheme.Machine.output m in
+      if out <> "" then Format.fprintf ppf "%s" out;
+      Format.fprintf ppf "%s@." (Vscheme.Machine.value_to_string m v);
+      if show_stats then begin
+        let s = Vscheme.Machine.stats m in
+        Format.fprintf ppf
+          "; %d instructions, %d collector instructions, %d collections, %s \
+           allocated@."
+          s.Vscheme.Machine.mutator_insns s.Vscheme.Machine.collector_insns
+          s.Vscheme.Machine.collections
+          (Core.Report.mb s.Vscheme.Machine.bytes_allocated)
+      end;
+      0
+    | exception Vscheme.Heap.Runtime_error msg ->
+      Format.eprintf "runtime error: %s@." msg;
+      1
+    | exception Vscheme.Compiler.Compile_error msg ->
+      Format.eprintf "compile error: %s@." msg;
+      1
+    | exception Vscheme.Expander.Syntax_error msg ->
+      Format.eprintf "syntax error: %s@." msg;
+      1
+    | exception Sexp.Parser.Error (msg, pos) ->
+      Format.eprintf "parse error at line %d: %s@." pos.Sexp.Lexer.line msg;
+      1
+    | exception Vscheme.Heap.Out_of_memory msg ->
+      Format.eprintf "out of memory: %s@." msg;
+      1)
+
+(* --- workloads ---------------------------------------------------------- *)
+
+let list_workloads () =
+  Core.Report.table ppf
+    ~headers:[ "name"; "paper analogue"; "lines" ]
+    ~rows:
+      (List.map
+         (fun w ->
+           [ w.Workloads.Workload.name;
+             w.Workloads.Workload.paper_analogue;
+             string_of_int (Workloads.Workload.source_lines w)
+           ])
+         Workloads.Workload.all);
+  0
+
+let simulate name cache_bytes block_bytes policy gc scale =
+  match Workloads.Workload.find name with
+  | None ->
+    Format.eprintf "unknown workload %S (try `repro workloads')@." name;
+    1
+  | Some w ->
+    let cache =
+      Memsim.Cache.create
+        (Memsim.Cache.config ~write_miss_policy:policy ~size_bytes:cache_bytes
+           ~block_bytes ())
+    in
+    let r = Runner_facade.run ~gc ~cache ?scale w in
+    let s = Memsim.Cache.stats cache in
+    let insns = r.Core.Runner.stats.Vscheme.Machine.mutator_insns in
+    Core.Report.table ppf ~headers:[ "metric"; "value" ]
+      ~rows:
+        [ [ "workload"; w.Workloads.Workload.name ];
+          [ "scale"; string_of_int r.Core.Runner.scale ];
+          [ "result"; r.Core.Runner.value ];
+          [ "instructions"; Core.Report.eng insns ];
+          [ "references"; Core.Report.eng r.Core.Runner.refs ];
+          [ "allocated";
+            Core.Report.mb r.Core.Runner.stats.Vscheme.Machine.bytes_allocated
+          ];
+          [ "collections";
+            string_of_int r.Core.Runner.stats.Vscheme.Machine.collections ];
+          [ "misses"; Core.Report.eng s.Memsim.Cache.misses ];
+          [ "alloc misses"; Core.Report.eng s.Memsim.Cache.alloc_misses ];
+          [ "fetches"; Core.Report.eng s.Memsim.Cache.fetches ];
+          [ "miss ratio";
+            Format.sprintf "%.4f"
+              (float_of_int s.Memsim.Cache.misses
+               /. float_of_int (max 1 s.Memsim.Cache.refs))
+          ];
+          [ "O_cache slow";
+            Core.Report.pct
+              (Memsim.Timing.cache_overhead Memsim.Timing.Slow ~block_bytes
+                 ~fetches:s.Memsim.Cache.fetches ~instructions:insns)
+          ];
+          [ "O_cache fast";
+            Core.Report.pct
+              (Memsim.Timing.cache_overhead Memsim.Timing.Fast ~block_bytes
+                 ~fetches:s.Memsim.Cache.fetches ~instructions:insns)
+          ]
+        ];
+    0
+
+(* --- record / replay ----------------------------------------------------- *)
+
+let record name out_path scale =
+  match Workloads.Workload.find name with
+  | None ->
+    Format.eprintf "unknown workload %S (try `repro workloads')@." name;
+    1
+  | Some w ->
+    let recording = Memsim.Recording.create ~initial_capacity:(1 lsl 20) () in
+    let r =
+      Core.Runner.run ?scale ~sinks:[ Memsim.Recording.sink recording ] w
+    in
+    Memsim.Recording.save recording out_path;
+    Format.fprintf ppf "recorded %d references of %s (scale %d) to %s@."
+      (Memsim.Recording.length recording)
+      w.Workloads.Workload.name r.Core.Runner.scale out_path;
+    0
+
+let replay path cache_bytes block_bytes policy =
+  match Memsim.Recording.load path with
+  | exception Sys_error msg | exception Failure msg ->
+    Format.eprintf "replay: %s@." msg;
+    1
+  | recording ->
+    let cache =
+      Memsim.Cache.create
+        (Memsim.Cache.config ~write_miss_policy:policy ~size_bytes:cache_bytes
+           ~block_bytes ())
+    in
+    Memsim.Recording.replay recording (Memsim.Cache.sink cache);
+    let s = Memsim.Cache.stats cache in
+    Core.Report.table ppf ~headers:[ "metric"; "value" ]
+      ~rows:
+        [ [ "events"; Core.Report.eng (Memsim.Recording.length recording) ];
+          [ "mutator refs"; Core.Report.eng s.Memsim.Cache.refs ];
+          [ "collector refs"; Core.Report.eng s.Memsim.Cache.collector_refs ];
+          [ "misses"; Core.Report.eng s.Memsim.Cache.misses ];
+          [ "fetches"; Core.Report.eng s.Memsim.Cache.fetches ];
+          [ "miss ratio";
+            Format.sprintf "%.4f"
+              (float_of_int s.Memsim.Cache.misses
+               /. float_of_int (max 1 s.Memsim.Cache.refs))
+          ]
+        ];
+    0
+
+(* --- Command definitions ------------------------------------------------ *)
+
+open Cmdliner
+
+let experiments_cmd =
+  Cmd.v (Cmd.info "experiments" ~doc:"List the paper's experiments")
+    Term.(const list_experiments $ const ())
+
+let run_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all)")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run experiments and print their tables/figures (REPRO_SCALE \
+             lengthens the runs)")
+    Term.(const run_experiments $ ids)
+
+let scheme_cmd =
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Scheme source file")
+  in
+  let expr =
+    Arg.(value & opt (some string) None & info [ "e"; "expr" ] ~docv:"EXPR" ~doc:"Evaluate $(docv) instead of a file")
+  in
+  let gc =
+    Arg.(value & opt gc_conv Vscheme.Machine.No_gc
+         & info [ "gc" ] ~docv:"GC" ~doc:"Collector: none, cheney:SIZE, gen:NURSERY:OLD")
+  in
+  let heap =
+    Arg.(value & opt size_conv (64 * 1024 * 1024)
+         & info [ "heap" ] ~docv:"SIZE" ~doc:"Dynamic-area capacity for --gc none")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print run statistics after the result")
+  in
+  Cmd.v
+    (Cmd.info "scheme" ~doc:"Run a Scheme program on the vscheme machine")
+    Term.(const run_scheme $ file $ expr $ gc $ heap $ stats)
+
+let workloads_cmd =
+  Cmd.v (Cmd.info "workloads" ~doc:"List the five test-program workloads")
+    Term.(const list_workloads $ const ())
+
+let policy_conv =
+  Arg.enum
+    [ ("write-validate", Memsim.Cache.Write_validate);
+      ("fetch-on-write", Memsim.Cache.Fetch_on_write)
+    ]
+
+let simulate_cmd =
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name")
+  in
+  let cache =
+    Arg.(value & opt size_conv (64 * 1024) & info [ "cache" ] ~docv:"SIZE" ~doc:"Cache size")
+  in
+  let block =
+    Arg.(value & opt int 64 & info [ "block" ] ~docv:"BYTES" ~doc:"Block size")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Memsim.Cache.Write_validate
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"Write-miss policy")
+  in
+  let gc =
+    Arg.(value & opt gc_conv Vscheme.Machine.No_gc & info [ "gc" ] ~docv:"GC" ~doc:"Collector")
+  in
+  let scale =
+    Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N" ~doc:"Workload scale")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one workload through one cache configuration")
+    Term.(const simulate $ workload_arg $ cache $ block $ policy $ gc $ scale)
+
+let record_cmd =
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name")
+  in
+  let out =
+    Arg.(value & opt string "trace.bin" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file")
+  in
+  let scale =
+    Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N" ~doc:"Workload scale")
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Record a workload's reference trace to a file")
+    Term.(const record $ workload_arg $ out $ scale)
+
+let replay_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file from `repro record'")
+  in
+  let cache =
+    Arg.(value & opt size_conv (64 * 1024) & info [ "cache" ] ~docv:"SIZE" ~doc:"Cache size")
+  in
+  let block =
+    Arg.(value & opt int 64 & info [ "block" ] ~docv:"BYTES" ~doc:"Block size")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Memsim.Cache.Write_validate
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"Write-miss policy")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a recorded trace through a cache configuration")
+    Term.(const replay $ path $ cache $ block $ policy)
+
+let main =
+  Cmd.group
+    (Cmd.info "repro" ~version:"1.0.0"
+       ~doc:"Cache Performance of Garbage-Collected Programs (PLDI 1994), \
+             reproduced")
+    [ experiments_cmd; run_cmd; scheme_cmd; workloads_cmd; simulate_cmd;
+      record_cmd; replay_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,5 @@
+(* Small adapter so the CLI can run a workload with one cache
+   attached. *)
+
+let run ~gc ~cache ?scale w =
+  Core.Runner.run ~gc ?scale ~sinks:[ Memsim.Cache.sink cache ] w

@@ -1,0 +1,1 @@
+examples/cache_explorer.ml: Analysis Core Format List Memsim Printf Sys Vscheme Workloads

@@ -1,0 +1,1 @@
+examples/gc_comparison.ml: Core Format List Memsim Printf String Sys Vscheme Workloads

@@ -1,0 +1,1 @@
+examples/scheme_repl.ml: Core Printf Sexp Vscheme

@@ -1,0 +1,47 @@
+(* An interactive vscheme read-eval-print loop.  Every form you type
+   runs on the simulated machine; `,stats` shows the run counters.
+
+   Run with:  dune exec examples/scheme_repl.exe *)
+
+let () =
+  let machine =
+    Vscheme.Machine.create
+      { Vscheme.Machine.default_config with
+        gc = Vscheme.Machine.Generational
+            { nursery_bytes = 512 * 1024; old_bytes = 16 * 1024 * 1024 }
+      }
+  in
+  print_endline "vscheme repl (generational collector; ,stats ,quit)";
+  let rec loop () =
+    print_string "> ";
+    match read_line () with
+    | exception End_of_file -> ()
+    | ",quit" | ",q" -> ()
+    | ",stats" ->
+      let s = Vscheme.Machine.stats machine in
+      Printf.printf
+        "%d instructions, %d collector instructions, %d collections, %s \
+         allocated\n"
+        s.Vscheme.Machine.mutator_insns s.Vscheme.Machine.collector_insns
+        s.Vscheme.Machine.collections
+        (Core.Report.mb s.Vscheme.Machine.bytes_allocated);
+      loop ()
+    | "" -> loop ()
+    | line ->
+      (match Vscheme.Machine.eval_string machine line with
+       | v ->
+         let out = Vscheme.Machine.output machine in
+         Vscheme.Machine.clear_output machine;
+         if out <> "" then print_string out;
+         print_endline (Vscheme.Machine.value_to_string machine v)
+       | exception Vscheme.Heap.Runtime_error msg ->
+         Printf.printf "runtime error: %s\n" msg
+       | exception Vscheme.Compiler.Compile_error msg ->
+         Printf.printf "compile error: %s\n" msg
+       | exception Vscheme.Expander.Syntax_error msg ->
+         Printf.printf "syntax error: %s\n" msg
+       | exception Sexp.Parser.Error (msg, _) ->
+         Printf.printf "parse error: %s\n" msg);
+      loop ()
+  in
+  loop ()

@@ -1,0 +1,1 @@
+lib/analysis/activity.ml: Array Ascii Float Format Memsim Printf

@@ -1,0 +1,1 @@
+lib/analysis/activity.mli: Format Memsim

@@ -1,0 +1,1 @@
+lib/analysis/ascii.ml: Array Bytes Format String

@@ -1,0 +1,1 @@
+lib/analysis/ascii.mli: Format

@@ -1,0 +1,1 @@
+lib/analysis/block_stats.ml: Array List Memsim

@@ -1,0 +1,1 @@
+lib/analysis/block_stats.mli: Memsim

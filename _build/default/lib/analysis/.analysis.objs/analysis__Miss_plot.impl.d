@@ -1,0 +1,1 @@
+lib/analysis/miss_plot.ml: Array Buffer Bytes Format List Memsim String

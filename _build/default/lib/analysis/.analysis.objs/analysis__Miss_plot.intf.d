@@ -1,0 +1,1 @@
+lib/analysis/miss_plot.mli: Format Memsim

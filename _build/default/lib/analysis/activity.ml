@@ -1,0 +1,121 @@
+type point = {
+  refs : int;
+  misses : int;
+  alloc_misses : int;
+}
+
+type result = {
+  points : point array;
+  total_refs : int;
+  total_misses : int;
+  global_miss_ratio : float;
+  cum_ratio : float array;
+  peak_cum_ratio : float;
+  final_drop_factor : float;
+  worst_case_blocks : int;
+  best_case_blocks : int;
+}
+
+let analyze cache =
+  let refs = Memsim.Cache.block_refs cache in
+  let misses = Memsim.Cache.block_misses cache in
+  let allocs = Memsim.Cache.block_alloc_misses cache in
+  let n = Array.length refs in
+  let points =
+    Array.init n (fun i ->
+        { refs = refs.(i); misses = misses.(i); alloc_misses = allocs.(i) })
+  in
+  Array.sort (fun a b -> compare a.refs b.refs) points;
+  let total_refs = Array.fold_left (fun acc p -> acc + p.refs) 0 points in
+  let total_misses = Array.fold_left (fun acc p -> acc + p.misses) 0 points in
+  let cum_ratio = Array.make n 0.0 in
+  let cr = ref 0 in
+  let cm = ref 0 in
+  let peak = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      cr := !cr + p.refs;
+      cm := !cm + p.misses;
+      let ratio =
+        if !cr = 0 then 0.0 else float_of_int !cm /. float_of_int !cr
+      in
+      cum_ratio.(i) <- ratio;
+      if ratio > !peak then peak := ratio)
+    points;
+  let global =
+    if total_refs = 0 then 0.0
+    else float_of_int total_misses /. float_of_int total_refs
+  in
+  let top = max 1 (n / 100) in
+  let worst = ref 0 in
+  let best = ref 0 in
+  for i = n - top to n - 1 do
+    if i >= 0 then begin
+      let p = points.(i) in
+      if p.refs > 0 then begin
+        let local = float_of_int p.misses /. float_of_int p.refs in
+        if local > 0.4 then incr worst else if local < 0.01 then incr best
+      end
+    end
+  done;
+  { points;
+    total_refs;
+    total_misses;
+    global_miss_ratio = global;
+    cum_ratio;
+    peak_cum_ratio = !peak;
+    final_drop_factor = (if global > 0.0 then !peak /. global else 1.0);
+    worst_case_blocks = !worst;
+    best_case_blocks = !best
+  }
+
+(* Map a miss ratio onto a canvas row: log scale from 1 (top row) down
+   to 10^-decades (bottom row); zero ratios sit on the bottom row. *)
+let ratio_row ~rows ~decades ratio =
+  if ratio <= 0.0 then rows - 1
+  else begin
+    let l = -.Float.log10 (Float.min ratio 1.0) in
+    let r = int_of_float (l /. float_of_int decades *. float_of_int (rows - 1)) in
+    min (rows - 1) (max 0 r)
+  end
+
+let render ppf ?(rows = 20) ?(cols = 100) result =
+  let n = Array.length result.points in
+  if n = 0 then Format.fprintf ppf "(no cache blocks)@."
+  else begin
+    let decades = 5 in
+    let canvas = Ascii.create ~rows ~cols in
+    Array.iteri
+      (fun i p ->
+        if p.refs > 0 then begin
+          let local = float_of_int p.misses /. float_of_int p.refs in
+          let col = i * cols / n in
+          let row = ratio_row ~rows ~decades local in
+          Ascii.set canvas ~row ~col '.'
+        end)
+      result.points;
+    Array.iteri
+      (fun i ratio ->
+        let col = i * cols / n in
+        let row = ratio_row ~rows ~decades ratio in
+        Ascii.set canvas ~row ~col 'C')
+      result.cum_ratio;
+    let row_labels r =
+      if r = 0 then "1e0"
+      else if (r * decades) mod (rows - 1) = 0 then
+        Printf.sprintf "1e-%d" (r * decades / (rows - 1))
+      else ""
+    in
+    Format.fprintf ppf
+      "local miss ratio (.), cumulative miss ratio (C); cache blocks in \
+       ascending reference-count order@.";
+    Ascii.render ppf ~row_labels canvas;
+    Format.fprintf ppf
+      "global miss ratio (excl. alloc) %.4f; cumulative peak %.4f; final \
+       drop factor %.2f@."
+      result.global_miss_ratio result.peak_cum_ratio result.final_drop_factor;
+    Format.fprintf ppf
+      "top-percentile blocks: %d worst-case (local > 0.4), %d best-case \
+       (local < 0.01)@."
+      result.worst_case_blocks result.best_case_blocks
+  end

@@ -1,0 +1,242 @@
+type config = {
+  block_bytes : int;
+  cache_bytes : int;
+  dynamic_base : int;
+  stack_base : int;
+  stack_limit : int;
+}
+
+(* Growable parallel arrays indexed by dynamic-block number. *)
+type dyn = {
+  mutable first_time : int array;
+  mutable last_time : int array;
+  mutable refs : int array;
+  mutable last_cycle : int array;
+  mutable ncycles : int array;
+  mutable capacity : int;
+  mutable used : int; (* highest block index seen + 1 *)
+}
+
+type t = {
+  cfg : config;
+  block_shift : int;
+  nblocks_mask : int; (* cache blocks - 1 *)
+  cycles : int array; (* allocation-miss count per cache block *)
+  dyn : dyn;
+  low_refs : int array; (* static + stack blocks, below dynamic_base *)
+  mutable cur_alloc_block : int; (* current frontier dynamic memory block *)
+  mutable time : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec loop k n = if n = 1 then k else loop (k + 1) (n lsr 1) in
+  loop 0 n
+
+let create cfg =
+  if not (is_power_of_two cfg.block_bytes) then
+    invalid_arg "Block_stats.create: block_bytes must be a power of two";
+  if not (is_power_of_two cfg.cache_bytes) then
+    invalid_arg "Block_stats.create: cache_bytes must be a power of two";
+  if cfg.cache_bytes < cfg.block_bytes then
+    invalid_arg "Block_stats.create: cache smaller than a block";
+  let nblocks = cfg.cache_bytes / cfg.block_bytes in
+  let low_blocks = (cfg.dynamic_base + cfg.block_bytes - 1) / cfg.block_bytes in
+  let initial = 4096 in
+  { cfg;
+    block_shift = log2 cfg.block_bytes;
+    nblocks_mask = nblocks - 1;
+    cycles = Array.make nblocks 0;
+    dyn =
+      { first_time = Array.make initial (-1);
+        last_time = Array.make initial 0;
+        refs = Array.make initial 0;
+        last_cycle = Array.make initial (-1);
+        ncycles = Array.make initial 0;
+        capacity = initial;
+        used = 0
+      };
+    low_refs = Array.make low_blocks 0;
+    cur_alloc_block = -1;
+    time = 0
+  }
+
+let grow_dyn d needed =
+  let cap = ref d.capacity in
+  while needed >= !cap do
+    cap := !cap * 2
+  done;
+  let extend a fill =
+    let b = Array.make !cap fill in
+    Array.blit a 0 b 0 d.capacity;
+    b
+  in
+  d.first_time <- extend d.first_time (-1);
+  d.last_time <- extend d.last_time 0;
+  d.refs <- extend d.refs 0;
+  d.last_cycle <- extend d.last_cycle (-1);
+  d.ncycles <- extend d.ncycles 0;
+  d.capacity <- !cap
+
+let on_event t addr kind phase =
+  match (phase : Memsim.Trace.phase) with
+  | Memsim.Trace.Collector -> ()
+  | Memsim.Trace.Mutator ->
+    t.time <- t.time + 1;
+    let mem_block = addr lsr t.block_shift in
+    if addr >= t.cfg.dynamic_base then begin
+      let d = t.dyn in
+      let idx = (addr - t.cfg.dynamic_base) lsr t.block_shift in
+      if idx >= d.capacity then grow_dyn d idx;
+      if idx >= d.used then d.used <- idx + 1;
+      (* A new dynamic memory block reached by an initializing store is
+         an allocation miss in every cache of this block size: bump the
+         allocation cycle of the corresponding cache block. *)
+      (match (kind : Memsim.Trace.kind) with
+       | Memsim.Trace.Alloc_write ->
+         if mem_block <> t.cur_alloc_block then begin
+           t.cur_alloc_block <- mem_block;
+           let cb = mem_block land t.nblocks_mask in
+           t.cycles.(cb) <- t.cycles.(cb) + 1
+         end
+       | Memsim.Trace.Read | Memsim.Trace.Write -> ());
+      if d.first_time.(idx) < 0 then d.first_time.(idx) <- t.time;
+      d.last_time.(idx) <- t.time;
+      d.refs.(idx) <- d.refs.(idx) + 1;
+      let cycle = t.cycles.(mem_block land t.nblocks_mask) in
+      if cycle <> d.last_cycle.(idx) then begin
+        d.last_cycle.(idx) <- cycle;
+        d.ncycles.(idx) <- d.ncycles.(idx) + 1
+      end
+    end
+    else t.low_refs.(mem_block) <- t.low_refs.(mem_block) + 1
+
+let sink t = { Memsim.Trace.access = (fun addr kind phase -> on_event t addr kind phase) }
+
+let total_refs t = t.time
+
+type dynamic_summary = {
+  blocks : int;
+  one_cycle : int;
+  multi_cycle : int;
+  multi_cycle_le4 : int;
+}
+
+let dynamic_summary t =
+  let d = t.dyn in
+  let one = ref 0 in
+  let multi = ref 0 in
+  let le4 = ref 0 in
+  for i = 0 to d.used - 1 do
+    if d.first_time.(i) >= 0 then begin
+      if d.ncycles.(i) = 1 then incr one
+      else begin
+        incr multi;
+        if d.ncycles.(i) <= 4 then incr le4
+      end
+    end
+  done;
+  { blocks = !one + !multi;
+    one_cycle = !one;
+    multi_cycle = !multi;
+    multi_cycle_le4 = !le4
+  }
+
+let lifetimes t =
+  let d = t.dyn in
+  let out = ref [] in
+  for i = d.used - 1 downto 0 do
+    if d.first_time.(i) >= 0 then
+      out := (d.last_time.(i) - d.first_time.(i)) :: !out
+  done;
+  Array.of_list !out
+
+let lifetime_cdf t ~points =
+  let ls = lifetimes t in
+  let n = Array.length ls in
+  if n = 0 then List.map (fun p -> (p, 0.0)) points
+  else begin
+    Array.sort compare ls;
+    List.map
+      (fun p ->
+        (* count of lifetimes <= p by binary search *)
+        let rec bsearch lo hi =
+          if lo >= hi then lo
+          else begin
+            let mid = (lo + hi) / 2 in
+            if ls.(mid) <= p then bsearch (mid + 1) hi else bsearch lo mid
+          end
+        in
+        (p, float_of_int (bsearch 0 n) /. float_of_int n))
+      points
+  end
+
+let refcount_histogram t =
+  let d = t.dyn in
+  let buckets = Array.make 31 0 in
+  for i = 0 to d.used - 1 do
+    if d.first_time.(i) >= 0 then begin
+      let r = d.refs.(i) in
+      let b = if r <= 0 then 0 else log2 r in
+      let b = min b 30 in
+      buckets.(b) <- buckets.(b) + 1
+    end
+  done;
+  buckets
+
+let median_refcount_bucket t =
+  let h = refcount_histogram t in
+  let best = ref 0 in
+  Array.iteri (fun i n -> if n > h.(!best) then best := i) h;
+  (1 lsl !best, (1 lsl (!best + 1)) - 1)
+
+type busy_summary = {
+  threshold : int;
+  busy_blocks : int;
+  busy_static : int;
+  busy_stack : int;
+  busy_dynamic : int;
+  busy_ref_fraction : float;
+  busiest_fraction : float;
+}
+
+let busy_summary t =
+  let threshold = max 1 (t.time / 1000) in
+  let busy = ref 0 in
+  let busy_static = ref 0 in
+  let busy_stack = ref 0 in
+  let busy_dynamic = ref 0 in
+  let busy_refs = ref 0 in
+  let busiest = ref 0 in
+  Array.iteri
+    (fun b r ->
+      if r > !busiest then busiest := r;
+      if r >= threshold then begin
+        incr busy;
+        busy_refs := !busy_refs + r;
+        let addr = b * t.cfg.block_bytes in
+        if addr >= t.cfg.stack_base && addr < t.cfg.stack_limit then
+          incr busy_stack
+        else incr busy_static
+      end)
+    t.low_refs;
+  let d = t.dyn in
+  for i = 0 to d.used - 1 do
+    let r = d.refs.(i) in
+    if r > !busiest then busiest := r;
+    if r >= threshold then begin
+      incr busy;
+      incr busy_dynamic;
+      busy_refs := !busy_refs + r
+    end
+  done;
+  let total = float_of_int (max 1 t.time) in
+  { threshold;
+    busy_blocks = !busy;
+    busy_static = !busy_static;
+    busy_stack = !busy_stack;
+    busy_dynamic = !busy_dynamic;
+    busy_ref_fraction = float_of_int !busy_refs /. total;
+    busiest_fraction = float_of_int !busiest /. total
+  }

@@ -1,0 +1,75 @@
+(** Per-memory-block behavioural statistics (§7 of the paper).
+
+    This analyzer consumes the same trace a cache does and reconstructs
+    the quantities the paper's analysis is built on, for a run {e
+    without} garbage collection (linear allocation only):
+
+    - {e dynamic-block lifetimes}: time (in mutator references) between
+      the first and last reference to each dynamic memory block;
+    - {e allocation cycles}: per cache block of a reference cache
+      geometry, the number of allocation misses seen; a dynamic block
+      is {e one-cycle} when its whole lifetime falls inside the cycle
+      in which it was allocated;
+    - {e activity}: how many distinct allocation cycles each block is
+      referenced in;
+    - {e reference counts} for every block — dynamic, static and stack
+      — from which the busy-block population is derived. *)
+
+type config = {
+  block_bytes : int;        (** memory-block size under study *)
+  cache_bytes : int;        (** reference cache geometry for cycles *)
+  dynamic_base : int;       (** first byte address of the dynamic area *)
+  stack_base : int;         (** stack area, for busy-block attribution *)
+  stack_limit : int;
+}
+
+type t
+
+val create : config -> t
+val sink : t -> Memsim.Trace.sink
+(** Collector-phase events are ignored: the analysis is defined for
+    uncollected runs. *)
+
+val total_refs : t -> int
+
+(** {1 Dynamic blocks} *)
+
+type dynamic_summary = {
+  blocks : int;             (** dynamic blocks ever allocated *)
+  one_cycle : int;          (** lifetime inside the initial allocation cycle *)
+  multi_cycle : int;
+  multi_cycle_le4 : int;    (** multi-cycle blocks active in <= 4 cycles *)
+}
+
+val dynamic_summary : t -> dynamic_summary
+
+val lifetimes : t -> int array
+(** Lifetime (in references) of every dynamic block, unsorted. *)
+
+val lifetime_cdf : t -> points:int list -> (int * float) list
+(** For each point [p], the fraction of dynamic blocks with lifetime
+    no greater than [p] references. *)
+
+val refcount_histogram : t -> int array
+(** Bucket [i] counts dynamic blocks referenced between [2^i] and
+    [2^(i+1) - 1] times. *)
+
+val median_refcount_bucket : t -> int * int
+(** The modal power-of-two bucket as an inclusive range, e.g. [(32,
+    63)]: the paper reports most dynamic blocks fall in 32–63. *)
+
+(** {1 Busy blocks} *)
+
+type busy_summary = {
+  threshold : int;          (** refs needed to be busy: total/1000 *)
+  busy_blocks : int;        (** blocks at or above the threshold *)
+  busy_static : int;        (** of those, in the static area *)
+  busy_stack : int;         (** of those, in the stack area *)
+  busy_dynamic : int;
+  busy_ref_fraction : float;
+      (** fraction of all references going to busy blocks *)
+  busiest_fraction : float;
+      (** fraction of all references going to the single busiest block *)
+}
+
+val busy_summary : t -> busy_summary

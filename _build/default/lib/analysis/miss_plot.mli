@@ -1,0 +1,26 @@
+(** The §7 cache-miss sweep plot.
+
+    A dot is shown at (time, cache block) when at least one miss
+    occurred in that cache block during that time interval.  Linear
+    allocation appears as broken diagonal lines — the allocation
+    pointer sweeping the cache — while thrashing blocks appear as
+    horizontal stripes. *)
+
+type t
+
+val create :
+  cache:Memsim.Cache.t -> rows:int -> refs_per_col:int -> unit -> t
+(** Wrap [cache]: the returned object's {!sink} forwards every event
+    to the cache and buckets misses into a grid of [rows] vertical
+    cells (cache blocks scaled down) and one column per
+    [refs_per_col] mutator references.  Installs the cache's miss
+    hook. *)
+
+val sink : t -> Memsim.Trace.sink
+
+val columns : t -> int
+(** Number of time columns accumulated so far. *)
+
+val render : Format.formatter -> ?max_cols:int -> t -> unit
+(** Print the dot grid, newest column last; wider plots are split into
+    [max_cols]-wide bands (default 110). *)

@@ -1,0 +1,1 @@
+lib/core/exp_ablation.ml: Analysis Format List Memsim Report Runner String Vscheme Workloads

@@ -1,0 +1,1 @@
+lib/core/exp_activity.ml: Analysis Format Lazy Memsim Report Runner Workloads

@@ -1,0 +1,1 @@
+lib/core/exp_behavior.ml: Analysis Float Format Lazy List Memsim Report Runner String Vscheme Workloads

@@ -1,0 +1,1 @@
+lib/core/exp_control.ml: Float Format Lazy List Memsim Report Runner Vscheme Workloads

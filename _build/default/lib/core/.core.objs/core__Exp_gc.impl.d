@@ -1,0 +1,1 @@
+lib/core/exp_gc.ml: Format List Memsim Report Runner Vscheme Workloads

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Exp_ablation Exp_activity Exp_behavior Exp_control Exp_gc Format List String Tables

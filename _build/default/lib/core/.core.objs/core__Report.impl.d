@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Float Format List Memsim String

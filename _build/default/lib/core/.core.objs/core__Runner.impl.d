@@ -1,0 +1,1 @@
+lib/core/runner.ml: Memsim Sys Vscheme Workloads

@@ -1,0 +1,1 @@
+lib/core/tables.ml: Format List Memsim Report Runner Vscheme Workloads

@@ -1,0 +1,252 @@
+let block = 64
+
+let table_collector_families ppf =
+  Report.heading ppf
+    "E-A1 (extension): collector families on an equal first generation \
+     (selfcomp)";
+  let w = Workloads.Workload.selfcomp in
+  let sweep () =
+    Memsim.Sweep.create
+      (Memsim.Sweep.grid
+         ~cache_sizes:[ Memsim.Sweep.kb 64; Memsim.Sweep.mb 1 ]
+         ~block_sizes:[ block ] ())
+  in
+  let measure gc =
+    let sw = sweep () in
+    let r = Runner.run ~gc ~sinks:[ Memsim.Sweep.sink sw ] w in
+    (r, sw)
+  in
+  let baseline, base_sw = measure Vscheme.Machine.No_gc in
+  let base_insns = baseline.Runner.stats.Vscheme.Machine.mutator_insns in
+  let alloc = baseline.Runner.stats.Vscheme.Machine.bytes_allocated in
+  let first_gen = max (256 * 1024) (alloc / 8) in
+  let old_bytes = 16 * 1024 * 1024 in
+  let configs =
+    [ ("cheney", Vscheme.Machine.Cheney { semispace_bytes = first_gen });
+      ( "generational",
+        Vscheme.Machine.Generational { nursery_bytes = first_gen; old_bytes } );
+      ( "mark-sweep",
+        Vscheme.Machine.Mark_sweep { nursery_bytes = first_gen; old_bytes } )
+    ]
+  in
+  Format.fprintf ppf
+    "@.first generation / semispace: %s; O_gc on the fast processor, 64b \
+     blocks.@."
+    (Report.mb first_gen);
+  let o_gc r sw ~size =
+    let base =
+      Memsim.Cache.stats (Memsim.Sweep.find base_sw ~size_bytes:size ~block_bytes:block)
+    in
+    let run =
+      Memsim.Cache.stats (Memsim.Sweep.find sw ~size_bytes:size ~block_bytes:block)
+    in
+    Memsim.Timing.gc_overhead Memsim.Timing.Fast ~block_bytes:block
+      ~collector_fetches:run.Memsim.Cache.collector_fetches
+      ~program_fetch_delta:(run.Memsim.Cache.fetches - base.Memsim.Cache.fetches)
+      ~collector_instructions:r.Runner.stats.Vscheme.Machine.collector_insns
+      ~program_instruction_delta:
+        (r.Runner.stats.Vscheme.Machine.mutator_insns - base_insns)
+      ~program_instructions:base_insns
+  in
+  let rows =
+    List.map
+      (fun (name, gc) ->
+        let r, sw = measure gc in
+        if not (String.equal r.Runner.value baseline.Runner.value) then
+          failwith (name ^ " changed the program result");
+        let dyn_memory =
+          match gc with
+          | Vscheme.Machine.No_gc -> alloc
+          | Vscheme.Machine.Cheney { semispace_bytes } -> 2 * semispace_bytes
+          | Vscheme.Machine.Generational { nursery_bytes; old_bytes } ->
+            nursery_bytes + (2 * old_bytes)
+          | Vscheme.Machine.Mark_sweep { nursery_bytes; old_bytes } ->
+            nursery_bytes + old_bytes
+        in
+        [ name;
+          string_of_int r.Runner.stats.Vscheme.Machine.collections;
+          Report.eng r.Runner.stats.Vscheme.Machine.collector_insns;
+          Report.mb dyn_memory;
+          Report.pct (o_gc r sw ~size:(Memsim.Sweep.kb 64));
+          Report.pct (o_gc r sw ~size:(Memsim.Sweep.mb 1))
+        ])
+      configs
+  in
+  Report.table ppf
+    ~headers:
+      [ "collector"; "collections"; "I_gc"; "dynamic memory"; "O_gc @64k";
+        "O_gc @1m" ]
+    ~rows;
+  Format.fprintf ppf
+    "@.the Zorn comparison of sec. 2: mark-sweep halves the address-space \
+     cost of the old generation@.(no second semispace) but promoted objects \
+     never move again, so its old-generation locality is@.whatever the free \
+     lists produce.@."
+
+let table_placement ppf =
+  Report.heading ppf
+    "E-A2 (extension): busy-block placement - default vs. stack-aliasing \
+     layout (selfcomp)";
+  let w = Workloads.Workload.selfcomp in
+  let measure ~pathological_layout =
+    let cache =
+      Memsim.Cache.create
+        (Memsim.Cache.config ~record_block_stats:true
+           ~size_bytes:(Memsim.Sweep.kb 64) ~block_bytes:block ())
+    in
+    let r =
+      Runner.run ~pathological_layout ~sinks:[ Memsim.Cache.sink cache ] w
+    in
+    (r, Memsim.Cache.stats cache, Analysis.Activity.analyze cache)
+  in
+  let r0, s0, a0 = measure ~pathological_layout:false in
+  let r1, s1, a1 = measure ~pathological_layout:true in
+  let row name (r : Runner.result) (s : Memsim.Cache.stats)
+      (a : Analysis.Activity.result) =
+    [ name;
+      Format.sprintf "%.4f" a.Analysis.Activity.global_miss_ratio;
+      string_of_int a.Analysis.Activity.worst_case_blocks;
+      Report.pct
+        (Memsim.Timing.cache_overhead Memsim.Timing.Fast ~block_bytes:block
+           ~fetches:s.Memsim.Cache.fetches
+           ~instructions:r.Runner.stats.Vscheme.Machine.mutator_insns)
+    ]
+  in
+  Report.table ppf
+    ~headers:
+      [ "layout"; "miss ratio (excl. alloc)"; "thrashing blocks";
+        "O_cache fast @64k" ]
+    ~rows:
+      [ row "randomized (default)" r0 s0 a0;
+        row "stack-aliasing (worst case)" r1 s1 a1
+      ];
+  Format.fprintf ppf
+    "@.the same program, the same collector (none), the same cache - only \
+     the static placement of the@.runtime vector and global cells differs. \
+     This is the paper's sec. 7 worst case (imps's thrashing),@.and its \
+     fix: \"straightforward static methods that move frequently-accessed \
+     objects so that they@.do not collide\", not a specialized garbage \
+     collector.@."
+
+let table_associativity ppf =
+  Report.heading ppf
+    "E-A3 (extension): associativity (the sec. 4 design point set aside); \
+     fast CPU, 64b blocks";
+  let ways_list = [ 1; 2; 4 ] in
+  let sizes = [ Memsim.Sweep.kb 32; Memsim.Sweep.kb 128 ] in
+  let rows =
+    List.concat_map
+      (fun w ->
+        let caches =
+          List.concat_map
+            (fun size ->
+              List.map
+                (fun ways ->
+                  ( size,
+                    Memsim.Assoc.create
+                      (Memsim.Assoc.config ~size_bytes:size ~block_bytes:block
+                         ~ways ()) ))
+                ways_list)
+            sizes
+        in
+        let r =
+          Runner.run ~sinks:(List.map (fun (_, c) -> Memsim.Assoc.sink c) caches) w
+        in
+        let insns = r.Runner.stats.Vscheme.Machine.mutator_insns in
+        List.map
+          (fun size ->
+            w.Workloads.Workload.name
+            :: Report.size_label size
+            :: List.concat_map
+                 (fun (csize, cache) ->
+                   if csize <> size then []
+                   else begin
+                     let s = Memsim.Assoc.stats cache in
+                     [ Format.sprintf "%.4f"
+                         (float_of_int s.Memsim.Cache.misses
+                          /. float_of_int (max 1 s.Memsim.Cache.refs));
+                       Report.pct
+                         (Memsim.Timing.cache_overhead Memsim.Timing.Fast
+                            ~block_bytes:block
+                            ~fetches:s.Memsim.Cache.fetches
+                            ~instructions:insns)
+                     ]
+                   end)
+                 caches)
+          sizes)
+      Workloads.Workload.all
+  in
+  Report.table ppf
+    ~headers:
+      [ "program"; "cache"; "miss 1-way"; "O 1-way"; "miss 2-way"; "O 2-way";
+        "miss 4-way"; "O 4-way" ]
+    ~rows;
+  Format.fprintf ppf
+    "@.a finding beyond the paper: in the 32-128k range, two ways remove \
+     most conflict misses - this@.system's deep stack collides with busy \
+     static blocks in a direct-mapped cache of that size -@.while nbody's \
+     capacity-bound misses barely move at 32k.  By 1m (see A4) \
+     direct-mapped has@.nothing left to lose.  This refines, without \
+     contradicting, the paper's direct-mapped story:@.busy-block collisions \
+     are placement luck (sec. 7), and two ways buy insurance against \
+     them.@."
+
+let table_two_level ppf =
+  Report.heading ppf
+    "E-A4 (extension): two-level hierarchy (32k L1 + 1m L2), the sec. 4 \
+     future work";
+  let rows =
+    List.map
+      (fun w ->
+        let l1_only =
+          Memsim.Cache.create
+            (Memsim.Cache.config ~size_bytes:(Memsim.Sweep.kb 32)
+               ~block_bytes:block ())
+        in
+        let l2_only =
+          Memsim.Cache.create
+            (Memsim.Cache.config ~size_bytes:(Memsim.Sweep.mb 1)
+               ~block_bytes:block ())
+        in
+        let hierarchy =
+          Memsim.Hierarchy.create
+            (Memsim.Hierarchy.config
+               ~l1:
+                 (Memsim.Cache.config ~size_bytes:(Memsim.Sweep.kb 32)
+                    ~block_bytes:block ())
+               ~l2:
+                 (Memsim.Cache.config ~size_bytes:(Memsim.Sweep.mb 1)
+                    ~block_bytes:block ())
+               ())
+        in
+        let r =
+          Runner.run
+            ~sinks:
+              [ Memsim.Cache.sink l1_only; Memsim.Cache.sink l2_only;
+                Memsim.Hierarchy.sink hierarchy ]
+            w
+        in
+        let insns = r.Runner.stats.Vscheme.Machine.mutator_insns in
+        let flat (c : Memsim.Cache.t) =
+          Memsim.Timing.cache_overhead Memsim.Timing.Fast ~block_bytes:block
+            ~fetches:(Memsim.Cache.stats c).Memsim.Cache.fetches
+            ~instructions:insns
+        in
+        [ w.Workloads.Workload.name;
+          Report.pct (flat l1_only);
+          Report.pct
+            (Memsim.Hierarchy.overhead hierarchy Memsim.Timing.Fast
+               ~instructions:insns);
+          Report.pct (flat l2_only)
+        ])
+      Workloads.Workload.all
+  in
+  Report.table ppf
+    ~headers:
+      [ "program"; "32k alone (fast)"; "32k + 1m L2"; "1m alone" ]
+    ~rows;
+  Format.fprintf ppf
+    "@.the hierarchy recovers most of the large cache's benefit at the \
+     small cache's access time;@.L1 fetches that hit the 1m L2 stall ~60ns \
+     instead of a full memory access - supporting the@.paper's expectation \
+     that its conclusions extend to multi-level systems.@."

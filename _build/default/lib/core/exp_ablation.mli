@@ -1,0 +1,24 @@
+(** Ablation experiments beyond the paper's artifact list (DESIGN.md §4b).
+
+    - A1 compares the collector families the paper discusses: the
+      Cheney semispace collector (§6), the copying generational
+      collector, and a Zorn-style non-compacting mark-sweep
+      generational collector (§2's prior work) on equal first
+      generations.
+    - A2 manufactures the §7 worst case: the machine's hot static
+      structures (runtime vector, global cells) are laid out so they
+      alias the stack base in every power-of-two cache, producing the
+      busy-block thrashing the default layout deliberately avoids —
+      and demonstrating the paper's point that the cure is placement,
+      not a smarter collector. *)
+
+val table_collector_families : Format.formatter -> unit
+val table_placement : Format.formatter -> unit
+
+val table_associativity : Format.formatter -> unit
+(** A3: direct-mapped vs. 2- and 4-way set-associative caches — the
+    §4 design point the paper set aside. *)
+
+val table_two_level : Format.formatter -> unit
+(** A4: a 32k L1 backed by a 1m L2, against each level alone — the
+    multi-level future work of §4. *)

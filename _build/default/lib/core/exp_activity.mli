@@ -1,0 +1,15 @@
+(** The §7 cache-activity graphs (local vs. global performance).
+
+    - E-F5: selfcomp in a 64 KB cache — the canonical graph: best-case
+      busy blocks pull the cumulative miss ratio down at the end;
+    - E-F6: prover in a 64 KB cache — the imps analogue, where a
+      thrashing pair of busy blocks shows up as a jump;
+    - E-F7: mexpr in a 64 KB cache — misses spread over the whole
+      cache (gambit's many long-lived blocks);
+    - E-F8: selfcomp in a 128 KB cache — both halves of the graph
+      improve as the cache doubles. *)
+
+val figure_selfcomp_64k : Format.formatter -> unit
+val figure_prover_64k : Format.formatter -> unit
+val figure_mexpr_64k : Format.formatter -> unit
+val figure_selfcomp_128k : Format.formatter -> unit

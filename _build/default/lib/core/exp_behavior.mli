@@ -1,0 +1,15 @@
+(** The §7 behavioural analysis, reproduced for every workload.
+
+    - E-F3: the cache-miss sweep plot (allocation "wave") for the
+      compiler workload in a 64 KB cache with 64-byte blocks;
+    - E-F4: cumulative dynamic-block lifetime distributions with the
+      one-cycle fraction marked, 64-byte blocks, 64 KB cache;
+    - E-T7: multi-cycle block activity (≥90% active in ≤4 cycles) and
+      the modal per-block reference count (paper: 32–63);
+    - E-T8: busy blocks — population, share of all references,
+      concentration in the stack, and the single busiest block. *)
+
+val figure_miss_plot : Format.formatter -> unit
+val figure_lifetimes : Format.formatter -> unit
+val table_activity : Format.formatter -> unit
+val table_busy : Format.formatter -> unit

@@ -1,0 +1,16 @@
+(** The §6 experiments: program performance with real collectors.
+
+    - E-F2: garbage-collection overhead (O_gc) of the Cheney semispace
+      collector for selfcomp, nbody and mexpr, against cache size at
+      64-byte blocks — the paper's figure with orbit, nbody, gambit.
+    - E-T5: the lp pathology — lred under Cheney (recopying its
+      monotonically growing trail every collection) against an
+      infrequently-run generational collector.
+    - E-T6: the aggressive-collection argument — a generational
+      collector with the nursery swept from cache-sized ("aggressive")
+      to multi-megabyte ("infrequent"), showing that smaller nurseries
+      cost more than any cache improvement they could buy. *)
+
+val figure_gc_overhead : Format.formatter -> unit
+val table_lp_pathology : Format.formatter -> unit
+val table_aggressive : Format.formatter -> unit

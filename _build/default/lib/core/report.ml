@@ -1,0 +1,42 @@
+let heading ppf title =
+  Format.fprintf ppf "@.%s@.%s@." title (String.make (String.length title) '-')
+
+let table ppf ~headers ~rows =
+  let all = headers :: rows in
+  let ncols = List.fold_left (fun n r -> max n (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        let pad = String.make (widths.(i) - String.length cell) ' ' in
+        if i = 0 then Format.fprintf ppf "%s%s" cell pad
+        else Format.fprintf ppf "  %s%s" pad cell)
+      row;
+    Format.fprintf ppf "@."
+  in
+  print_row headers;
+  Format.fprintf ppf "%s@."
+    (String.make
+       (Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)))
+       '-');
+  List.iter print_row rows
+
+let pct x = Format.sprintf "%.1f%%" (100.0 *. x)
+
+let mb bytes = Format.sprintf "%.1fmb" (float_of_int bytes /. 1048576.0)
+
+let eng n =
+  if n = 0 then "0"
+  else begin
+    let f = float_of_int n in
+    let e = int_of_float (Float.floor (Float.log10 (Float.abs f))) in
+    Format.sprintf "%.2fe%d" (f /. Float.pow 10.0 (float_of_int e)) e
+  end
+
+let size_label n = Format.asprintf "%a" Memsim.Sweep.pp_size n

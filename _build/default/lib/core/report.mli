@@ -1,0 +1,21 @@
+(** Plain-text table formatting for experiment output. *)
+
+val heading : Format.formatter -> string -> unit
+(** An underlined section heading. *)
+
+val table :
+  Format.formatter -> headers:string list -> rows:string list list -> unit
+(** Column-aligned table; the first column is left-aligned, the rest
+    right-aligned. *)
+
+val pct : float -> string
+(** Render a ratio as a percentage: [pct 0.043 = "4.3%"]. *)
+
+val mb : int -> string
+(** Bytes as megabytes: ["12.3mb"]. *)
+
+val eng : int -> string
+(** Engineering notation for large counts: ["3.68e9"]. *)
+
+val size_label : int -> string
+(** Cache-size axis label: ["64k"], ["2m"]. *)

@@ -1,0 +1,81 @@
+type result = {
+  workload : Workloads.Workload.t;
+  scale : int;
+  value : string;
+  refs : int;
+  collector_refs : int;
+  stats : Vscheme.Machine.run_stats;
+  machine : Vscheme.Machine.t;
+}
+
+let base_scale w =
+  match w.Workloads.Workload.name with
+  | "selfcomp" -> 12
+  | "prover" -> 7
+  | "lred" -> 1
+  | "nbody" -> 6
+  | "mexpr" -> 2
+  | _ -> 1
+
+let scale_factor () =
+  match Sys.getenv_opt "REPRO_SCALE" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+
+let layout machine ~dynamic_base =
+  let heap = Vscheme.Machine.heap machine in
+  let words =
+    if dynamic_base then Vscheme.Heap.dynamic_base heap
+    else Vscheme.Heap.stack_base heap
+  in
+  words * Memsim.Trace.word_bytes
+
+(* A cheap counting sink for mutator and collector references. *)
+let ref_counter () =
+  let mut = ref 0 in
+  let col = ref 0 in
+  let sink =
+    { Memsim.Trace.access =
+        (fun _addr _kind phase ->
+          match (phase : Memsim.Trace.phase) with
+          | Memsim.Trace.Mutator -> incr mut
+          | Memsim.Trace.Collector -> incr col)
+    }
+  in
+  (sink, mut, col)
+
+let run ?(gc = Vscheme.Machine.No_gc) ?heap_bytes ?(pathological_layout = false)
+    ?(sinks = []) ?scale w =
+  let heap_bytes =
+    match heap_bytes with
+    | Some b -> b
+    | None -> 48 * 1024 * 1024 * scale_factor ()
+  in
+  let scale =
+    match scale with
+    | Some s -> s
+    | None -> base_scale w * scale_factor ()
+  in
+  let counter, mut, col = ref_counter () in
+  let cfg =
+    { Vscheme.Machine.default_config with
+      gc;
+      heap_bytes;
+      pathological_layout;
+      sink = Memsim.Trace.tee (counter :: sinks)
+    }
+  in
+  let machine = Vscheme.Machine.create cfg in
+  Workloads.Workload.load machine w;
+  let value = Workloads.Workload.run machine w ~scale in
+  { workload = w;
+    scale;
+    value = Vscheme.Machine.value_to_string machine value;
+    refs = !mut;
+    collector_refs = !col;
+    stats = Vscheme.Machine.stats machine;
+    machine
+  }

@@ -1,0 +1,44 @@
+(** Run workloads on instrumented machines.
+
+    One call builds a fresh vscheme machine wired to the given trace
+    sinks, loads the prelude and the workload, runs it, and returns
+    the run's vital statistics.  Loading is part of the measured run,
+    as in the paper (programs were measured "together with the T
+    system itself"). *)
+
+type result = {
+  workload : Workloads.Workload.t;
+  scale : int;
+  value : string;          (** printed result value, for checking *)
+  refs : int;              (** mutator data references *)
+  collector_refs : int;
+  stats : Vscheme.Machine.run_stats;
+  machine : Vscheme.Machine.t;
+      (** the machine after the run, for layout queries *)
+}
+
+val base_scale : Workloads.Workload.t -> int
+(** Per-workload scale that yields roughly 8–10 million references —
+    the default experiment size.  Multiply by the harness scale
+    factor for longer runs. *)
+
+val scale_factor : unit -> int
+(** The harness-wide multiplier, from the [REPRO_SCALE] environment
+    variable (default 1). *)
+
+val layout : Vscheme.Machine.t -> dynamic_base:bool -> int
+(** Byte address of an area boundary of the machine: with
+    [dynamic_base] true, the start of the dynamic area, else the
+    start of the stack area. *)
+
+val run :
+  ?gc:Vscheme.Machine.gc_spec ->
+  ?heap_bytes:int ->
+  ?pathological_layout:bool ->
+  ?sinks:Memsim.Trace.sink list ->
+  ?scale:int ->
+  Workloads.Workload.t ->
+  result
+(** Run a workload to completion.  [scale] defaults to
+    [base_scale w * scale_factor ()].  [pathological_layout] selects
+    the stack-aliasing static layout of experiment A2. *)

@@ -1,0 +1,15 @@
+(** The paper's two static tables.
+
+    E-T1: the §3 program table — source lines, bytes allocated,
+    instructions executed and data references for each test program,
+    run without garbage collection.
+
+    E-T2: the §5 miss-penalty table — penalties in processor cycles
+    for each block size on the slow (33 MHz) and fast (500 MHz)
+    processors, derived from the Przybylski memory model. *)
+
+val program_table : Format.formatter -> unit
+(** Runs every workload (no GC) and prints the §3 table. *)
+
+val penalty_table : Format.formatter -> unit
+(** Prints the §5 miss-penalty table; pure computation. *)

@@ -1,0 +1,1 @@
+lib/memsim/assoc.ml: Array Bytes Cache Trace

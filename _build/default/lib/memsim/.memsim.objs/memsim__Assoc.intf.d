@@ -1,0 +1,1 @@
+lib/memsim/assoc.mli: Cache Trace

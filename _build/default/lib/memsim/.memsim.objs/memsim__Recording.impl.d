@@ -1,0 +1,1 @@
+lib/memsim/recording.ml: Array Bytes Fun Int64 Printf Trace

@@ -1,0 +1,1 @@
+lib/memsim/recording.mli: Trace

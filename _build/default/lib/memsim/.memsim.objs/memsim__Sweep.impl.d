@@ -1,0 +1,1 @@
+lib/memsim/sweep.ml: Array Cache Format List Trace

@@ -1,0 +1,1 @@
+lib/memsim/sweep.mli: Cache Format Trace

@@ -1,0 +1,1 @@
+lib/memsim/timing.ml: Float Format

@@ -1,0 +1,309 @@
+type write_miss_policy =
+  | Write_validate
+  | Fetch_on_write
+
+type config = {
+  size_bytes : int;
+  block_bytes : int;
+  write_miss_policy : write_miss_policy;
+  collector_fetch_on_write : bool;
+  record_block_stats : bool;
+}
+
+let config ?(write_miss_policy = Write_validate)
+    ?(collector_fetch_on_write = true) ?(record_block_stats = false)
+    ~size_bytes ~block_bytes () =
+  { size_bytes;
+    block_bytes;
+    write_miss_policy;
+    collector_fetch_on_write;
+    record_block_stats
+  }
+
+type t = {
+  cfg : config;
+  nblocks : int;
+  block_shift : int;       (* log2 block_bytes *)
+  index_mask : int;        (* nblocks - 1 *)
+  word_mask : int;         (* words_per_block - 1 *)
+  full_lo : int;           (* valid mask for words 0-31 *)
+  full_hi : int;           (* valid mask for words 32-63 *)
+  tags : int array;        (* memory-block index; -1 when empty *)
+  (* Per-word valid bits, split in two because a 256-byte block has 64
+     words and OCaml ints carry only 63 bits. *)
+  valid_lo : int array;
+  valid_hi : int array;
+  dirty : Bytes.t;         (* 0/1 per cache block *)
+  mutable refs : int;
+  mutable collector_refs : int;
+  mutable misses : int;
+  mutable collector_misses : int;
+  mutable alloc_misses : int;
+  mutable fetches : int;
+  mutable collector_fetches : int;
+  mutable writebacks : int;
+  mutable writes : int;
+  mutable miss_hook : (cache_block:int -> alloc:bool -> unit) option;
+  mutable fetch_hook : (int -> Trace.phase -> unit) option;
+  mutable writeback_hook : (int -> Trace.phase -> unit) option;
+  blk_refs : int array;          (* per cache block, mutator only *)
+  blk_misses : int array;        (* excludes allocation misses *)
+  blk_alloc_misses : int array;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec loop k n = if n = 1 then k else loop (k + 1) (n lsr 1) in
+  loop 0 n
+
+let create cfg =
+  if not (is_power_of_two cfg.size_bytes) then
+    invalid_arg "Cache.create: size_bytes must be a power of two";
+  if not (is_power_of_two cfg.block_bytes) then
+    invalid_arg "Cache.create: block_bytes must be a power of two";
+  if cfg.block_bytes < Trace.word_bytes then
+    invalid_arg "Cache.create: block smaller than a word";
+  if cfg.block_bytes > 256 then
+    invalid_arg "Cache.create: block wider than 64 words";
+  if cfg.block_bytes > cfg.size_bytes then
+    invalid_arg "Cache.create: block larger than cache";
+  let nblocks = cfg.size_bytes / cfg.block_bytes in
+  let words_per_block = cfg.block_bytes / Trace.word_bytes in
+  let stats_len = if cfg.record_block_stats then nblocks else 0 in
+  { cfg;
+    nblocks;
+    block_shift = log2 cfg.block_bytes;
+    index_mask = nblocks - 1;
+    word_mask = words_per_block - 1;
+    full_lo = (1 lsl min words_per_block 32) - 1;
+    full_hi = (if words_per_block > 32 then (1 lsl (words_per_block - 32)) - 1 else 0);
+    tags = Array.make nblocks (-1);
+    valid_lo = Array.make nblocks 0;
+    valid_hi = Array.make nblocks 0;
+    dirty = Bytes.make nblocks '\000';
+    refs = 0;
+    collector_refs = 0;
+    misses = 0;
+    collector_misses = 0;
+    alloc_misses = 0;
+    fetches = 0;
+    collector_fetches = 0;
+    writebacks = 0;
+    writes = 0;
+    miss_hook = None;
+    fetch_hook = None;
+    writeback_hook = None;
+    blk_refs = Array.make stats_len 0;
+    blk_misses = Array.make stats_len 0;
+    blk_alloc_misses = Array.make stats_len 0
+  }
+
+let geometry t = t.cfg
+let num_blocks t = t.nblocks
+
+let set_miss_hook t hook = t.miss_hook <- Some hook
+
+let set_fill_hook t ~on_fetch ~on_writeback =
+  t.fetch_hook <- Some on_fetch;
+  t.writeback_hook <- Some on_writeback
+
+(* One access.  The hot path is written without allocation; per-block
+   statistics updates are guarded by [record_block_stats]. *)
+let access t addr kind phase =
+  let mem_block = addr lsr t.block_shift in
+  let idx = mem_block land t.index_mask in
+  let word = (addr lsr 2) land t.word_mask in
+  let high = word >= 32 in
+  let wbit = 1 lsl (word land 31) in
+  let valid = if high then t.valid_hi else t.valid_lo in
+  let mutator =
+    match (phase : Trace.phase) with
+    | Trace.Mutator -> true
+    | Trace.Collector -> false
+  in
+  if mutator then begin
+    t.refs <- t.refs + 1;
+    if t.cfg.record_block_stats then
+      t.blk_refs.(idx) <- t.blk_refs.(idx) + 1
+  end
+  else t.collector_refs <- t.collector_refs + 1;
+  let is_store =
+    match (kind : Trace.kind) with
+    | Trace.Read -> false
+    | Trace.Write | Trace.Alloc_write -> true
+  in
+  if is_store then t.writes <- t.writes + 1;
+  if t.tags.(idx) = mem_block then begin
+    if valid.(idx) land wbit <> 0 then begin
+      (* Full hit. *)
+      if is_store then Bytes.unsafe_set t.dirty idx '\001'
+    end
+    else if is_store then begin
+      (* Tag matches but the word was never written or fetched: a
+         write validates it at no memory cost.  The allocation miss
+         for this memory block was charged when its tag was installed,
+         so this is not a new miss. *)
+      valid.(idx) <- valid.(idx) lor wbit;
+      Bytes.unsafe_set t.dirty idx '\001'
+    end
+    else begin
+      (* Read of an invalid word in a resident block: miss; fetch the
+         whole block and merge. *)
+      if mutator then begin
+        t.misses <- t.misses + 1;
+        t.fetches <- t.fetches + 1;
+        if t.cfg.record_block_stats then
+          t.blk_misses.(idx) <- t.blk_misses.(idx) + 1
+      end
+      else begin
+        t.collector_misses <- t.collector_misses + 1;
+        t.collector_fetches <- t.collector_fetches + 1
+      end;
+      t.valid_lo.(idx) <- t.full_lo;
+      t.valid_hi.(idx) <- t.full_hi;
+      (match t.fetch_hook with
+       | None -> ()
+       | Some hook -> hook (mem_block lsl t.block_shift) phase);
+      (match t.miss_hook with
+       | None -> ()
+       | Some hook -> hook ~cache_block:idx ~alloc:false)
+    end
+  end
+  else begin
+    (* Tag mismatch (or empty block): a miss in every case. *)
+    let alloc =
+      mutator
+      && (match (kind : Trace.kind) with
+          | Trace.Alloc_write -> true
+          | Trace.Read | Trace.Write -> false)
+    in
+    if mutator then begin
+      t.misses <- t.misses + 1;
+      if alloc then begin
+        t.alloc_misses <- t.alloc_misses + 1;
+        if t.cfg.record_block_stats then
+          t.blk_alloc_misses.(idx) <- t.blk_alloc_misses.(idx) + 1
+      end
+      else if t.cfg.record_block_stats then
+        t.blk_misses.(idx) <- t.blk_misses.(idx) + 1
+    end
+    else t.collector_misses <- t.collector_misses + 1;
+    if Bytes.unsafe_get t.dirty idx = '\001' then begin
+      t.writebacks <- t.writebacks + 1;
+      Bytes.unsafe_set t.dirty idx '\000';
+      match t.writeback_hook with
+      | None -> ()
+      | Some hook -> hook (t.tags.(idx) lsl t.block_shift) phase
+    end;
+    let policy =
+      if (not mutator) && t.cfg.collector_fetch_on_write then Fetch_on_write
+      else t.cfg.write_miss_policy
+    in
+    t.tags.(idx) <- mem_block;
+    (match policy, is_store with
+     | Write_validate, true ->
+       (* Allocate the line, validate just this word, fetch nothing. *)
+       if high then begin
+         t.valid_lo.(idx) <- 0;
+         t.valid_hi.(idx) <- wbit
+       end
+       else begin
+         t.valid_lo.(idx) <- wbit;
+         t.valid_hi.(idx) <- 0
+       end;
+       Bytes.unsafe_set t.dirty idx '\001'
+     | (Write_validate | Fetch_on_write), false | Fetch_on_write, true ->
+       if mutator then t.fetches <- t.fetches + 1
+       else t.collector_fetches <- t.collector_fetches + 1;
+       (match t.fetch_hook with
+        | None -> ()
+        | Some hook -> hook (mem_block lsl t.block_shift) phase);
+       t.valid_lo.(idx) <- t.full_lo;
+       t.valid_hi.(idx) <- t.full_hi;
+       if is_store then Bytes.unsafe_set t.dirty idx '\001');
+    (match t.miss_hook with
+     | None -> ()
+     | Some hook -> hook ~cache_block:idx ~alloc)
+  end
+
+let write_block_back t addr phase =
+  let mem_block = addr lsr t.block_shift in
+  let idx = mem_block land t.index_mask in
+  let mutator =
+    match (phase : Trace.phase) with
+    | Trace.Mutator -> true
+    | Trace.Collector -> false
+  in
+  if mutator then t.refs <- t.refs + 1 else t.collector_refs <- t.collector_refs + 1;
+  t.writes <- t.writes + 1;
+  if t.tags.(idx) <> mem_block then begin
+    if mutator then t.misses <- t.misses + 1
+    else t.collector_misses <- t.collector_misses + 1;
+    if Bytes.unsafe_get t.dirty idx = '\001' then begin
+      t.writebacks <- t.writebacks + 1;
+      (match t.writeback_hook with
+       | None -> ()
+       | Some hook -> hook (t.tags.(idx) lsl t.block_shift) phase)
+    end;
+    t.tags.(idx) <- mem_block
+  end;
+  t.valid_lo.(idx) <- t.full_lo;
+  t.valid_hi.(idx) <- t.full_hi;
+  Bytes.unsafe_set t.dirty idx '\001'
+
+let sink t = { Trace.access = (fun addr kind phase -> access t addr kind phase) }
+
+type stats = {
+  refs : int;
+  collector_refs : int;
+  misses : int;
+  collector_misses : int;
+  alloc_misses : int;
+  fetches : int;
+  collector_fetches : int;
+  writebacks : int;
+  writes : int;
+}
+
+let stats (t : t) : stats =
+  { refs = t.refs;
+    collector_refs = t.collector_refs;
+    misses = t.misses;
+    collector_misses = t.collector_misses;
+    alloc_misses = t.alloc_misses;
+    fetches = t.fetches;
+    collector_fetches = t.collector_fetches;
+    writebacks = t.writebacks;
+    writes = t.writes
+  }
+
+let require_block_stats t fname =
+  if not t.cfg.record_block_stats then
+    invalid_arg (fname ^ ": cache created without record_block_stats")
+
+let block_refs t =
+  require_block_stats t "Cache.block_refs";
+  Array.copy t.blk_refs
+
+let block_misses t =
+  require_block_stats t "Cache.block_misses";
+  Array.copy t.blk_misses
+
+let block_alloc_misses t =
+  require_block_stats t "Cache.block_alloc_misses";
+  Array.copy t.blk_alloc_misses
+
+let reset_stats (t : t) =
+  t.refs <- 0;
+  t.collector_refs <- 0;
+  t.misses <- 0;
+  t.collector_misses <- 0;
+  t.alloc_misses <- 0;
+  t.fetches <- 0;
+  t.collector_fetches <- 0;
+  t.writebacks <- 0;
+  t.writes <- 0;
+  Array.fill t.blk_refs 0 (Array.length t.blk_refs) 0;
+  Array.fill t.blk_misses 0 (Array.length t.blk_misses) 0;
+  Array.fill t.blk_alloc_misses 0 (Array.length t.blk_alloc_misses) 0

@@ -1,0 +1,121 @@
+(** Direct-mapped, virtually-indexed data cache (§4 of the paper).
+
+    The cache models the design space the paper considers: one level,
+    direct-mapped, block size equal to the fetch size, and a write-miss
+    policy of either {e write-validate} (write-allocate with one-word
+    sub-blocks: a write miss validates just the written word and fetches
+    nothing) or {e fetch-on-write} (every miss fetches the whole block).
+
+    Write-validate is modeled faithfully with a per-word valid bitmask:
+    a read of a word that has neither been written nor fetched misses
+    even when the block's tag matches.
+
+    Two miss-related quantities are kept distinct:
+
+    - {e misses}: accesses that did not hit (used for miss ratios and
+      the §7 activity analysis);
+    - {e fetches}: block transfers from main memory (the quantity that
+      stalls the processor and is multiplied by the miss penalty).
+
+    Under fetch-on-write the two coincide; under write-validate, write
+    misses are misses but not fetches.
+
+    Dirty blocks are tracked so that write-back traffic can be reported
+    (§5's "write overheads"). *)
+
+type write_miss_policy =
+  | Write_validate
+  | Fetch_on_write
+
+type config = {
+  size_bytes : int;       (** total capacity; power of two *)
+  block_bytes : int;      (** block/fetch size; power of two, 4–256 *)
+  write_miss_policy : write_miss_policy;
+  collector_fetch_on_write : bool;
+      (** when true, accesses in the {!Trace.Collector} phase use
+          fetch-on-write regardless of [write_miss_policy], as in the
+          §6 footnote *)
+  record_block_stats : bool;
+      (** when true, per-cache-block reference/miss counters are kept
+          for the §7 activity analysis *)
+}
+
+val config :
+  ?write_miss_policy:write_miss_policy ->
+  ?collector_fetch_on_write:bool ->
+  ?record_block_stats:bool ->
+  size_bytes:int ->
+  block_bytes:int ->
+  unit ->
+  config
+(** Configuration with the paper's defaults: write-validate,
+    fetch-on-write during collection, no per-block stats. *)
+
+type t
+
+val create : config -> t
+(** Fresh, empty cache.
+
+    @raise Invalid_argument if sizes are not powers of two, the block
+    is larger than the cache, smaller than a word, or wider than 64
+    words (the valid-mask width). *)
+
+val geometry : t -> config
+val num_blocks : t -> int
+
+val access : t -> int -> Trace.kind -> Trace.phase -> unit
+(** Simulate one word access at the given byte address. *)
+
+val write_block_back : t -> int -> Trace.phase -> unit
+(** Receive a whole dirty block written back from the level above:
+    installs the block's tag if needed (a write miss that fetches
+    nothing) and validates {e every} word, since the entire block
+    arrives on the bus.  Counts as one reference and one write. *)
+
+val sink : t -> Trace.sink
+(** The cache as a trace consumer. *)
+
+type stats = {
+  refs : int;               (** mutator references *)
+  collector_refs : int;
+  misses : int;             (** mutator misses, allocation misses included *)
+  collector_misses : int;
+  alloc_misses : int;       (** mutator misses caused by initializing stores *)
+  fetches : int;            (** mutator block fetches (penalized) *)
+  collector_fetches : int;
+  writebacks : int;         (** dirty blocks written back on eviction *)
+  writes : int;             (** all word stores (write-through traffic) *)
+}
+
+val stats : t -> stats
+
+val set_miss_hook : t -> (cache_block:int -> alloc:bool -> unit) -> unit
+(** Install a callback invoked on every miss (any phase), after the
+    miss has been counted.  [alloc] is true for mutator allocation
+    misses.  Used by the miss-plot analyzer. *)
+
+val set_fill_hook :
+  t ->
+  on_fetch:(int -> Trace.phase -> unit) ->
+  on_writeback:(int -> Trace.phase -> unit) ->
+  unit
+(** Callbacks for the next cache level: [on_fetch addr phase] fires
+    with the byte address of every block fetched from below, and
+    [on_writeback addr phase] with the byte address of every dirty
+    block evicted.  Used by {!Hierarchy}. *)
+
+val block_refs : t -> int array
+(** Per-cache-block mutator reference counts; requires
+    [record_block_stats].  The returned array is a copy. *)
+
+val block_misses : t -> int array
+(** Per-cache-block mutator miss counts {e excluding} allocation
+    misses, as in the §7 activity graphs.  Requires
+    [record_block_stats]. *)
+
+val block_alloc_misses : t -> int array
+(** Per-cache-block allocation-miss counts; requires
+    [record_block_stats]. *)
+
+val reset_stats : t -> unit
+(** Zero every counter (contents and tags are kept). *)

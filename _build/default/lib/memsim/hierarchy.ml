@@ -1,0 +1,43 @@
+type config = {
+  l1 : Cache.config;
+  l2 : Cache.config;
+  l2_hit_ns : float;
+}
+
+let config ?(l2_hit_ns = 60.0) ~l1 ~l2 () = { l1; l2; l2_hit_ns }
+
+type t = {
+  cfg : config;
+  l1 : Cache.t;
+  l2 : Cache.t;
+}
+
+let create (cfg : config) =
+  if cfg.l2.Cache.block_bytes < cfg.l1.Cache.block_bytes then
+    invalid_arg "Hierarchy.create: L2 block smaller than L1 block";
+  let l1 = Cache.create cfg.l1 in
+  let l2 = Cache.create cfg.l2 in
+  (* Refill traffic: L1 fetches read through L2; dirty L1 evictions
+     write into L2. *)
+  Cache.set_fill_hook l1
+    ~on_fetch:(fun addr phase -> Cache.access l2 addr Trace.Read phase)
+    ~on_writeback:(fun addr phase -> Cache.write_block_back l2 addr phase);
+  { cfg; l1; l2 }
+
+let access t addr kind phase = Cache.access t.l1 addr kind phase
+let sink t = { Trace.access = (fun addr kind phase -> access t addr kind phase) }
+let l1_stats t = Cache.stats t.l1
+let l2_stats t = Cache.stats t.l2
+
+let overhead t cpu ~instructions =
+  if instructions <= 0 then invalid_arg "Hierarchy.overhead";
+  let s1 = Cache.stats t.l1 in
+  let s2 = Cache.stats t.l2 in
+  let l2_service =
+    float_of_int s1.Cache.fetches *. t.cfg.l2_hit_ns /. Timing.cycle_ns cpu
+  in
+  let memory_service =
+    float_of_int s2.Cache.fetches
+    *. Timing.miss_penalty cpu ~block_bytes:t.cfg.l2.Cache.block_bytes
+  in
+  (l2_service +. memory_service) /. float_of_int instructions

@@ -1,0 +1,39 @@
+(** Two-level cache hierarchy.
+
+    §4 of the paper simulates one cache level and "expects the results
+    to extend to the two- and even three-level caches that are
+    becoming common", deferring the investigation.  This module
+    implements that deferred design point: a small L1 backed by a
+    large L2.  Every L1 block fetch becomes one L2 read at the block's
+    address, and every dirty L1 eviction becomes one L2 write, so L2
+    sees exactly the refill traffic a real hierarchy would.
+
+    The temporal model extends §5's: an L1 fetch that hits in L2 stalls
+    for the L2 access time (SRAM, [l2_hit_ns], default 60 ns); an L1
+    fetch that misses in L2 stalls additionally for the Przybylski
+    main-memory penalty of the L2 block. *)
+
+type config = {
+  l1 : Cache.config;
+  l2 : Cache.config;   (** [l2.block_bytes >= l1.block_bytes] *)
+  l2_hit_ns : float;
+}
+
+val config : ?l2_hit_ns:float -> l1:Cache.config -> l2:Cache.config -> unit -> config
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument when the L2 block is smaller than the
+    L1 block. *)
+
+val access : t -> int -> Trace.kind -> Trace.phase -> unit
+val sink : t -> Trace.sink
+
+val l1_stats : t -> Cache.stats
+val l2_stats : t -> Cache.stats
+
+val overhead : t -> Timing.processor -> instructions:int -> float
+(** Total stall time — L1 fetches at L2 speed plus L2 fetches at
+    main-memory speed — as a fraction of the idealized running time
+    (mutator traffic only). *)

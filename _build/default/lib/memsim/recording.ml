@@ -1,0 +1,96 @@
+(* Packed event: bits [63:3] byte address, [2:1] kind, [0] phase. *)
+
+type t = {
+  mutable events : int array;
+  mutable len : int;
+}
+
+let magic = 0x5243545243414345L (* "RCTRCACE", arbitrary tag *)
+
+let create ?(initial_capacity = 4096) () =
+  { events = Array.make (max 16 initial_capacity) 0; len = 0 }
+
+let kind_code = function
+  | Trace.Read -> 0
+  | Trace.Write -> 1
+  | Trace.Alloc_write -> 2
+
+let kind_of_code = function
+  | 0 -> Trace.Read
+  | 1 -> Trace.Write
+  | 2 -> Trace.Alloc_write
+  | n -> failwith (Printf.sprintf "Recording: bad kind code %d" n)
+
+let pack addr kind phase =
+  (addr lsl 3)
+  lor (kind_code kind lsl 1)
+  lor
+  match (phase : Trace.phase) with
+  | Trace.Mutator -> 0
+  | Trace.Collector -> 1
+
+let unpack word =
+  ( word lsr 3,
+    kind_of_code ((word lsr 1) land 3),
+    if word land 1 = 0 then Trace.Mutator else Trace.Collector )
+
+let append t word =
+  if t.len = Array.length t.events then begin
+    let bigger = Array.make (2 * t.len) 0 in
+    Array.blit t.events 0 bigger 0 t.len;
+    t.events <- bigger
+  end;
+  t.events.(t.len) <- word;
+  t.len <- t.len + 1
+
+let sink t =
+  { Trace.access = (fun addr kind phase -> append t (pack addr kind phase)) }
+
+let length t = t.len
+
+let replay t sink =
+  for i = 0 to t.len - 1 do
+    let addr, kind, phase = unpack t.events.(i) in
+    sink.Trace.access addr kind phase
+  done
+
+let event t i =
+  if i < 0 || i >= t.len then invalid_arg "Recording.event";
+  unpack t.events.(i)
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Bytes.create 8 in
+      Bytes.set_int64_le buf 0 magic;
+      output_bytes oc buf;
+      Bytes.set_int64_le buf 0 (Int64.of_int t.len);
+      output_bytes oc buf;
+      for i = 0 to t.len - 1 do
+        Bytes.set_int64_le buf 0 (Int64.of_int t.events.(i));
+        output_bytes oc buf
+      done)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let buf = Bytes.create 8 in
+      really_input ic buf 0 8;
+      if Bytes.get_int64_le buf 0 <> magic then
+        failwith "Recording.load: not a trace recording";
+      really_input ic buf 0 8;
+      let len = Int64.to_int (Bytes.get_int64_le buf 0) in
+      if len < 0 then failwith "Recording.load: corrupt length";
+      let t = { events = Array.make (max 16 len) 0; len } in
+      (try
+         for i = 0 to len - 1 do
+           really_input ic buf 0 8;
+           t.events.(i) <- Int64.to_int (Bytes.get_int64_le buf 0)
+         done
+       with
+       | End_of_file -> failwith "Recording.load: truncated file");
+      t)

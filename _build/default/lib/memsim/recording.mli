@@ -1,0 +1,39 @@
+(** Trace recording and replay.
+
+    Producing a trace (running the Scheme system) costs far more than
+    consuming one, so a recorded trace lets new cache configurations,
+    analyzers or policies be evaluated without re-running the program
+    — the classic trace-driven-simulation workflow the paper used
+    (traces captured once by the MIPS emulator, then fed to the
+    simulator).
+
+    Events are packed one per native int (61-bit byte address, 2-bit
+    kind, 1-bit phase), so a recording costs 8 host bytes per
+    reference.  Recordings can be saved to disk in a little-endian
+    binary format and loaded back. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+(** An empty recording. *)
+
+val sink : t -> Trace.sink
+(** Append every event to the recording. *)
+
+val length : t -> int
+(** Number of recorded events. *)
+
+val replay : t -> Trace.sink -> unit
+(** Deliver the recorded events, in order, to a consumer. *)
+
+val event : t -> int -> int * Trace.kind * Trace.phase
+(** Random access to event [i] as [(byte_address, kind, phase)].
+    @raise Invalid_argument when out of range. *)
+
+val save : t -> string -> unit
+(** Write to a file: an 8-byte magic, an event count, then the packed
+    events. *)
+
+val load : string -> t
+(** Read a recording written by {!save}.
+    @raise Failure on a malformed file. *)

@@ -1,0 +1,54 @@
+let kb n = n * 1024
+let mb n = n * 1024 * 1024
+
+let paper_cache_sizes =
+  [ kb 32; kb 64; kb 128; kb 256; kb 512; mb 1; mb 2; mb 4 ]
+
+let paper_block_sizes = [ 16; 32; 64; 128; 256 ]
+
+let pp_size ppf n =
+  if n >= 1024 * 1024 && n mod (1024 * 1024) = 0 then
+    Format.fprintf ppf "%dm" (n / (1024 * 1024))
+  else if n >= 1024 && n mod 1024 = 0 then Format.fprintf ppf "%dk" (n / 1024)
+  else Format.fprintf ppf "%db" n
+
+type t = { caches : Cache.t array }
+
+let create configs = { caches = Array.of_list (List.map Cache.create configs) }
+
+let grid ?(write_miss_policy = Cache.Write_validate) ~cache_sizes ~block_sizes
+    () =
+  List.concat_map
+    (fun size_bytes ->
+      List.map
+        (fun block_bytes ->
+          Cache.config ~write_miss_policy ~size_bytes ~block_bytes ())
+        block_sizes)
+    cache_sizes
+
+let sink t =
+  let caches = t.caches in
+  let n = Array.length caches in
+  { Trace.access =
+      (fun addr kind phase ->
+        for i = 0 to n - 1 do
+          Cache.access (Array.unsafe_get caches i) addr kind phase
+        done)
+  }
+
+let caches t = t.caches
+
+let find t ~size_bytes ~block_bytes =
+  let matches c =
+    let g = Cache.geometry c in
+    g.Cache.size_bytes = size_bytes && g.Cache.block_bytes = block_bytes
+  in
+  let rec loop i =
+    if i >= Array.length t.caches then raise Not_found
+    else if matches t.caches.(i) then t.caches.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let results t =
+  Array.to_list (Array.map (fun c -> (Cache.geometry c, Cache.stats c)) t.caches)

@@ -1,0 +1,46 @@
+(** Fan-out simulation of one trace through many cache configurations.
+
+    Trace-driven simulation is dominated by producing the trace, so a
+    single program run is shared by every cache configuration under
+    study: each event is delivered to every cache in the grid. *)
+
+val paper_cache_sizes : int list
+(** The §4 cache sizes: 32 KB to 4 MB in powers of two. *)
+
+val paper_block_sizes : int list
+(** The §4 block sizes: 16, 32, 64, 128, 256 bytes. *)
+
+val kb : int -> int
+(** [kb n] is [n * 1024]. *)
+
+val mb : int -> int
+(** [mb n] is [n * 1024 * 1024]. *)
+
+val pp_size : Format.formatter -> int -> unit
+(** Print a byte count the way the paper labels axes: ["64k"], ["2m"]. *)
+
+type t
+
+val create : Cache.config list -> t
+(** One cache per configuration, in order. *)
+
+val grid :
+  ?write_miss_policy:Cache.write_miss_policy ->
+  cache_sizes:int list ->
+  block_sizes:int list ->
+  unit ->
+  Cache.config list
+(** The cross product of the given sizes as configurations with the
+    paper's defaults. *)
+
+val sink : t -> Trace.sink
+(** Deliver each event to every cache. *)
+
+val caches : t -> Cache.t array
+(** The underlying caches, in configuration order. *)
+
+val find : t -> size_bytes:int -> block_bytes:int -> Cache.t
+(** The first cache with the given geometry.
+    @raise Not_found when absent. *)
+
+val results : t -> (Cache.config * Cache.stats) list

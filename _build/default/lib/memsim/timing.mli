@@ -1,0 +1,65 @@
+(** Temporal cost model from §5 of the paper.
+
+    Miss penalties follow the main-memory system studied by Przybylski:
+    30 ns of address setup, 180 ns of access, and 30 ns of transfer per
+    16 bytes, so fetching an [n]-byte block takes
+    [30 + 180 + 30 * ceil(n / 16)] nanoseconds.
+
+    Two hypothetical processors are modeled: the {e slow} processor has
+    a 30 ns cycle (33 MHz, a 1994 workstation) and the {e fast}
+    processor a 2 ns cycle (500 MHz).  Hit time is one cycle on both,
+    so overheads count stall cycles only. *)
+
+type processor =
+  | Slow  (** 30 ns cycle time (33 MHz) *)
+  | Fast  (** 2 ns cycle time (500 MHz) *)
+
+val all_processors : processor list
+(** [[Slow; Fast]]. *)
+
+val cycle_ns : processor -> float
+(** Cycle time in nanoseconds. *)
+
+val penalty_ns : block_bytes:int -> float
+(** Time to fetch one block of [block_bytes] bytes from main memory.
+
+    Raises [Invalid_argument] if [block_bytes] is not positive. *)
+
+val miss_penalty : processor -> block_bytes:int -> float
+(** Miss penalty in processor cycles: [penalty_ns / cycle_ns].  Not
+    rounded; overheads are ratios and the paper's table is in whole
+    cycles only for presentation. *)
+
+val miss_penalty_cycles : processor -> block_bytes:int -> int
+(** The paper's presentation form: [miss_penalty] rounded to the
+    nearest whole cycle. *)
+
+val writeback_penalty : processor -> block_bytes:int -> float
+(** Cycles to retire one dirty-block write-back.  Write-backs go
+    through a write buffer and use page mode, so only the transfer
+    time (30 ns per 16 bytes) stalls the processor, not the address
+    setup and access latency of a fetch. *)
+
+val cache_overhead :
+  processor -> block_bytes:int -> fetches:int -> instructions:int -> float
+(** [cache_overhead p ~block_bytes ~fetches ~instructions] is O_cache:
+    total stall time for [fetches] block fetches, expressed as a
+    fraction of the idealized running time of [instructions]
+    one-cycle instructions. *)
+
+val gc_overhead :
+  processor ->
+  block_bytes:int ->
+  collector_fetches:int ->
+  program_fetch_delta:int ->
+  collector_instructions:int ->
+  program_instruction_delta:int ->
+  program_instructions:int ->
+  float
+(** O_gc from §6:
+    [((M_gc + ΔM_prog) · P + I_gc + ΔI_prog) / I_prog].
+    [program_fetch_delta] (ΔM_prog) may be negative when the collector
+    improves the program's locality, in which case the result may be
+    negative. *)
+
+val pp_processor : Format.formatter -> processor -> unit

@@ -1,0 +1,1 @@
+lib/sexp/datum.ml: Array Buffer Float Format List String

@@ -1,0 +1,1 @@
+lib/sexp/parser.ml: Array Datum Lexer List

@@ -1,0 +1,1 @@
+lib/sexp/parser.mli: Datum Lexer

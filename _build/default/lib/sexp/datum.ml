@@ -1,0 +1,99 @@
+type t =
+  | Nil
+  | Bool of bool
+  | Int of int
+  | Real of float
+  | Char of char
+  | Str of string
+  | Sym of string
+  | Cons of t * t
+  | Vec of t array
+
+let list ds = List.fold_right (fun d acc -> Cons (d, acc)) ds Nil
+
+let list_opt d =
+  let rec loop acc = function
+    | Nil -> Some (List.rev acc)
+    | Cons (a, rest) -> loop (a :: acc) rest
+    | Bool _ | Int _ | Real _ | Char _ | Str _ | Sym _ | Vec _ -> None
+  in
+  loop [] d
+
+let sym s = Sym s
+
+let rec equal a b =
+  match a, b with
+  | Nil, Nil -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Real x, Real y -> Float.equal x y
+  | Char x, Char y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Sym x, Sym y -> String.equal x y
+  | Cons (a1, d1), Cons (a2, d2) -> equal a1 a2 && equal d1 d2
+  | Vec v1, Vec v2 ->
+    Array.length v1 = Array.length v2
+    && (let rec all i =
+          i >= Array.length v1 || (equal v1.(i) v2.(i) && all (i + 1))
+        in
+        all 0)
+  | (Nil | Bool _ | Int _ | Real _ | Char _ | Str _ | Sym _ | Cons _ | Vec _), _
+    -> false
+
+(* Escape a string literal body using the reader's escape set. *)
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_char ppf c =
+  match c with
+  | ' ' -> Format.fprintf ppf "#\\space"
+  | '\n' -> Format.fprintf ppf "#\\newline"
+  | '\t' -> Format.fprintf ppf "#\\tab"
+  | c -> Format.fprintf ppf "#\\%c" c
+
+let rec pp ppf d =
+  match d with
+  | Nil -> Format.pp_print_string ppf "()"
+  | Bool true -> Format.pp_print_string ppf "#t"
+  | Bool false -> Format.pp_print_string ppf "#f"
+  | Int i -> Format.pp_print_int ppf i
+  | Real r ->
+    (* Keep a trailing period so the reader sees a real, not an int. *)
+    let s = Format.sprintf "%.17g" r in
+    if String.contains s '.' || String.contains s 'e'
+       || String.contains s 'n' (* nan, inf *) || String.contains s 'i'
+    then Format.pp_print_string ppf s
+    else Format.fprintf ppf "%s." s
+  | Char c -> pp_char ppf c
+  | Str s -> Format.fprintf ppf "\"%s\"" (escape_string s)
+  | Sym s -> Format.pp_print_string ppf s
+  | Cons (a, d) ->
+    Format.fprintf ppf "(@[<hov>%a%a@])" pp a pp_tail d
+  | Vec v ->
+    Format.fprintf ppf "#(@[<hov>";
+    Array.iteri
+      (fun i d ->
+        if i > 0 then Format.fprintf ppf "@ ";
+        pp ppf d)
+      v;
+    Format.fprintf ppf "@])"
+
+and pp_tail ppf d =
+  match d with
+  | Nil -> ()
+  | Cons (a, d) -> Format.fprintf ppf "@ %a%a" pp a pp_tail d
+  | Bool _ | Int _ | Real _ | Char _ | Str _ | Sym _ | Vec _ ->
+    Format.fprintf ppf " . %a" pp d
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,239 @@
+type token =
+  | Lparen
+  | Rparen
+  | Quote
+  | Quasiquote
+  | Unquote
+  | Unquote_splicing
+  | Hash_lparen
+  | Dot
+  | Atom_bool of bool
+  | Atom_int of int
+  | Atom_real of float
+  | Atom_char of char
+  | Atom_string of string
+  | Atom_sym of string
+  | Eof
+
+type position = { line : int; column : int }
+
+exception Error of string * position
+
+type t = {
+  src : string;
+  filename : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of the beginning of the current line *)
+}
+
+let create ?(filename = "<string>") src = { src; filename; pos = 0; line = 1; bol = 0 }
+
+let position lx = { line = lx.line; column = lx.pos - lx.bol + 1 }
+
+let error lx msg =
+  raise (Error (Format.sprintf "%s: %s" lx.filename msg, position lx))
+
+let at_end lx = lx.pos >= String.length lx.src
+
+let peek lx = if at_end lx then '\000' else lx.src.[lx.pos]
+
+let peek2 lx =
+  if lx.pos + 1 >= String.length lx.src then '\000' else lx.src.[lx.pos + 1]
+
+let advance lx =
+  if not (at_end lx) then begin
+    if lx.src.[lx.pos] = '\n' then begin
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.pos + 1
+    end;
+    lx.pos <- lx.pos + 1
+  end
+
+let is_delimiter c =
+  match c with
+  | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '[' | ']' | '"' | ';' | '\000' ->
+    true
+  | _ -> false
+
+let rec skip_block_comment lx depth =
+  if at_end lx then error lx "unterminated block comment"
+  else if peek lx = '|' && peek2 lx = '#' then begin
+    advance lx;
+    advance lx;
+    if depth > 1 then skip_block_comment lx (depth - 1)
+  end
+  else if peek lx = '#' && peek2 lx = '|' then begin
+    advance lx;
+    advance lx;
+    skip_block_comment lx (depth + 1)
+  end
+  else begin
+    advance lx;
+    skip_block_comment lx depth
+  end
+
+let rec skip_atmosphere lx =
+  match peek lx with
+  | ' ' | '\t' | '\n' | '\r' ->
+    advance lx;
+    skip_atmosphere lx
+  | ';' ->
+    let rec to_eol () =
+      if (not (at_end lx)) && peek lx <> '\n' then begin
+        advance lx;
+        to_eol ()
+      end
+    in
+    to_eol ();
+    skip_atmosphere lx
+  | '#' when peek2 lx = '|' ->
+    advance lx;
+    advance lx;
+    skip_block_comment lx 1;
+    skip_atmosphere lx
+  | _ -> ()
+
+let read_atom_text lx =
+  let start = lx.pos in
+  let rec loop () =
+    if not (is_delimiter (peek lx)) then begin
+      advance lx;
+      loop ()
+    end
+  in
+  loop ();
+  String.sub lx.src start (lx.pos - start)
+
+(* Classify a bare atom as integer, real, or symbol, per the usual
+   Scheme rule: anything that parses as a number is a number. *)
+let classify_atom lx text =
+  if String.length text = 0 then error lx "empty atom"
+  else
+    match int_of_string_opt text with
+    | Some i -> Atom_int i
+    | None -> (
+      (* Reject symbol-looking things that would also float-parse, such
+         as "nan" or "..."; a number needs a digit right after any sign
+         or leading period. *)
+      let is_digit c = c >= '0' && c <= '9' in
+      let n = String.length text in
+      let looks_numeric =
+        is_digit text.[0]
+        || ((text.[0] = '+' || text.[0] = '-')
+            && n > 1
+            && (is_digit text.[1]
+                || (text.[1] = '.' && n > 2 && is_digit text.[2])))
+        || (text.[0] = '.' && n > 1 && is_digit text.[1])
+      in
+      if looks_numeric then
+        match float_of_string_opt text with
+        | Some f -> Atom_real f
+        | None -> error lx (Format.sprintf "malformed number %S" text)
+      else Atom_sym (String.lowercase_ascii text))
+
+let read_string lx =
+  let buf = Buffer.create 16 in
+  advance lx (* opening quote *);
+  let rec loop () =
+    if at_end lx then error lx "unterminated string literal"
+    else
+      match peek lx with
+      | '"' -> advance lx
+      | '\\' ->
+        advance lx;
+        let c =
+          match peek lx with
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | 'r' -> '\r'
+          | '\\' -> '\\'
+          | '"' -> '"'
+          | c -> error lx (Format.sprintf "unknown string escape \\%c" c)
+        in
+        Buffer.add_char buf c;
+        advance lx;
+        loop ()
+      | c ->
+        Buffer.add_char buf c;
+        advance lx;
+        loop ()
+  in
+  loop ();
+  Atom_string (Buffer.contents buf)
+
+let read_char lx =
+  (* Called with lx positioned just after "#\\". *)
+  if at_end lx then error lx "unterminated character literal"
+  else begin
+    let start = lx.pos in
+    advance lx;
+    (* Letters may continue into a named character. *)
+    let rec extend () =
+      if not (is_delimiter (peek lx)) then begin
+        advance lx;
+        extend ()
+      end
+    in
+    extend ();
+    let text = String.sub lx.src start (lx.pos - start) in
+    if String.length text = 1 then Atom_char text.[0]
+    else
+      match String.lowercase_ascii text with
+      | "space" -> Atom_char ' '
+      | "newline" -> Atom_char '\n'
+      | "tab" -> Atom_char '\t'
+      | "nul" | "null" -> Atom_char '\000'
+      | _ -> error lx (Format.sprintf "unknown character name #\\%s" text)
+  end
+
+let next lx =
+  skip_atmosphere lx;
+  let pos = position lx in
+  let tok =
+    if at_end lx then Eof
+    else
+      match peek lx with
+      | '(' | '[' ->
+        advance lx;
+        Lparen
+      | ')' | ']' ->
+        advance lx;
+        Rparen
+      | '\'' ->
+        advance lx;
+        Quote
+      | '`' ->
+        advance lx;
+        Quasiquote
+      | ',' ->
+        advance lx;
+        if peek lx = '@' then begin
+          advance lx;
+          Unquote_splicing
+        end
+        else Unquote
+      | '"' -> read_string lx
+      | '#' -> (
+        match peek2 lx with
+        | '(' ->
+          advance lx;
+          advance lx;
+          Hash_lparen
+        | 't' | 'f' ->
+          let text = read_atom_text lx in
+          (match text with
+           | "#t" | "#true" -> Atom_bool true
+           | "#f" | "#false" -> Atom_bool false
+           | _ -> error lx (Format.sprintf "unknown # syntax %S" text))
+        | '\\' ->
+          advance lx;
+          advance lx;
+          read_char lx
+        | c -> error lx (Format.sprintf "unknown # syntax #%c" c))
+      | '.' when is_delimiter (peek2 lx) ->
+        advance lx;
+        Dot
+      | _ -> classify_atom lx (read_atom_text lx)
+  in
+  (tok, pos)

@@ -1,0 +1,97 @@
+exception Error of string * Lexer.position
+
+type state = {
+  lx : Lexer.t;
+  mutable lookahead : (Lexer.token * Lexer.position) option;
+}
+
+let fail pos msg = raise (Error (msg, pos))
+
+let next st =
+  match st.lookahead with
+  | Some tp ->
+    st.lookahead <- None;
+    tp
+  | None -> (
+    try Lexer.next st.lx with
+    | Lexer.Error (msg, pos) -> fail pos msg)
+
+let push_back st tp =
+  assert (st.lookahead = None);
+  st.lookahead <- Some tp
+
+let shorthand name d = Datum.Cons (Datum.Sym name, Datum.Cons (d, Datum.Nil))
+
+let rec parse_datum st (tok, pos) =
+  match (tok : Lexer.token) with
+  | Lexer.Eof -> fail pos "unexpected end of input"
+  | Lexer.Rparen -> fail pos "unexpected `)'"
+  | Lexer.Dot -> fail pos "unexpected `.'"
+  | Lexer.Lparen -> parse_list st pos []
+  | Lexer.Hash_lparen -> parse_vector st pos []
+  | Lexer.Quote -> shorthand "quote" (parse_datum st (next st))
+  | Lexer.Quasiquote -> shorthand "quasiquote" (parse_datum st (next st))
+  | Lexer.Unquote -> shorthand "unquote" (parse_datum st (next st))
+  | Lexer.Unquote_splicing ->
+    shorthand "unquote-splicing" (parse_datum st (next st))
+  | Lexer.Atom_bool b -> Datum.Bool b
+  | Lexer.Atom_int i -> Datum.Int i
+  | Lexer.Atom_real r -> Datum.Real r
+  | Lexer.Atom_char c -> Datum.Char c
+  | Lexer.Atom_string s -> Datum.Str s
+  | Lexer.Atom_sym s -> Datum.Sym s
+
+and parse_list st open_pos acc =
+  let tok, pos = next st in
+  match (tok : Lexer.token) with
+  | Lexer.Eof -> fail open_pos "unterminated list"
+  | Lexer.Rparen -> Datum.list (List.rev acc)
+  | Lexer.Dot ->
+    if acc = [] then fail pos "`.' with no preceding datum"
+    else begin
+      let tail = parse_datum st (next st) in
+      (match next st with
+       | Lexer.Rparen, _ -> ()
+       | _, pos -> fail pos "expected `)' after dotted tail");
+      List.fold_left (fun d a -> Datum.Cons (a, d)) tail acc
+    end
+  | Lexer.Lparen | Lexer.Hash_lparen | Lexer.Quote | Lexer.Quasiquote
+  | Lexer.Unquote | Lexer.Unquote_splicing | Lexer.Atom_bool _
+  | Lexer.Atom_int _ | Lexer.Atom_real _ | Lexer.Atom_char _
+  | Lexer.Atom_string _ | Lexer.Atom_sym _ ->
+    let d = parse_datum st (tok, pos) in
+    parse_list st open_pos (d :: acc)
+
+and parse_vector st open_pos acc =
+  let tok, pos = next st in
+  match (tok : Lexer.token) with
+  | Lexer.Eof -> fail open_pos "unterminated vector"
+  | Lexer.Rparen -> Datum.Vec (Array.of_list (List.rev acc))
+  | Lexer.Dot -> fail pos "`.' not allowed in vector"
+  | Lexer.Lparen | Lexer.Hash_lparen | Lexer.Quote | Lexer.Quasiquote
+  | Lexer.Unquote | Lexer.Unquote_splicing | Lexer.Atom_bool _
+  | Lexer.Atom_int _ | Lexer.Atom_real _ | Lexer.Atom_char _
+  | Lexer.Atom_string _ | Lexer.Atom_sym _ ->
+    let d = parse_datum st (tok, pos) in
+    parse_vector st open_pos (d :: acc)
+
+let parse_all ?filename src =
+  let st = { lx = Lexer.create ?filename src; lookahead = None } in
+  let rec loop acc =
+    let tok, pos = next st in
+    match (tok : Lexer.token) with
+    | Lexer.Eof -> List.rev acc
+    | _ ->
+      push_back st (tok, pos);
+      let tp = next st in
+      loop (parse_datum st tp :: acc)
+  in
+  loop []
+
+let parse_one ?filename src =
+  let st = { lx = Lexer.create ?filename src; lookahead = None } in
+  let d = parse_datum st (next st) in
+  (match next st with
+   | Lexer.Eof, _ -> ()
+   | _, pos -> fail pos "trailing data after datum");
+  d

@@ -1,0 +1,20 @@
+(** Reader: turn source text into {!Datum.t} values.
+
+    Quotation shorthands are expanded during parsing: ['x] reads as
+    [(quote x)], [`x] as [(quasiquote x)], [,x] as [(unquote x)] and
+    [,@x] as [(unquote-splicing x)]. *)
+
+exception Error of string * Lexer.position
+(** Raised on syntax errors (unbalanced parentheses, misplaced dots,
+    lexical errors). *)
+
+val parse_all : ?filename:string -> string -> Datum.t list
+(** [parse_all src] reads every datum in [src], in order.
+
+    @raise Error on malformed input. *)
+
+val parse_one : ?filename:string -> string -> Datum.t
+(** [parse_one src] reads exactly one datum; trailing atmosphere is
+    permitted but a second datum is an error.
+
+    @raise Error on malformed input or when [src] holds no datum. *)

@@ -1,0 +1,1 @@
+lib/vscheme/ast.ml: Format Hashtbl List Sexp

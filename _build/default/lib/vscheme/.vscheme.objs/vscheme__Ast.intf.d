@@ -1,0 +1,1 @@
+lib/vscheme/ast.mli: Format Hashtbl Sexp

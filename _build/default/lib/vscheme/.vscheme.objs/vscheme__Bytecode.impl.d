@@ -1,0 +1,1 @@
+lib/vscheme/bytecode.ml: Array Format Value

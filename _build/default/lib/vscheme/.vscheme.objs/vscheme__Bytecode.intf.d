@@ -1,0 +1,1 @@
+lib/vscheme/bytecode.mli: Format Value

@@ -1,0 +1,1 @@
+lib/vscheme/compiler.ml: Array Ast Bytecode Format Hashtbl List Primitives Sexp String Value

@@ -1,0 +1,1 @@
+lib/vscheme/compiler.mli: Ast Bytecode Sexp Value

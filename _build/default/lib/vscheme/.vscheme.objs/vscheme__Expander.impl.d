@@ -1,0 +1,1 @@
+lib/vscheme/expander.ml: Array Ast Format List Sexp

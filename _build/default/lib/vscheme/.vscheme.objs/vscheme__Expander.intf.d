@@ -1,0 +1,1 @@
+lib/vscheme/expander.mli: Ast Sexp

@@ -1,0 +1,1 @@
+lib/vscheme/gc_cheney.ml: Gc_copy Heap List

@@ -1,0 +1,1 @@
+lib/vscheme/gc_generational.ml: Gc_copy Heap List Mem Printf Value

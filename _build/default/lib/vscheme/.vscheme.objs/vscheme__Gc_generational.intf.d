@@ -1,0 +1,1 @@
+lib/vscheme/gc_generational.mli: Heap

@@ -1,0 +1,1 @@
+lib/vscheme/gc_marksweep.ml: Array Bytes Hashtbl Heap List Mem Printf Value

@@ -1,0 +1,1 @@
+lib/vscheme/gc_marksweep.mli: Heap

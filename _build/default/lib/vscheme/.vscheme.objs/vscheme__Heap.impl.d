@@ -1,0 +1,1 @@
+lib/vscheme/heap.ml: Char Format Hashtbl Int64 Mem Memsim Printf String Value

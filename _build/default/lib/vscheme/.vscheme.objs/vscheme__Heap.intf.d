@@ -1,0 +1,1 @@
+lib/vscheme/heap.mli: Format Mem Value

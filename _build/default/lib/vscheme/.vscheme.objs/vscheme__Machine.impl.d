@@ -1,0 +1,1 @@
+lib/vscheme/machine.ml: Array Buffer Bytecode Compiler Expander Gc_cheney Gc_generational Gc_marksweep Hashtbl Heap List Mem Memsim Prelude Primitives Printer Printf Sexp Value Vm

@@ -1,0 +1,1 @@
+lib/vscheme/machine.mli: Heap Memsim Sexp Value Vm

@@ -1,0 +1,1 @@
+lib/vscheme/mem.ml: Array Memsim

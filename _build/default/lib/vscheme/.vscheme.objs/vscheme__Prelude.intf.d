@@ -1,0 +1,1 @@
+lib/vscheme/prelude.mli:

@@ -1,0 +1,1 @@
+lib/vscheme/primitives.ml: Array Buffer Char Float Format Hashtbl Heap List Mem Printer Printf String Value

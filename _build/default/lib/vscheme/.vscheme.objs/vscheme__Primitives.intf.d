@@ -1,0 +1,1 @@
+lib/vscheme/primitives.mli: Buffer Heap Value

@@ -1,0 +1,1 @@
+lib/vscheme/printer.ml: Buffer Format Heap String Value

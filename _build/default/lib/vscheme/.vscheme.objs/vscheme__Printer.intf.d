@@ -1,0 +1,1 @@
+lib/vscheme/printer.mli: Buffer Heap Value

@@ -1,0 +1,1 @@
+lib/vscheme/value.mli: Format

@@ -1,0 +1,1 @@
+lib/vscheme/vm.ml: Array Bytecode Hashtbl Heap Mem Primitives Printer Value

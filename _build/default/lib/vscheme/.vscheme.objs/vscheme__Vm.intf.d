@@ -1,0 +1,1 @@
+lib/vscheme/vm.mli: Bytecode Heap Primitives Value

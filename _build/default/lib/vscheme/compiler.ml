@@ -1,0 +1,317 @@
+exception Compile_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+
+type linkage = {
+  intern_constant : Sexp.Datum.t -> Value.t;
+  global_index : string -> int;
+  register_code :
+    name:string ->
+    arity:int ->
+    has_rest:bool ->
+    captures:Bytecode.capture array ->
+    instrs:Bytecode.instr array ->
+    consts:Value.t array ->
+    int;
+}
+
+(* --- Emitter: growable instruction buffer with a constant pool ------ *)
+
+type emitter = {
+  mutable arr : Bytecode.instr array;
+  mutable len : int;
+  mutable consts : Value.t list;  (* reversed *)
+  mutable nconsts : int;
+  const_index : (Value.t, int) Hashtbl.t;
+}
+
+let new_emitter () =
+  { arr = Array.make 32 Bytecode.Return;
+    len = 0;
+    consts = [];
+    nconsts = 0;
+    const_index = Hashtbl.create 8
+  }
+
+let emit em i =
+  if em.len = Array.length em.arr then begin
+    let bigger = Array.make (2 * em.len) Bytecode.Return in
+    Array.blit em.arr 0 bigger 0 em.len;
+    em.arr <- bigger
+  end;
+  em.arr.(em.len) <- i;
+  em.len <- em.len + 1
+
+let here em = em.len
+
+let patch em at target =
+  match em.arr.(at) with
+  | Bytecode.Jump _ -> em.arr.(at) <- Bytecode.Jump target
+  | Bytecode.Jump_if_false _ -> em.arr.(at) <- Bytecode.Jump_if_false target
+  | _ -> assert false
+
+let const_slot em v =
+  match Hashtbl.find_opt em.const_index v with
+  | Some k -> k
+  | None ->
+    let k = em.nconsts in
+    em.consts <- v :: em.consts;
+    em.nconsts <- k + 1;
+    Hashtbl.replace em.const_index v k;
+    k
+
+let finish em = (Array.sub em.arr 0 em.len, Array.of_list (List.rev em.consts))
+
+(* --- Compile-time environment --------------------------------------- *)
+
+(* [frame] maps names to (stack slot, boxed) in the current frame,
+   innermost binding first; [free] maps names captured from the
+   enclosing context to (closure slot, boxed). *)
+type ctx = {
+  lk : linkage;
+  assigned : (string, unit) Hashtbl.t;
+  frame : (string * (int * bool)) list;
+  free : (string * (int * bool)) list;
+}
+
+type resolution =
+  | In_frame of int * bool
+  | In_free of int * bool
+  | In_global
+
+let resolve ctx name =
+  match List.assoc_opt name ctx.frame with
+  | Some (slot, boxed) -> In_frame (slot, boxed)
+  | None -> (
+    match List.assoc_opt name ctx.free with
+    | Some (idx, boxed) -> In_free (idx, boxed)
+    | None -> In_global)
+
+let is_boxed ctx name = Hashtbl.mem ctx.assigned name
+
+(* Free variables of a lambda body, in first-use order, restricted to
+   names visible in the enclosing lexical context. *)
+let ordered_captured_vars ctx params body =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let note bound x =
+    if (not (List.mem x bound)) && not (Hashtbl.mem seen x) then begin
+      Hashtbl.replace seen x ();
+      match resolve ctx x with
+      | In_frame _ | In_free _ -> order := x :: !order
+      | In_global -> ()
+    end
+  in
+  let rec go bound e =
+    match (e : Ast.expr) with
+    | Ast.Quote _ | Ast.Undefined -> ()
+    | Ast.Var x -> note bound x
+    | Ast.If (c, t, f) ->
+      go bound c;
+      go bound t;
+      go bound f
+    | Ast.Set (x, e) ->
+      note bound x;
+      go bound e
+    | Ast.Lambda { params; rest; body; name = _ } ->
+      let bound' =
+        params @ (match rest with
+                  | None -> []
+                  | Some r -> [ r ]) @ bound
+      in
+      go bound' body
+    | Ast.Call (f, args) ->
+      go bound f;
+      List.iter (go bound) args
+    | Ast.Seq es -> List.iter (go bound) es
+    | Ast.Let (bindings, body) ->
+      List.iter (fun (_, init) -> go bound init) bindings;
+      go (List.map fst bindings @ bound) body
+  in
+  go params body;
+  List.rev !order
+
+(* --- Compilation ----------------------------------------------------- *)
+
+let rec comp ctx em depth ~tail expr =
+  match (expr : Ast.expr) with
+  | Ast.Quote d ->
+    let v = ctx.lk.intern_constant d in
+    if Value.is_pointer v then emit em (Bytecode.Const (const_slot em v))
+    else emit em (Bytecode.Imm v);
+    if tail then emit em Bytecode.Return
+  | Ast.Undefined ->
+    emit em (Bytecode.Imm Value.undefined);
+    if tail then emit em Bytecode.Return
+  | Ast.Var x ->
+    (match resolve ctx x with
+     | In_frame (slot, boxed) ->
+       emit em (Bytecode.Local slot);
+       if boxed then emit em Bytecode.Cell_ref
+     | In_free (idx, boxed) ->
+       emit em (Bytecode.Free idx);
+       if boxed then emit em Bytecode.Cell_ref
+     | In_global -> emit em (Bytecode.Global (ctx.lk.global_index x)));
+    if tail then emit em Bytecode.Return
+  | Ast.If (c, t, f) ->
+    comp ctx em depth ~tail:false c;
+    let jf = here em in
+    emit em (Bytecode.Jump_if_false 0);
+    comp ctx em depth ~tail t;
+    if tail then begin
+      patch em jf (here em);
+      comp ctx em depth ~tail f
+    end
+    else begin
+      let j = here em in
+      emit em (Bytecode.Jump 0);
+      patch em jf (here em);
+      comp ctx em depth ~tail f;
+      patch em j (here em)
+    end
+  | Ast.Set (x, e) ->
+    comp ctx em depth ~tail:false e;
+    (match resolve ctx x with
+     | In_frame (slot, boxed) ->
+       if not boxed then fail "internal: set! of unboxed local %s" x;
+       emit em (Bytecode.Local slot);
+       emit em Bytecode.Cell_set
+     | In_free (idx, boxed) ->
+       if not boxed then fail "internal: set! of unboxed free %s" x;
+       emit em (Bytecode.Free idx);
+       emit em Bytecode.Cell_set
+     | In_global -> emit em (Bytecode.Set_global (ctx.lk.global_index x)));
+    if tail then emit em Bytecode.Return
+  | Ast.Lambda lam ->
+    let code_id = comp_lambda ctx lam in
+    emit em (Bytecode.Make_closure code_id);
+    if tail then emit em Bytecode.Return
+  | Ast.Seq es ->
+    let rec loop = function
+      | [] -> fail "internal: empty begin"
+      | [ last ] -> comp ctx em depth ~tail last
+      | e :: rest ->
+        comp ctx em depth ~tail:false e;
+        emit em Bytecode.Pop;
+        loop rest
+    in
+    loop es
+  | Ast.Let (bindings, body) ->
+    let n = List.length bindings in
+    let frame', _ =
+      List.fold_left
+        (fun (frame', d) (x, init) ->
+          comp ctx em d ~tail:false init;
+          let boxed = is_boxed ctx x in
+          if boxed then emit em Bytecode.Make_cell;
+          ((x, (d, boxed)) :: frame', d + 1))
+        (ctx.frame, depth) bindings
+    in
+    let ctx' = { ctx with frame = frame' } in
+    comp ctx' em (depth + n) ~tail body;
+    if not tail then emit em (Bytecode.Slide n)
+  | Ast.Call (Ast.Var f, args)
+    when resolve ctx f = In_global && Primitives.find f <> None -> (
+    match Primitives.find f with
+    | None -> assert false
+    | Some pid ->
+      let spec = Primitives.spec pid in
+      let n = List.length args in
+      if n < spec.Primitives.arity
+         || ((not spec.Primitives.variadic) && n > spec.Primitives.arity)
+      then
+        fail "%s: expected %s%d arguments, got %d" f
+          (if spec.Primitives.variadic then "at least " else "")
+          spec.Primitives.arity n;
+      List.iteri (fun i a -> comp ctx em (depth + i) ~tail:false a) args;
+      emit em (Bytecode.Prim (pid, n));
+      if tail then emit em Bytecode.Return)
+  | Ast.Call (Ast.Var "apply", f :: args)
+    when resolve ctx "apply" = In_global && args <> [] ->
+    (* Direct apply: spread the final list argument at call time. *)
+    comp ctx em depth ~tail:false f;
+    List.iteri (fun i a -> comp ctx em (depth + 1 + i) ~tail:false a) args;
+    let n = List.length args in
+    emit em (if tail then Bytecode.Tail_apply n else Bytecode.Apply n)
+  | Ast.Call (f, args) ->
+    comp ctx em depth ~tail:false f;
+    List.iteri (fun i a -> comp ctx em (depth + 1 + i) ~tail:false a) args;
+    let n = List.length args in
+    emit em (if tail then Bytecode.Tail_call n else Bytecode.Call n)
+
+and comp_lambda ctx { Ast.name; params; rest; body } =
+  let all_params =
+    params @ (match rest with
+              | None -> []
+              | Some r -> [ r ])
+  in
+  (match
+     List.find_opt
+       (fun p -> List.length (List.filter (String.equal p) all_params) > 1)
+       all_params
+   with
+   | Some p -> fail "%s: duplicate parameter %s" name p
+   | None -> ());
+  let captured = ordered_captured_vars ctx all_params body in
+  let captures =
+    Array.of_list
+      (List.map
+         (fun x ->
+           match resolve ctx x with
+           | In_frame (slot, _) -> Bytecode.Cap_local slot
+           | In_free (idx, _) -> Bytecode.Cap_free idx
+           | In_global -> assert false)
+         captured)
+  in
+  let free =
+    List.mapi
+      (fun i x ->
+        let boxed =
+          match resolve ctx x with
+          | In_frame (_, boxed) | In_free (_, boxed) -> boxed
+          | In_global -> assert false
+        in
+        (x, (i, boxed)))
+      captured
+  in
+  let nparams = List.length all_params in
+  let frame = List.mapi (fun i x -> (x, (i, is_boxed ctx x))) all_params in
+  let ctx' = { ctx with frame; free } in
+  let em = new_emitter () in
+  (* Assignment conversion: box mutable parameters on entry. *)
+  List.iter
+    (fun (x, (slot, boxed)) ->
+      ignore x;
+      if boxed then begin
+        emit em (Bytecode.Local slot);
+        emit em Bytecode.Make_cell;
+        emit em (Bytecode.Set_local slot)
+      end)
+    frame;
+  comp ctx' em (nparams + 2) ~tail:true body;
+  let instrs, consts = finish em in
+  ctx.lk.register_code ~name ~arity:(List.length params)
+    ~has_rest:(rest <> None) ~captures ~instrs ~consts
+
+let compile_toplevel lk form =
+  let expr, store =
+    match (form : Ast.toplevel) with
+    | Ast.Define (x, e) -> (e, Some x)
+    | Ast.Expr e -> (e, None)
+  in
+  let ctx = { lk; assigned = Ast.assigned_vars expr; frame = []; free = [] } in
+  let em = new_emitter () in
+  (match store with
+   | Some x ->
+     comp ctx em 2 ~tail:false expr;
+     emit em (Bytecode.Set_global (lk.global_index x));
+     emit em Bytecode.Return
+   | None -> comp ctx em 2 ~tail:true expr);
+  let instrs, consts = finish em in
+  let name =
+    match store with
+    | Some x -> "define " ^ x
+    | None -> "toplevel"
+  in
+  lk.register_code ~name ~arity:0 ~has_rest:false ~captures:[||] ~instrs
+    ~consts

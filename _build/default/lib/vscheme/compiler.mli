@@ -1,0 +1,39 @@
+(** Bytecode compiler.
+
+    Compilation is orbit-flavoured: lexical addressing with flat
+    closures, assignment conversion (every [set!]-able variable lives
+    in a one-slot cell, so closures may copy bindings freely), and
+    primitive integration (a call to a primitive name that is not
+    lexically shadowed compiles to a direct {!Bytecode.Prim}
+    instruction rather than a full procedure call).
+
+    The compiler is independent of any particular machine instance: it
+    reaches the world through a {!linkage} record, so it can be tested
+    against a mock linkage. *)
+
+exception Compile_error of string
+
+type linkage = {
+  intern_constant : Sexp.Datum.t -> Value.t;
+      (** build a quoted literal in the static area and return it *)
+  global_index : string -> int;
+      (** global cell index for a name, allocating on first use *)
+  register_code :
+    name:string ->
+    arity:int ->
+    has_rest:bool ->
+    captures:Bytecode.capture array ->
+    instrs:Bytecode.instr array ->
+    consts:Value.t array ->
+    int;
+      (** install a code object (laying out its constant pool in the
+          static area) and return its code id *)
+}
+
+val compile_toplevel : linkage -> Ast.toplevel -> int
+(** Compile one top-level form to a zero-argument code object (a
+    "toplevel thunk") and return its code id.  For [Define] the thunk
+    evaluates the right-hand side and stores it in the global cell.
+
+    @raise Compile_error on arity-mismatched primitive calls and
+    other statically detectable errors. *)

@@ -1,0 +1,122 @@
+type state = {
+  heap : Heap.t;
+  mutable free : int;
+  limit : int;
+  in_from : int -> bool;
+  mutable words_copied : int;
+  mutable objects_copied : int;
+}
+
+(* Instruction charges, roughly the MIPS cost of the corresponding
+   collector operations. *)
+let cost_per_copied_word = 2
+let cost_per_object = 4
+let cost_per_scanned_word = 2
+let cost_per_root = 2
+
+let make ?(limit = max_int) heap ~free ~in_from =
+  { heap; free; limit; in_from; words_copied = 0; objects_copied = 0 }
+
+let free_ptr st = st.free
+let words_copied st = st.words_copied
+let objects_copied st = st.objects_copied
+
+let forward_header = Value.header Value.Forward ~len:1
+
+(* Evacuate the object at [addr], or chase its forwarding pointer. *)
+let copy_object st addr =
+  let heap = st.heap in
+  let header = Heap.gc_read heap addr in
+  if Value.header_tag header = Value.Forward then Heap.gc_read heap (addr + 1)
+  else begin
+    let words = Value.object_words header in
+    let dst = st.free in
+    if dst + words > st.limit then
+      raise (Heap.Out_of_memory "to-space exhausted during collection");
+    st.free <- dst + words;
+    Heap.charge_collector heap (cost_per_object + (cost_per_copied_word * words));
+    Heap.gc_write heap dst header;
+    for i = 1 to words - 1 do
+      Heap.gc_write heap (dst + i) (Heap.gc_read heap (addr + i))
+    done;
+    st.words_copied <- st.words_copied + words;
+    st.objects_copied <- st.objects_copied + 1;
+    let v = Value.pointer dst in
+    Heap.gc_write heap addr forward_header;
+    Heap.gc_write heap (addr + 1) v;
+    v
+  end
+
+let forward st v =
+  if Value.is_pointer v && st.in_from (Value.pointer_val v) then
+    copy_object st (Value.pointer_val v)
+  else v
+
+let forward_range st lo hi =
+  let heap = st.heap in
+  for a = lo to hi - 1 do
+    Heap.charge_collector heap cost_per_root;
+    let v = Heap.gc_read heap a in
+    let v' = forward st v in
+    if v' <> v then Heap.gc_write heap a v'
+  done
+
+let forward_registers st regs live =
+  for i = 0 to live - 1 do
+    Heap.charge_collector st.heap 1;
+    regs.(i) <- forward st regs.(i)
+  done
+
+let forward_all_roots st =
+  List.iter
+    (fun roots ->
+      match (roots : Heap.roots) with
+      | Heap.Range range ->
+        let lo, hi = range () in
+        forward_range st lo hi
+      | Heap.Registers (regs, live) -> forward_registers st regs (live ()))
+    (Heap.root_sets st.heap)
+
+(* Does an object of this tag hold value words in its payload? *)
+let payload_is_values tag =
+  match (tag : Value.tag) with
+  | Value.Pair | Value.Vector | Value.Closure | Value.Cell | Value.Table ->
+    true
+  | Value.String | Value.Symbol | Value.Flonum -> false
+  | Value.Forward | Value.Free -> assert false
+
+let scan st start =
+  let heap = st.heap in
+  let s = ref start in
+  while !s < st.free do
+    let header = Heap.gc_read heap !s in
+    Heap.charge_collector heap cost_per_object;
+    let tag = Value.header_tag header in
+    let len = Value.header_len header in
+    if payload_is_values tag then
+      for i = 1 to len do
+        Heap.charge_collector heap cost_per_scanned_word;
+        let v = Heap.gc_read heap (!s + i) in
+        let v' = forward st v in
+        if v' <> v then Heap.gc_write heap (!s + i) v'
+      done;
+    s := !s + Value.object_words header
+  done
+
+let scan_objects st ~lo ~hi =
+  let heap = st.heap in
+  let s = ref lo in
+  while !s < hi do
+    let header = Heap.gc_read heap !s in
+    Heap.charge_collector heap cost_per_object;
+    let tag = Value.header_tag header in
+    let len = Value.header_len header in
+    if payload_is_values tag then
+      for i = 1 to len do
+        Heap.charge_collector heap cost_per_scanned_word;
+        let v = Heap.gc_read heap (!s + i) in
+        let v' = forward st v in
+        if v' <> v then Heap.gc_write heap (!s + i) v'
+      done;
+    s := !s + Value.object_words header
+  done

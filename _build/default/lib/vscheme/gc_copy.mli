@@ -1,0 +1,46 @@
+(** Shared copying-collection machinery.
+
+    Both the Cheney semispace collector and the generational copying
+    collector move objects with the classic two-finger algorithm:
+    forward the roots, then scan to-space until the scan pointer
+    catches the free pointer.  This module provides that engine,
+    parameterized by a from-space predicate so that a minor
+    (nursery-only) and a major (nursery plus old space) collection can
+    use the same code.
+
+    Every word the engine touches goes through {!Heap.gc_read} /
+    {!Heap.gc_write}, so the collector's own cache behaviour is fully
+    simulated, and all work is charged to {!Heap.collector_insns}. *)
+
+type state
+
+val make : ?limit:int -> Heap.t -> free:int -> in_from:(int -> bool) -> state
+(** [make heap ~free ~in_from] prepares a copy into to-space starting
+    at word address [free].  [in_from addr] decides whether an object
+    at [addr] should be evacuated.  When [limit] is given, evacuating
+    past it raises {!Heap.Out_of_memory} (to-space exhausted). *)
+
+val free_ptr : state -> int
+(** Current to-space allocation frontier. *)
+
+val words_copied : state -> int
+val objects_copied : state -> int
+
+val forward : state -> Value.t -> Value.t
+(** Evacuate the object behind a value if it lives in from-space,
+    returning the (possibly unchanged) value.  Idempotent via
+    forwarding pointers. *)
+
+val forward_all_roots : state -> unit
+(** Forward every root set registered on the heap: memory ranges with
+    traced accesses, register files without. *)
+
+val scan : state -> int -> unit
+(** [scan st start] scans to-space from [start] until the free pointer
+    stops moving, forwarding every value field. *)
+
+val scan_objects : state -> lo:int -> hi:int -> unit
+(** Walk the objects laid out in [lo, hi), forwarding every value
+    field.  Unlike {!scan}, the end of the region is fixed: objects
+    the walk evacuates are appended at the free pointer and must be
+    scanned separately. *)

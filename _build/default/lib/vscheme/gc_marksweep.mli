@@ -1,0 +1,49 @@
+(** Non-compacting mark-sweep generational collector, in the style of
+    the Zorn collectors discussed in §2 of the paper.
+
+    New objects are allocated linearly in a nursery; a {e minor}
+    collection promotes live nursery objects into the old generation,
+    where storage is managed with segregated free lists — objects move
+    {e only} when advanced from one generation to the next, never
+    afterwards.  When the free lists cannot absorb a worst-case
+    promotion, a {e major} collection marks the live heap and sweeps
+    the old generation back onto the free lists, rebuilding the store
+    buffer from the live old-to-nursery pointers it finds.
+
+    Because promoted objects keep their addresses for life, the old
+    generation's reference locality is whatever the free lists produce
+    — the contrast with the compacting collectors that experiment A1
+    measures. *)
+
+type config = {
+  nursery_words : int;
+  old_words : int;
+  ssb_entries : int;
+}
+
+val config :
+  ?ssb_entries:int -> nursery_words:int -> old_words:int -> unit -> config
+
+type stats = {
+  minor_collections : int;
+  major_collections : int;
+  words_promoted : int;
+  words_swept : int;       (** free words recovered by majors *)
+  barrier_hits : int;
+}
+
+val install : Heap.t -> config -> unit
+(** Lay out the nursery and the free-list old generation, install the
+    write barrier and the collection entry point.
+
+    @raise Invalid_argument if the dynamic area is too small. *)
+
+val required_dynamic_words : config -> int
+(** [nursery_words + old_words] — no second semispace, the space
+    advantage Zorn claimed for mark-sweep. *)
+
+val free_words : Heap.t -> int
+(** Words currently on the old generation's free lists. *)
+
+val stats : Heap.t -> stats
+(** @raise Not_found if no mark-sweep collector is installed. *)

@@ -1,0 +1,44 @@
+type t = {
+  words : int array;
+  sink : Memsim.Trace.sink;
+  mutable phase : Memsim.Trace.phase;
+  mutable traced : bool;
+}
+
+let create ~sink ~words =
+  if words <= 0 then invalid_arg "Mem.create";
+  { words = Array.make words 0; sink; phase = Memsim.Trace.Mutator; traced = true }
+
+let size_words t = Array.length t.words
+
+let phase t = t.phase
+let set_phase t p = t.phase <- p
+
+let read t a =
+  if t.traced then
+    t.sink.Memsim.Trace.access (a lsl 2) Memsim.Trace.Read t.phase;
+  t.words.(a)
+
+let write t a v =
+  if t.traced then
+    t.sink.Memsim.Trace.access (a lsl 2) Memsim.Trace.Write t.phase;
+  t.words.(a) <- v
+
+let write_alloc t a v =
+  if t.traced then
+    t.sink.Memsim.Trace.access (a lsl 2) Memsim.Trace.Alloc_write t.phase;
+  t.words.(a) <- v
+
+let peek t a = t.words.(a)
+let poke t a v = t.words.(a) <- v
+
+let with_untraced t f =
+  let saved = t.traced in
+  t.traced <- false;
+  match f () with
+  | result ->
+    t.traced <- saved;
+    result
+  | exception e ->
+    t.traced <- saved;
+    raise e

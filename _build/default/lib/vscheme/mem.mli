@@ -1,0 +1,42 @@
+(** Simulated flat memory.
+
+    One word-addressed array of simulated 4-byte words backs the whole
+    vscheme address space.  Every traced access is reported to the
+    configured {!Memsim.Trace.sink} with the current execution phase;
+    the machine flips the phase to [Collector] around collections.
+
+    Addresses used throughout the runtime are {e word} addresses; the
+    sink receives byte addresses ([word_addr * 4]) so that cache block
+    arithmetic matches the paper's. *)
+
+type t
+
+val create : sink:Memsim.Trace.sink -> words:int -> t
+(** [create ~sink ~words] is a zeroed memory of [words] simulated
+    words. *)
+
+val size_words : t -> int
+
+val phase : t -> Memsim.Trace.phase
+val set_phase : t -> Memsim.Trace.phase -> unit
+
+val read : t -> int -> int
+(** Traced load of one word. *)
+
+val write : t -> int -> int -> unit
+(** Traced store of one word (mutation or stack/static traffic). *)
+
+val write_alloc : t -> int -> int -> unit
+(** Traced initializing store into a freshly allocated dynamic word;
+    reported as {!Memsim.Trace.Alloc_write}. *)
+
+val peek : t -> int -> int
+(** Untraced load, for assertions, printers and tests. *)
+
+val poke : t -> int -> int -> unit
+(** Untraced store, for test setup only. *)
+
+val with_untraced : t -> (unit -> 'a) -> 'a
+(** Run a computation with tracing suspended: accesses made inside it
+    touch memory but emit no events.  Used for diagnostic printing so
+    that debugging output does not perturb the experiment. *)

@@ -1,0 +1,177 @@
+let source =
+  {prelude|
+;;; vscheme prelude: the Scheme-level standard library.
+
+(define (caar p) (car (car p)))
+(define (cadr p) (car (cdr p)))
+(define (cdar p) (cdr (car p)))
+(define (cddr p) (cdr (cdr p)))
+(define (caaar p) (car (caar p)))
+(define (caadr p) (car (cadr p)))
+(define (cadar p) (car (cdar p)))
+(define (caddr p) (car (cddr p)))
+(define (cdddr p) (cdr (cddr p)))
+(define (cadddr p) (car (cdddr p)))
+
+(define (length lst)
+  (let loop ((l lst) (n 0))
+    (if (null? l) n (loop (cdr l) (+ n 1)))))
+
+(define (list-ref lst n)
+  (if (zero? n) (car lst) (list-ref (cdr lst) (- n 1))))
+
+(define (list-tail lst n)
+  (if (zero? n) lst (list-tail (cdr lst) (- n 1))))
+
+(define (last-pair lst)
+  (if (null? (cdr lst)) lst (last-pair (cdr lst))))
+
+(define (append2 a b)
+  (if (null? a) b (cons (car a) (append2 (cdr a) b))))
+
+(define (append . ls)
+  (define (app ls)
+    (cond ((null? ls) '())
+          ((null? (cdr ls)) (car ls))
+          (else (append2 (car ls) (app (cdr ls))))))
+  (app ls))
+
+(define (reverse lst)
+  (let loop ((l lst) (acc '()))
+    (if (null? l) acc (loop (cdr l) (cons (car l) acc)))))
+
+(define (list-copy lst) (append2 lst '()))
+
+(define (map1 f l)
+  (if (null? l) '() (cons (f (car l)) (map1 f (cdr l)))))
+
+(define (map2 f a b)
+  (if (or (null? a) (null? b))
+      '()
+      (cons (f (car a) (car b)) (map2 f (cdr a) (cdr b)))))
+
+(define (map f l . more)
+  (if (null? more) (map1 f l) (map2 f l (car more))))
+
+(define (for-each1 f l)
+  (if (null? l)
+      #f
+      (begin (f (car l)) (for-each1 f (cdr l)))))
+
+(define (for-each2 f a b)
+  (if (or (null? a) (null? b))
+      #f
+      (begin (f (car a) (car b)) (for-each2 f (cdr a) (cdr b)))))
+
+(define (for-each f l . more)
+  (if (null? more) (for-each1 f l) (for-each2 f l (car more))))
+
+(define (filter keep? l)
+  (cond ((null? l) '())
+        ((keep? (car l)) (cons (car l) (filter keep? (cdr l))))
+        (else (filter keep? (cdr l)))))
+
+(define (remq x l)
+  (cond ((null? l) '())
+        ((eq? x (car l)) (remq x (cdr l)))
+        (else (cons (car l) (remq x (cdr l))))))
+
+(define (fold-left f init l)
+  (if (null? l) init (fold-left f (f init (car l)) (cdr l))))
+
+(define (fold-right f init l)
+  (if (null? l) init (f (car l) (fold-right f init (cdr l)))))
+
+(define (member x l)
+  (cond ((null? l) #f)
+        ((equal? x (car l)) l)
+        (else (member x (cdr l)))))
+
+(define (assoc k l)
+  (cond ((null? l) #f)
+        ((equal? k (caar l)) (car l))
+        (else (assoc k (cdr l)))))
+
+(define (string->list s)
+  (let loop ((i (- (string-length s) 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons (string-ref s i) acc)))))
+
+(define (vector-map f v)
+  (let ((n (vector-length v)))
+    (let ((out (make-vector n 0)))
+      (let loop ((i 0))
+        (if (< i n)
+            (begin
+              (vector-set! out i (f (vector-ref v i)))
+              (loop (+ i 1)))
+            out)))))
+
+(define (vector-for-each f v)
+  (let ((n (vector-length v)))
+    (let loop ((i 0))
+      (if (< i n)
+          (begin (f (vector-ref v i)) (loop (+ i 1)))
+          #f))))
+
+(define (vector-copy v)
+  (let ((n (vector-length v)))
+    (let ((out (make-vector n 0)))
+      (let loop ((i 0))
+        (if (< i n)
+            (begin (vector-set! out i (vector-ref v i)) (loop (+ i 1)))
+            out)))))
+
+(define (iota n)
+  (let loop ((i (- n 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons i acc)))))
+
+(define (list-index pred l)
+  (let loop ((l l) (i 0))
+    (cond ((null? l) #f)
+          ((pred (car l)) i)
+          (else (loop (cdr l) (+ i 1))))))
+
+(define (any pred l)
+  (cond ((null? l) #f)
+        ((pred (car l)) #t)
+        (else (any pred (cdr l)))))
+
+(define (every pred l)
+  (cond ((null? l) #t)
+        ((pred (car l)) (every pred (cdr l)))
+        (else #f)))
+
+(define (delete-duplicates l)
+  (cond ((null? l) '())
+        ((memq (car l) (cdr l)) (delete-duplicates (cdr l)))
+        (else (cons (car l) (delete-duplicates (cdr l))))))
+
+(define (apply f . spec)
+  ;; First-class apply.  Direct calls to apply compile to a dedicated
+  ;; spreading instruction; this definition normalizes the general
+  ;; case (apply f a b lst) onto that fast path.
+  (define (flatten spec)
+    (if (null? (cdr spec))
+        (car spec)
+        (cons (car spec) (flatten (cdr spec)))))
+  (apply f (flatten spec)))
+
+(define (sort lst less?)
+  ;; Merge sort: stable and O(n log n), the workhorse of the
+  ;; compiler workloads.
+  (define (merge a b)
+    (cond ((null? a) b)
+          ((null? b) a)
+          ((less? (car b) (car a)) (cons (car b) (merge a (cdr b))))
+          (else (cons (car a) (merge (cdr a) b)))))
+  (define (split l)
+    (if (or (null? l) (null? (cdr l)))
+        (cons l '())
+        (let ((rest (split (cddr l))))
+          (cons (cons (car l) (car rest))
+                (cons (cadr l) (cdr rest))))))
+  (if (or (null? lst) (null? (cdr lst)))
+      lst
+      (let ((halves (split lst)))
+        (merge (sort (car halves) less?) (sort (cdr halves) less?)))))
+|prelude}

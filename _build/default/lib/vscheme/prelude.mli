@@ -1,0 +1,11 @@
+(** The Scheme prelude.
+
+    Library procedures whose allocation behaviour matters to the
+    paper's analysis — [append], [reverse], [map], [filter], the
+    folds — are written {e in Scheme} and loaded into every machine,
+    so their memory traffic is ordinary program traffic rather than
+    opaque primitive work, exactly as in the T system's
+    Scheme-implemented standard library. *)
+
+val source : string
+(** The prelude program text. *)

@@ -1,0 +1,745 @@
+type ctx = {
+  heap : Heap.t;
+  out : Buffer.t;
+  mutable rng : int;
+  mutable gensyms : int;
+  reg : Value.t array;
+}
+
+type spec = {
+  name : string;
+  arity : int;
+  variadic : bool;
+  cost : int;
+  fn : ctx -> base:int -> nargs:int -> Value.t;
+}
+
+(* --- Argument access ------------------------------------------------ *)
+
+let arg ctx base i = Mem.read (Heap.mem ctx.heap) (base + i)
+
+let charge ctx n = Heap.charge_mutator ctx.heap n
+
+let show ctx v = Printer.to_string ctx.heap ~quote:true v
+
+let int_arg ctx who base i =
+  let v = arg ctx base i in
+  if Value.is_fixnum v then Value.fixnum_val v
+  else Heap.error "%s: expected integer, got %s" who (show ctx v)
+
+let char_arg ctx who base i =
+  let v = arg ctx base i in
+  if Value.is_char v then Value.char_val v
+  else Heap.error "%s: expected character, got %s" who (show ctx v)
+
+(* --- Numbers -------------------------------------------------------- *)
+
+type num =
+  | Fix of int
+  | Flo of float
+
+let to_num ctx who v =
+  if Value.is_fixnum v then Fix (Value.fixnum_val v)
+  else if Heap.has_tag ctx.heap v Value.Flonum then begin
+    (* Unboxing a flonum costs real work on an early-1990s FPU. *)
+    charge ctx 3;
+    Flo (Heap.flonum_val ctx.heap v)
+  end
+  else Heap.error "%s: expected number, got %s" who (show ctx v)
+
+let flonum_words = Value.object_words (Value.header Value.Flonum ~len:2)
+
+let of_num ctx n =
+  match n with
+  | Fix i -> Value.fixnum i
+  | Flo f ->
+    charge ctx 6;
+    Heap.ensure ctx.heap flonum_words;
+    Heap.flonum ctx.heap f
+
+let num_arg ctx who base i = to_num ctx who (arg ctx base i)
+
+let as_float = function
+  | Fix i -> float_of_int i
+  | Flo f -> f
+
+let num_binop fix flo a b =
+  match a, b with
+  | Fix x, Fix y -> Fix (fix x y)
+  | (Fix _ | Flo _), (Fix _ | Flo _) -> Flo (flo (as_float a) (as_float b))
+
+let fold_arith who fix flo init ctx ~base ~nargs =
+  let rec loop acc i =
+    if i >= nargs then acc
+    else begin
+      charge ctx 4;
+      loop (num_binop fix flo acc (num_arg ctx who base i)) (i + 1)
+    end
+  in
+  of_num ctx (loop init 0)
+
+let compare_chain who cmp_int cmp_flo ctx ~base ~nargs =
+  let rec loop prev i =
+    if i >= nargs then Value.true_v
+    else begin
+      charge ctx 4;
+      let cur = num_arg ctx who base i in
+      let ok =
+        match prev, cur with
+        | Fix a, Fix b -> cmp_int a b
+        | (Fix _ | Flo _), (Fix _ | Flo _) ->
+          cmp_flo (as_float prev) (as_float cur)
+      in
+      if ok then loop cur (i + 1) else Value.false_v
+    end
+  in
+  if nargs < 2 then Heap.error "%s: expected at least two arguments" who;
+  loop (num_arg ctx who base 0) 1
+
+(* --- Deep equality -------------------------------------------------- *)
+
+let rec equal_values ctx a b =
+  charge ctx 6;
+  if a = b then true
+  else if Value.is_pointer a && Value.is_pointer b then begin
+    let heap = ctx.heap in
+    let ta = Value.header_tag (Heap.peek_header heap (Value.pointer_val a)) in
+    let tb = Value.header_tag (Heap.peek_header heap (Value.pointer_val b)) in
+    if ta <> tb then false
+    else
+      match ta with
+      | Value.Pair ->
+        equal_values ctx (Heap.car heap a) (Heap.car heap b)
+        && equal_values ctx (Heap.cdr heap a) (Heap.cdr heap b)
+      | Value.Vector ->
+        let n = Heap.vector_length heap a in
+        n = Heap.vector_length heap b
+        && (let rec all i =
+              i >= n
+              || (equal_values ctx (Heap.vector_ref heap a i)
+                    (Heap.vector_ref heap b i)
+                  && all (i + 1))
+            in
+            all 0)
+      | Value.String -> String.equal (Heap.string_val heap a) (Heap.string_val heap b)
+      | Value.Flonum -> Float.equal (Heap.flonum_val heap a) (Heap.flonum_val heap b)
+      | Value.Symbol | Value.Closure | Value.Table | Value.Cell
+      | Value.Forward | Value.Free ->
+        false
+  end
+  else false
+
+let eqv ctx a b =
+  a = b
+  || (Value.is_pointer a && Value.is_pointer b
+      && Heap.has_tag ctx.heap a Value.Flonum
+      && Heap.has_tag ctx.heap b Value.Flonum
+      && Float.equal (Heap.flonum_val ctx.heap a) (Heap.flonum_val ctx.heap b))
+
+(* --- Hash tables (eq-hashed on object address, as in T) ------------- *)
+
+let table_words = Value.object_words (Value.header Value.Table ~len:3)
+let vector_words n = Value.object_words (Value.header Value.Vector ~len:n)
+
+let hash_value v cap = (v * 0x9E3779B1 land max_int) mod cap
+
+let table_buckets ctx tbl = Heap.load_field ctx.heap (Value.pointer_val tbl) 0
+let table_count_of ctx tbl =
+  Value.fixnum_val (Heap.load_field ctx.heap (Value.pointer_val tbl) 1)
+
+let buckets_capacity ctx buckets = Heap.vector_length ctx.heap buckets / 2
+
+(* Insert into buckets known to have a free slot; no allocation. *)
+let buckets_insert ctx buckets key value =
+  let cap = buckets_capacity ctx buckets in
+  let rec probe i =
+    charge ctx 4;
+    let k = Heap.vector_ref ctx.heap buckets (2 * i) in
+    if k = Value.undefined then begin
+      Heap.vector_set ctx.heap buckets (2 * i) key;
+      Heap.vector_set ctx.heap buckets ((2 * i) + 1) value;
+      true
+    end
+    else if k = key then begin
+      Heap.vector_set ctx.heap buckets ((2 * i) + 1) value;
+      false
+    end
+    else probe ((i + 1) mod cap)
+  in
+  probe (hash_value key cap)
+
+(* Rebuild the bucket vector of the table in reg slot [r_tbl] with
+   capacity [new_cap].  Allocates exactly one vector; the caller must
+   have ensured space for it, so no collection can intervene. *)
+let table_rebuild ctx r_tbl new_cap =
+  let heap = ctx.heap in
+  let tbl = ctx.reg.(r_tbl) in
+  let old_buckets = table_buckets ctx tbl in
+  let old_cap = buckets_capacity ctx old_buckets in
+  let fresh = Heap.make_vector heap (2 * new_cap) Value.undefined in
+  for i = 0 to old_cap - 1 do
+    charge ctx 6;
+    let k = Heap.vector_ref heap old_buckets (2 * i) in
+    if k <> Value.undefined then
+      ignore
+        (buckets_insert ctx fresh k (Heap.vector_ref heap old_buckets ((2 * i) + 1)))
+  done;
+  Heap.store_field heap (Value.pointer_val tbl) 0 fresh;
+  Heap.store_field heap (Value.pointer_val tbl) 2
+    (Value.fixnum (Heap.collections heap))
+
+(* Validate the table's address-based hashing after any collection:
+   T rehashes every table on its first use after a GC (§6).  Returns
+   the (possibly re-read) table value; [stack_slot] locates the table
+   argument so it can be re-read if ensuring space moved it. *)
+let table_check_stamp ctx ~base ~slot =
+  let heap = ctx.heap in
+  let tbl = arg ctx base slot in
+  let _ = Heap.type_check heap tbl Value.Table "table operation" in
+  let stamp = Value.fixnum_val (Heap.load_field heap (Value.pointer_val tbl) 2) in
+  if stamp = Heap.collections heap then tbl
+  else begin
+    let cap = buckets_capacity ctx (table_buckets ctx tbl) in
+    Heap.ensure heap (vector_words (2 * cap));
+    (* The table may have moved; re-read it from the stack. *)
+    let tbl = arg ctx base slot in
+    ctx.reg.(2) <- tbl;
+    table_rebuild ctx 2 cap;
+    ctx.reg.(2) <- Value.unspecified;
+    tbl
+  end
+
+(* --- Spec table ----------------------------------------------------- *)
+
+let specs_rev : spec list ref = ref []
+
+let def name ~arity ?(variadic = false) ?(cost = 2) fn =
+  specs_rev := { name; arity; variadic; cost; fn } :: !specs_rev
+
+let pred name cost test = def name ~arity:1 ~cost (fun ctx ~base ~nargs:_ ->
+    Value.bool (test ctx (arg ctx base 0)))
+
+(* --- Shared helpers ---------------------------------------------------- *)
+
+let string_words n =
+  Value.object_words (Value.header Value.String ~len:(1 + ((n + 3) / 4)))
+
+let fold_num_extreme ctx who base nargs better =
+  let rec loop acc i =
+    if i >= nargs then acc
+    else begin
+      charge ctx 2;
+      let n = num_arg ctx who base i in
+      let acc =
+        if better (as_float acc) (as_float n) then acc else n
+      in
+      (* Contagion: any flonum argument makes the result a flonum. *)
+      let acc =
+        match acc, n with
+        | Fix a, Flo _ -> Flo (float_of_int a)
+        | (Fix _ | Flo _), (Fix _ | Flo _) -> acc
+      in
+      loop acc (i + 1)
+    end
+  in
+  loop (num_arg ctx who base 0) 1
+
+let list_length ctx who lst =
+  let rec loop n v =
+    if v = Value.nil then n
+    else begin
+      charge ctx 2;
+      if Heap.has_tag ctx.heap v Value.Pair then
+        loop (n + 1) (Heap.cdr ctx.heap v)
+      else Heap.error "%s: improper list" who
+    end
+  in
+  loop 0 lst
+
+let list_search ctx who base eq =
+  let key = arg ctx base 0 in
+  let rec loop v =
+    if v = Value.nil then Value.false_v
+    else begin
+      charge ctx 7;
+      if not (Heap.has_tag ctx.heap v Value.Pair) then
+        Heap.error "%s: improper list" who;
+      if eq ctx key (Heap.car ctx.heap v) then v else loop (Heap.cdr ctx.heap v)
+    end
+  in
+  loop (arg ctx base 1)
+
+let assoc_search ctx who base eq =
+  let key = arg ctx base 0 in
+  let rec loop v =
+    if v = Value.nil then Value.false_v
+    else begin
+      charge ctx 9;
+      if not (Heap.has_tag ctx.heap v Value.Pair) then
+        Heap.error "%s: improper list" who;
+      let entry = Heap.car ctx.heap v in
+      if Heap.has_tag ctx.heap entry Value.Pair
+         && eq ctx key (Heap.car ctx.heap entry)
+      then entry
+      else loop (Heap.cdr ctx.heap v)
+    end
+  in
+  loop (arg ctx base 1)
+
+
+let () =
+  (* Pairs *)
+  def "cons" ~arity:2 ~cost:5 (fun ctx ~base ~nargs:_ ->
+      Heap.ensure ctx.heap 3;
+      let a = arg ctx base 0 in
+      let d = arg ctx base 1 in
+      Heap.cons ctx.heap a d);
+  def "car" ~arity:1 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      Heap.car ctx.heap (arg ctx base 0));
+  def "cdr" ~arity:1 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      Heap.cdr ctx.heap (arg ctx base 0));
+  def "set-car!" ~arity:2 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      Heap.set_car ctx.heap (arg ctx base 0) (arg ctx base 1);
+      Value.unspecified);
+  def "set-cdr!" ~arity:2 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      Heap.set_cdr ctx.heap (arg ctx base 0) (arg ctx base 1);
+      Value.unspecified);
+  def "list" ~arity:0 ~variadic:true ~cost:2 (fun ctx ~base ~nargs ->
+      Heap.ensure ctx.heap (3 * nargs);
+      let rec build i acc =
+        if i < 0 then acc
+        else begin
+          charge ctx 5;
+          build (i - 1) (Heap.cons ctx.heap (arg ctx base i) acc)
+        end
+      in
+      build (nargs - 1) Value.nil);
+
+  (* Type predicates *)
+  pred "pair?" 2 (fun ctx v -> Heap.has_tag ctx.heap v Value.Pair);
+  pred "null?" 1 (fun _ v -> v = Value.nil);
+  pred "symbol?" 2 (fun ctx v -> Heap.is_symbol ctx.heap v);
+  pred "string?" 2 (fun ctx v -> Heap.has_tag ctx.heap v Value.String);
+  pred "vector?" 2 (fun ctx v -> Heap.has_tag ctx.heap v Value.Vector);
+  pred "procedure?" 2 (fun ctx v -> Heap.is_closure ctx.heap v);
+  pred "boolean?" 1 (fun _ v -> v = Value.true_v || v = Value.false_v);
+  pred "char?" 1 (fun _ v -> Value.is_char v);
+  pred "number?" 2 (fun ctx v ->
+      Value.is_fixnum v || Heap.has_tag ctx.heap v Value.Flonum);
+  pred "integer?" 1 (fun _ v -> Value.is_fixnum v);
+  pred "real?" 2 (fun ctx v ->
+      Value.is_fixnum v || Heap.has_tag ctx.heap v Value.Flonum);
+  pred "flonum?" 2 (fun ctx v -> Heap.has_tag ctx.heap v Value.Flonum);
+  pred "eof-object?" 1 (fun _ v -> v = Value.eof);
+  def "not" ~arity:1 ~cost:1 (fun ctx ~base ~nargs:_ ->
+      Value.bool (arg ctx base 0 = Value.false_v));
+  def "eq?" ~arity:2 ~cost:1 (fun ctx ~base ~nargs:_ ->
+      Value.bool (arg ctx base 0 = arg ctx base 1));
+  def "eqv?" ~arity:2 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      Value.bool (eqv ctx (arg ctx base 0) (arg ctx base 1)));
+  def "equal?" ~arity:2 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      Value.bool (equal_values ctx (arg ctx base 0) (arg ctx base 1)));
+
+  (* Arithmetic *)
+  def "+" ~arity:0 ~variadic:true ~cost:1
+    (fold_arith "+" ( + ) ( +. ) (Fix 0));
+  def "*" ~arity:0 ~variadic:true ~cost:1
+    (fold_arith "*" ( * ) ( *. ) (Fix 1));
+  def "-" ~arity:1 ~variadic:true ~cost:1 (fun ctx ~base ~nargs ->
+      let first = num_arg ctx "-" base 0 in
+      if nargs = 1 then
+        of_num ctx (num_binop ( - ) ( -. ) (Fix 0) first)
+      else begin
+        let rec loop acc i =
+          if i >= nargs then acc
+          else begin
+            charge ctx 2;
+            loop (num_binop ( - ) ( -. ) acc (num_arg ctx "-" base i)) (i + 1)
+          end
+        in
+        of_num ctx (loop first 1)
+      end);
+  def "/" ~arity:1 ~variadic:true ~cost:4 (fun ctx ~base ~nargs ->
+      (* Division always yields a flonum (vscheme has no rationals). *)
+      let first = as_float (num_arg ctx "/" base 0) in
+      let result =
+        if nargs = 1 then 1.0 /. first
+        else begin
+          let rec loop acc i =
+            if i >= nargs then acc
+            else begin
+              charge ctx 4;
+              loop (acc /. as_float (num_arg ctx "/" base i)) (i + 1)
+            end
+          in
+          loop first 1
+        end
+      in
+      of_num ctx (Flo result));
+  def "quotient" ~arity:2 ~cost:8 (fun ctx ~base ~nargs:_ ->
+      let a = int_arg ctx "quotient" base 0 in
+      let b = int_arg ctx "quotient" base 1 in
+      if b = 0 then Heap.error "quotient: division by zero";
+      Value.fixnum (a / b));
+  def "remainder" ~arity:2 ~cost:8 (fun ctx ~base ~nargs:_ ->
+      let a = int_arg ctx "remainder" base 0 in
+      let b = int_arg ctx "remainder" base 1 in
+      if b = 0 then Heap.error "remainder: division by zero";
+      Value.fixnum (a mod b));
+  def "modulo" ~arity:2 ~cost:9 (fun ctx ~base ~nargs:_ ->
+      let a = int_arg ctx "modulo" base 0 in
+      let b = int_arg ctx "modulo" base 1 in
+      if b = 0 then Heap.error "modulo: division by zero";
+      let m = a mod b in
+      Value.fixnum (if m <> 0 && (m < 0) <> (b < 0) then m + b else m));
+  def "=" ~arity:2 ~variadic:true ~cost:1
+    (compare_chain "=" ( = ) Float.equal);
+  def "<" ~arity:2 ~variadic:true ~cost:1 (compare_chain "<" ( < ) ( < ));
+  def ">" ~arity:2 ~variadic:true ~cost:1 (compare_chain ">" ( > ) ( > ));
+  def "<=" ~arity:2 ~variadic:true ~cost:1 (compare_chain "<=" ( <= ) ( <= ));
+  def ">=" ~arity:2 ~variadic:true ~cost:1 (compare_chain ">=" ( >= ) ( >= ));
+  def "zero?" ~arity:1 ~cost:1 (fun ctx ~base ~nargs:_ ->
+      match num_arg ctx "zero?" base 0 with
+      | Fix i -> Value.bool (i = 0)
+      | Flo f -> Value.bool (f = 0.0));
+  def "positive?" ~arity:1 ~cost:1 (fun ctx ~base ~nargs:_ ->
+      Value.bool (as_float (num_arg ctx "positive?" base 0) > 0.0));
+  def "negative?" ~arity:1 ~cost:1 (fun ctx ~base ~nargs:_ ->
+      Value.bool (as_float (num_arg ctx "negative?" base 0) < 0.0));
+  def "even?" ~arity:1 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      Value.bool (int_arg ctx "even?" base 0 land 1 = 0));
+  def "odd?" ~arity:1 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      Value.bool (int_arg ctx "odd?" base 0 land 1 = 1));
+  def "abs" ~arity:1 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      match num_arg ctx "abs" base 0 with
+      | Fix i -> Value.fixnum (abs i)
+      | Flo f -> of_num ctx (Flo (Float.abs f)));
+  def "min" ~arity:1 ~variadic:true ~cost:2 (fun ctx ~base ~nargs ->
+      of_num ctx
+        (fold_num_extreme ctx "min" base nargs (fun a b -> a <= b)));
+  def "max" ~arity:1 ~variadic:true ~cost:2 (fun ctx ~base ~nargs ->
+      of_num ctx
+        (fold_num_extreme ctx "max" base nargs (fun a b -> a >= b)));
+  def "logand" ~arity:2 ~cost:1 (fun ctx ~base ~nargs:_ ->
+      Value.fixnum (int_arg ctx "logand" base 0 land int_arg ctx "logand" base 1));
+  def "logor" ~arity:2 ~cost:1 (fun ctx ~base ~nargs:_ ->
+      Value.fixnum (int_arg ctx "logor" base 0 lor int_arg ctx "logor" base 1));
+  def "logxor" ~arity:2 ~cost:1 (fun ctx ~base ~nargs:_ ->
+      Value.fixnum (int_arg ctx "logxor" base 0 lxor int_arg ctx "logxor" base 1));
+  def "ash" ~arity:2 ~cost:1 (fun ctx ~base ~nargs:_ ->
+      let v = int_arg ctx "ash" base 0 in
+      let s = int_arg ctx "ash" base 1 in
+      Value.fixnum (if s >= 0 then v lsl s else v asr -s));
+  def "sqrt" ~arity:1 ~cost:20 (fun ctx ~base ~nargs:_ ->
+      of_num ctx (Flo (Float.sqrt (as_float (num_arg ctx "sqrt" base 0)))));
+  def "exact->inexact" ~arity:1 ~cost:3 (fun ctx ~base ~nargs:_ ->
+      of_num ctx (Flo (as_float (num_arg ctx "exact->inexact" base 0))));
+  def "inexact->exact" ~arity:1 ~cost:3 (fun ctx ~base ~nargs:_ ->
+      match num_arg ctx "inexact->exact" base 0 with
+      | Fix i -> Value.fixnum i
+      | Flo f -> Value.fixnum (int_of_float f));
+  def "floor" ~arity:1 ~cost:3 (fun ctx ~base ~nargs:_ ->
+      match num_arg ctx "floor" base 0 with
+      | Fix i -> Value.fixnum i
+      | Flo f -> of_num ctx (Flo (Float.floor f)));
+  def "ceiling" ~arity:1 ~cost:3 (fun ctx ~base ~nargs:_ ->
+      match num_arg ctx "ceiling" base 0 with
+      | Fix i -> Value.fixnum i
+      | Flo f -> of_num ctx (Flo (Float.ceil f)));
+  def "truncate" ~arity:1 ~cost:3 (fun ctx ~base ~nargs:_ ->
+      match num_arg ctx "truncate" base 0 with
+      | Fix i -> Value.fixnum i
+      | Flo f -> of_num ctx (Flo (Float.trunc f)));
+  def "round" ~arity:1 ~cost:3 (fun ctx ~base ~nargs:_ ->
+      match num_arg ctx "round" base 0 with
+      | Fix i -> Value.fixnum i
+      | Flo f -> of_num ctx (Flo (Float.round f)));
+
+  (* Vectors *)
+  def "make-vector" ~arity:1 ~variadic:true ~cost:6 (fun ctx ~base ~nargs ->
+      let n = int_arg ctx "make-vector" base 0 in
+      if n < 0 then Heap.error "make-vector: negative length";
+      Heap.ensure ctx.heap (vector_words n);
+      charge ctx n;
+      let fill = if nargs >= 2 then arg ctx base 1 else Value.fixnum 0 in
+      Heap.make_vector ctx.heap n fill);
+  def "vector" ~arity:0 ~variadic:true ~cost:6 (fun ctx ~base ~nargs ->
+      Heap.ensure ctx.heap (vector_words nargs);
+      charge ctx nargs;
+      let v = Heap.make_vector ctx.heap nargs (Value.fixnum 0) in
+      for i = 0 to nargs - 1 do
+        Heap.vector_set ctx.heap v i (arg ctx base i)
+      done;
+      v);
+  def "vector-ref" ~arity:2 ~cost:4 (fun ctx ~base ~nargs:_ ->
+      Heap.vector_ref ctx.heap (arg ctx base 0) (int_arg ctx "vector-ref" base 1));
+  def "vector-set!" ~arity:3 ~cost:4 (fun ctx ~base ~nargs:_ ->
+      Heap.vector_set ctx.heap (arg ctx base 0)
+        (int_arg ctx "vector-set!" base 1)
+        (arg ctx base 2);
+      Value.unspecified);
+  def "vector-length" ~arity:1 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      Value.fixnum (Heap.vector_length ctx.heap (arg ctx base 0)));
+  def "vector-fill!" ~arity:2 ~cost:3 (fun ctx ~base ~nargs:_ ->
+      let v = arg ctx base 0 in
+      let x = arg ctx base 1 in
+      let n = Heap.vector_length ctx.heap v in
+      for i = 0 to n - 1 do
+        charge ctx 2;
+        Heap.vector_set ctx.heap v i x
+      done;
+      Value.unspecified);
+  def "vector->list" ~arity:1 ~cost:4 (fun ctx ~base ~nargs:_ ->
+      let n = Heap.vector_length ctx.heap (arg ctx base 0) in
+      Heap.ensure ctx.heap (3 * n);
+      let v = arg ctx base 0 in
+      let rec build i acc =
+        if i < 0 then acc
+        else begin
+          charge ctx 6;
+          build (i - 1) (Heap.cons ctx.heap (Heap.vector_ref ctx.heap v i) acc)
+        end
+      in
+      build (n - 1) Value.nil);
+  def "list->vector" ~arity:1 ~cost:6 (fun ctx ~base ~nargs:_ ->
+      let n = list_length ctx "list->vector" (arg ctx base 0) in
+      Heap.ensure ctx.heap (vector_words n);
+      let lst = arg ctx base 0 in
+      let v = Heap.make_vector ctx.heap n (Value.fixnum 0) in
+      let rec fill i rest =
+        if i < n then begin
+          charge ctx 6;
+          Heap.vector_set ctx.heap v i (Heap.car ctx.heap rest);
+          fill (i + 1) (Heap.cdr ctx.heap rest)
+        end
+      in
+      fill 0 lst;
+      v);
+
+  (* Non-allocating list searches (runtime kernel procedures in T) *)
+  def "memq" ~arity:2 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      list_search ctx "memq" base (fun _ k x -> k = x));
+  def "memv" ~arity:2 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      list_search ctx "memv" base (fun ctx k x -> eqv ctx k x));
+  def "assq" ~arity:2 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      assoc_search ctx "assq" base (fun _ k x -> k = x));
+  def "assv" ~arity:2 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      assoc_search ctx "assv" base (fun ctx k x -> eqv ctx k x));
+
+  (* Strings and symbols *)
+  def "string-length" ~arity:1 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      Value.fixnum (Heap.string_length ctx.heap (arg ctx base 0)));
+  def "string-ref" ~arity:2 ~cost:4 (fun ctx ~base ~nargs:_ ->
+      Value.char
+        (Heap.string_ref ctx.heap (arg ctx base 0) (int_arg ctx "string-ref" base 1)));
+  def "string-append" ~arity:0 ~variadic:true ~cost:6 (fun ctx ~base ~nargs ->
+      let total = ref 0 in
+      for i = 0 to nargs - 1 do
+        total := !total + Heap.string_length ctx.heap (arg ctx base i)
+      done;
+      Heap.ensure ctx.heap (string_words !total);
+      let buf = Buffer.create !total in
+      for i = 0 to nargs - 1 do
+        charge ctx 4;
+        Buffer.add_string buf (Heap.string_val ctx.heap (arg ctx base i))
+      done;
+      Heap.make_string ctx.heap (Buffer.contents buf));
+  def "substring" ~arity:3 ~cost:6 (fun ctx ~base ~nargs:_ ->
+      let lo = int_arg ctx "substring" base 1 in
+      let hi = int_arg ctx "substring" base 2 in
+      let n = Heap.string_length ctx.heap (arg ctx base 0) in
+      if lo < 0 || hi > n || lo > hi then
+        Heap.error "substring: bad range %d..%d for length %d" lo hi n;
+      Heap.ensure ctx.heap (string_words (hi - lo));
+      charge ctx (hi - lo);
+      let s = Heap.string_val ctx.heap (arg ctx base 0) in
+      Heap.make_string ctx.heap (String.sub s lo (hi - lo)));
+  def "string=?" ~arity:2 ~cost:4 (fun ctx ~base ~nargs:_ ->
+      Value.bool
+        (String.equal
+           (Heap.string_val ctx.heap (arg ctx base 0))
+           (Heap.string_val ctx.heap (arg ctx base 1))));
+  def "string<?" ~arity:2 ~cost:4 (fun ctx ~base ~nargs:_ ->
+      Value.bool
+        (String.compare
+           (Heap.string_val ctx.heap (arg ctx base 0))
+           (Heap.string_val ctx.heap (arg ctx base 1))
+         < 0));
+  def "symbol->string" ~arity:1 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      let v = arg ctx base 0 in
+      let addr = Heap.type_check ctx.heap v Value.Symbol "symbol->string" in
+      Heap.load_field ctx.heap addr 0);
+  def "string->symbol" ~arity:1 ~cost:20 (fun ctx ~base ~nargs:_ ->
+      Heap.intern ctx.heap (Heap.string_val ctx.heap (arg ctx base 0)));
+  def "number->string" ~arity:1 ~cost:20 (fun ctx ~base ~nargs:_ ->
+      let s =
+        match num_arg ctx "number->string" base 0 with
+        | Fix i -> string_of_int i
+        | Flo f -> Format.sprintf "%.12g" f
+      in
+      Heap.ensure ctx.heap (string_words (String.length s));
+      Heap.make_string ctx.heap s);
+  def "list->string" ~arity:1 ~cost:6 (fun ctx ~base ~nargs:_ ->
+      let n = list_length ctx "list->string" (arg ctx base 0) in
+      Heap.ensure ctx.heap (string_words n);
+      let buf = Buffer.create n in
+      let rec fill rest =
+        if rest <> Value.nil then begin
+          charge ctx 4;
+          let c = Heap.car ctx.heap rest in
+          if not (Value.is_char c) then
+            Heap.error "list->string: non-character element";
+          Buffer.add_char buf (Value.char_val c);
+          fill (Heap.cdr ctx.heap rest)
+        end
+      in
+      fill (arg ctx base 0);
+      Heap.make_string ctx.heap (Buffer.contents buf));
+  def "gensym" ~arity:0 ~variadic:true ~cost:20 (fun ctx ~base ~nargs ->
+      let prefix =
+        if nargs >= 1 then
+          let v = arg ctx base 0 in
+          if Heap.is_symbol ctx.heap v then Heap.symbol_name ctx.heap v
+          else Heap.string_val ctx.heap v
+        else "g"
+      in
+      ctx.gensyms <- ctx.gensyms + 1;
+      Heap.intern ctx.heap (Printf.sprintf "%s%%%d" prefix ctx.gensyms));
+
+  (* Characters *)
+  def "char->integer" ~arity:1 ~cost:1 (fun ctx ~base ~nargs:_ ->
+      Value.fixnum (Char.code (char_arg ctx "char->integer" base 0)));
+  def "integer->char" ~arity:1 ~cost:1 (fun ctx ~base ~nargs:_ ->
+      let i = int_arg ctx "integer->char" base 0 in
+      if i < 0 || i > 255 then Heap.error "integer->char: out of range %d" i;
+      Value.char (Char.chr i));
+  def "char=?" ~arity:2 ~cost:1 (fun ctx ~base ~nargs:_ ->
+      Value.bool (char_arg ctx "char=?" base 0 = char_arg ctx "char=?" base 1));
+  def "char<?" ~arity:2 ~cost:1 (fun ctx ~base ~nargs:_ ->
+      Value.bool (char_arg ctx "char<?" base 0 < char_arg ctx "char<?" base 1));
+  def "char-alphabetic?" ~arity:1 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      let c = char_arg ctx "char-alphabetic?" base 0 in
+      Value.bool ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')));
+  def "char-numeric?" ~arity:1 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      let c = char_arg ctx "char-numeric?" base 0 in
+      Value.bool (c >= '0' && c <= '9'));
+  def "char-whitespace?" ~arity:1 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      match char_arg ctx "char-whitespace?" base 0 with
+      | ' ' | '\t' | '\n' | '\r' -> Value.true_v
+      | _ -> Value.false_v);
+  def "char-upcase" ~arity:1 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      Value.char (Char.uppercase_ascii (char_arg ctx "char-upcase" base 0)));
+  def "char-downcase" ~arity:1 ~cost:2 (fun ctx ~base ~nargs:_ ->
+      Value.char (Char.lowercase_ascii (char_arg ctx "char-downcase" base 0)));
+
+  (* Hash tables *)
+  def "make-table" ~arity:0 ~variadic:true ~cost:12 (fun ctx ~base ~nargs ->
+      let cap = if nargs >= 1 then max 4 (int_arg ctx "make-table" base 0) else 8 in
+      Heap.ensure ctx.heap (table_words + vector_words (2 * cap));
+      let buckets = Heap.make_vector ctx.heap (2 * cap) Value.undefined in
+      ctx.reg.(2) <- buckets;
+      let addr = Heap.alloc ctx.heap Heap.Dynamic Value.Table ~len:3 in
+      Heap.init_field ctx.heap addr 0 ctx.reg.(2);
+      Heap.init_field ctx.heap addr 1 (Value.fixnum 0);
+      Heap.init_field ctx.heap addr 2 (Value.fixnum (Heap.collections ctx.heap));
+      ctx.reg.(2) <- Value.unspecified;
+      Value.pointer addr);
+  def "table-ref" ~arity:2 ~variadic:true ~cost:8 (fun ctx ~base ~nargs ->
+      let tbl = table_check_stamp ctx ~base ~slot:0 in
+      let key = arg ctx base 1 in
+      let buckets = table_buckets ctx tbl in
+      let cap = buckets_capacity ctx buckets in
+      let rec probe i =
+        charge ctx 4;
+        let k = Heap.vector_ref ctx.heap buckets (2 * i) in
+        if k = key then Heap.vector_ref ctx.heap buckets ((2 * i) + 1)
+        else if k = Value.undefined then
+          if nargs >= 3 then arg ctx base 2
+          else Heap.error "table-ref: key not found: %s" (show ctx key)
+        else probe ((i + 1) mod cap)
+      in
+      probe (hash_value key cap));
+  def "table-set!" ~arity:3 ~cost:8 (fun ctx ~base ~nargs:_ ->
+      let tbl = table_check_stamp ctx ~base ~slot:0 in
+      let count = table_count_of ctx tbl in
+      let cap = buckets_capacity ctx (table_buckets ctx tbl) in
+      let tbl =
+        if 10 * (count + 1) > 7 * cap then begin
+          Heap.ensure ctx.heap (vector_words (4 * cap));
+          let tbl = arg ctx base 0 in
+          ctx.reg.(2) <- tbl;
+          table_rebuild ctx 2 (2 * cap);
+          ctx.reg.(2) <- Value.unspecified;
+          tbl
+        end
+        else tbl
+      in
+      let key = arg ctx base 1 in
+      let value = arg ctx base 2 in
+      let inserted = buckets_insert ctx (table_buckets ctx tbl) key value in
+      if inserted then
+        Heap.store_field ctx.heap (Value.pointer_val tbl) 1
+          (Value.fixnum (table_count_of ctx tbl + 1));
+      Value.unspecified);
+  def "table-count" ~arity:1 ~cost:3 (fun ctx ~base ~nargs:_ ->
+      let tbl = arg ctx base 0 in
+      let _ = Heap.type_check ctx.heap tbl Value.Table "table-count" in
+      Value.fixnum (table_count_of ctx tbl));
+  def "table->list" ~arity:1 ~cost:8 (fun ctx ~base ~nargs:_ ->
+      let tbl = table_check_stamp ctx ~base ~slot:0 in
+      let count = table_count_of ctx tbl in
+      Heap.ensure ctx.heap (6 * count);
+      let tbl = arg ctx base 0 in
+      let buckets = table_buckets ctx tbl in
+      let cap = buckets_capacity ctx buckets in
+      let rec build i acc =
+        if i >= cap then acc
+        else begin
+          charge ctx 5;
+          let k = Heap.vector_ref ctx.heap buckets (2 * i) in
+          if k = Value.undefined then build (i + 1) acc
+          else begin
+            let v = Heap.vector_ref ctx.heap buckets ((2 * i) + 1) in
+            let pair = Heap.cons ctx.heap k v in
+            build (i + 1) (Heap.cons ctx.heap pair acc)
+          end
+        end
+      in
+      build 0 Value.nil);
+
+  (* I/O and miscellany *)
+  def "display" ~arity:1 ~cost:10 (fun ctx ~base ~nargs:_ ->
+      Printer.print ctx.heap ctx.out ~quote:false (arg ctx base 0);
+      Value.unspecified);
+  def "write" ~arity:1 ~cost:10 (fun ctx ~base ~nargs:_ ->
+      Printer.print ctx.heap ctx.out ~quote:true (arg ctx base 0);
+      Value.unspecified);
+  def "newline" ~arity:0 ~cost:4 (fun ctx ~base:_ ~nargs:_ ->
+      Buffer.add_char ctx.out '\n';
+      Value.unspecified);
+  def "error" ~arity:1 ~variadic:true ~cost:10 (fun ctx ~base ~nargs ->
+      let buf = Buffer.create 64 in
+      for i = 0 to nargs - 1 do
+        if i > 0 then Buffer.add_char buf ' ';
+        Printer.print ctx.heap buf ~quote:(i > 0) (arg ctx base i)
+      done;
+      raise (Heap.Runtime_error (Buffer.contents buf)));
+  def "random" ~arity:1 ~cost:10 (fun ctx ~base ~nargs:_ ->
+      let n = int_arg ctx "random" base 0 in
+      if n <= 0 then Heap.error "random: expected positive bound";
+      ctx.rng <- (ctx.rng * 1103515245 + 12345) land 0x3fffffff;
+      Value.fixnum (ctx.rng mod n));
+  def "runtime-collections" ~arity:0 ~cost:2 (fun ctx ~base:_ ~nargs:_ ->
+      Value.fixnum (Heap.collections ctx.heap))
+
+(* --- Final table ----------------------------------------------------- *)
+
+let specs = Array.of_list (List.rev !specs_rev)
+
+let by_name : (string, int) Hashtbl.t = Hashtbl.create 128
+
+let () = Array.iteri (fun i s -> Hashtbl.replace by_name s.name i) specs
+
+let find name = Hashtbl.find_opt by_name name
+let spec i = specs.(i)
+let count = Array.length specs

@@ -1,0 +1,91 @@
+let max_depth = 10_000
+
+let print heap buf ~quote v =
+  let rec go depth v =
+    if depth > max_depth then
+      Heap.error "print: structure too deep (cyclic?)";
+    if Value.is_fixnum v then
+      Buffer.add_string buf (string_of_int (Value.fixnum_val v))
+    else if v = Value.true_v then Buffer.add_string buf "#t"
+    else if v = Value.false_v then Buffer.add_string buf "#f"
+    else if v = Value.nil then Buffer.add_string buf "()"
+    else if v = Value.unspecified then Buffer.add_string buf "#<unspecified>"
+    else if v = Value.eof then Buffer.add_string buf "#<eof>"
+    else if v = Value.undefined then Buffer.add_string buf "#<undefined>"
+    else if Value.is_char v then begin
+      if quote then begin
+        Buffer.add_string buf "#\\";
+        match Value.char_val v with
+        | ' ' -> Buffer.add_string buf "space"
+        | '\n' -> Buffer.add_string buf "newline"
+        | '\t' -> Buffer.add_string buf "tab"
+        | c -> Buffer.add_char buf c
+      end
+      else Buffer.add_char buf (Value.char_val v)
+    end
+    else if Value.is_pointer v then go_object depth v
+    else Buffer.add_string buf (Format.asprintf "%a" Value.pp v)
+  and go_object depth v =
+    let addr = Value.pointer_val v in
+    match Value.header_tag (Heap.peek_header heap addr) with
+    | Value.Pair ->
+      Buffer.add_char buf '(';
+      go (depth + 1) (Heap.car heap v);
+      go_tail (depth + 1) (Heap.cdr heap v);
+      Buffer.add_char buf ')'
+    | Value.Vector ->
+      Buffer.add_string buf "#(";
+      let n = Heap.vector_length heap v in
+      for i = 0 to n - 1 do
+        if i > 0 then Buffer.add_char buf ' ';
+        go (depth + 1) (Heap.vector_ref heap v i)
+      done;
+      Buffer.add_char buf ')'
+    | Value.String ->
+      let s = Heap.string_val heap v in
+      if quote then begin
+        Buffer.add_char buf '"';
+        String.iter
+          (fun c ->
+            match c with
+            | '"' -> Buffer.add_string buf "\\\""
+            | '\\' -> Buffer.add_string buf "\\\\"
+            | '\n' -> Buffer.add_string buf "\\n"
+            | c -> Buffer.add_char buf c)
+          s;
+        Buffer.add_char buf '"'
+      end
+      else Buffer.add_string buf s
+    | Value.Symbol -> Buffer.add_string buf (Heap.symbol_name heap v)
+    | Value.Flonum ->
+      let f = Heap.flonum_val heap v in
+      let s = Format.sprintf "%.12g" f in
+      Buffer.add_string buf s;
+      if not (String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s)
+      then Buffer.add_char buf '.'
+    | Value.Closure -> Buffer.add_string buf "#<procedure>"
+    | Value.Table -> Buffer.add_string buf "#<table>"
+    | Value.Cell -> Buffer.add_string buf "#<cell>"
+    | Value.Forward -> Buffer.add_string buf "#<forward>"
+    | Value.Free -> Buffer.add_string buf "#<free>"
+  and go_tail depth v =
+    if v = Value.nil then ()
+    else if Value.is_pointer v
+            && Value.header_tag (Heap.peek_header heap (Value.pointer_val v))
+               = Value.Pair
+    then begin
+      Buffer.add_char buf ' ';
+      go (depth + 1) (Heap.car heap v);
+      go_tail (depth + 1) (Heap.cdr heap v)
+    end
+    else begin
+      Buffer.add_string buf " . ";
+      go (depth + 1) v
+    end
+  in
+  go 0 v
+
+let to_string heap ~quote v =
+  let buf = Buffer.create 64 in
+  print heap buf ~quote v;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** External representation of runtime values.
+
+    Walking a heap structure to print it performs traced reads, just as
+    the system under study would.  [quote:true] produces [write] syntax
+    (strings quoted, characters named); [quote:false] produces
+    [display] syntax. *)
+
+val print : Heap.t -> Buffer.t -> quote:bool -> Value.t -> unit
+(** Append the external representation of the value to the buffer.
+
+    @raise Heap.Runtime_error on structures nested deeper than an
+    implementation limit (which catches cyclic data). *)
+
+val to_string : Heap.t -> quote:bool -> Value.t -> string

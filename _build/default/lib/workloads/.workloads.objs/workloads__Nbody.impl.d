@@ -1,0 +1,1 @@
+lib/workloads/nbody.ml: Printf

@@ -1,0 +1,1 @@
+lib/workloads/selfcomp.ml: Printf

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: List Lred Mexpr Nbody Prover Selfcomp String Vscheme

@@ -1,0 +1,179 @@
+(* The lp analogue: a reduction engine for a typed λ-calculus.  It
+   typechecks a combinator library in the simply-typed fragment, then
+   applies normal-order β-reduction to Church-numeral arithmetic.
+   Crucially — this is lp's defining behaviour in §6 — the engine keeps
+   a monotonically growing trail of intermediate reducts that survives
+   until the end of the run, which a semispace collector must recopy
+   at every collection. *)
+
+let source =
+  {scheme|
+;;; lred: typed lambda-calculus reduction engine.
+
+;; Terms: (var x) | (lam x body) | (app f a)
+
+(define (mk-var x) (list 'var x))
+(define (mk-lam x b) (list 'lam x b))
+(define (mk-app f a) (list 'app f a))
+(define (term-tag t) (car t))
+
+(define (free-in? x t)
+  (case (term-tag t)
+    ((var) (eq? x (cadr t)))
+    ((lam) (and (not (eq? x (cadr t))) (free-in? x (caddr t))))
+    ((app) (or (free-in? x (cadr t)) (free-in? x (caddr t))))
+    (else (error 'free-in? t))))
+
+;; Capture-avoiding substitution: t[x := s].
+(define (subst t x s)
+  (case (term-tag t)
+    ((var) (if (eq? (cadr t) x) s t))
+    ((app) (mk-app (subst (cadr t) x s) (subst (caddr t) x s)))
+    ((lam)
+     (let ((y (cadr t)) (body (caddr t)))
+       (cond ((eq? y x) t)
+             ((and (free-in? y s) (free-in? x body))
+              ;; rename the binder before descending
+              (let ((fresh (gensym y)))
+                (mk-lam fresh (subst (subst body y (mk-var fresh)) x s))))
+             (else (mk-lam y (subst body x s))))))
+    (else (error 'subst t))))
+
+;; One normal-order step; #f when already in normal form.
+(define (step t)
+  (case (term-tag t)
+    ((var) #f)
+    ((lam)
+     (let ((b (step (caddr t))))
+       (if b (mk-lam (cadr t) b) #f)))
+    ((app)
+     (let ((f (cadr t)) (a (caddr t)))
+       (if (eq? (term-tag f) 'lam)
+           (subst (caddr f) (cadr f) a)
+           (let ((f2 (step f)))
+             (if f2
+                 (mk-app f2 a)
+                 (let ((a2 (step a)))
+                   (if a2 (mk-app f a2) #f)))))))
+    (else (error 'step t))))
+
+;; The growing structure: every kept reduct is consed onto this trail
+;; and never dropped until the run ends.
+(define lred-trail '())
+(define lred-trail-length 0)
+
+(define (reduce-steps t max-steps keep-every)
+  (let loop ((t t) (n 0))
+    (if (= n max-steps)
+        (cons t n)
+        (let ((t2 (step t)))
+          (if (not t2)
+              (cons t n)
+              (begin
+                (when (= 0 (remainder n keep-every))
+                  (set! lred-trail (cons t2 lred-trail))
+                  (set! lred-trail-length (+ lred-trail-length 1)))
+                (loop t2 (+ n 1))))))))
+
+;; Church numerals.
+(define (church n)
+  (mk-lam 'f (mk-lam 'x
+    (let loop ((i 0) (acc (mk-var 'x)))
+      (if (= i n) acc (loop (+ i 1) (mk-app (mk-var 'f) acc)))))))
+
+(define church-mul
+  (mk-lam 'm (mk-lam 'n (mk-lam 'f
+    (mk-app (mk-var 'm) (mk-app (mk-var 'n) (mk-var 'f)))))))
+
+(define church-add
+  (mk-lam 'm (mk-lam 'n (mk-lam 'f (mk-lam 'x
+    (mk-app (mk-app (mk-var 'm) (mk-var 'f))
+            (mk-app (mk-app (mk-var 'n) (mk-var 'f)) (mk-var 'x))))))))
+
+(define (church-value t)
+  ;; Count the fs in a normal-form numeral.
+  (let ((body (caddr (caddr t))))
+    (let loop ((b body) (n 0))
+      (if (eq? (term-tag b) 'var) n (loop (caddr b) (+ n 1))))))
+
+;; --- Simply-typed checker -------------------------------------------
+;; Types: 'o or (-> a b); terms annotated by binder types in the
+;; environment.  Checks a combinator library.
+
+(define (type-equal? a b)
+  (cond ((and (symbol? a) (symbol? b)) (eq? a b))
+        ((and (pair? a) (pair? b))
+         (and (type-equal? (cadr a) (cadr b))
+              (type-equal? (caddr a) (caddr b))))
+        (else #f)))
+
+;; Typed terms: (var x) | (lam x ty body) | (app f a)
+(define (infer-type t env)
+  (case (term-tag t)
+    ((var)
+     (let ((hit (assq (cadr t) env)))
+       (if hit (cdr hit) (error 'unbound-typed-var (cadr t)))))
+    ((lam)
+     (let ((x (cadr t)) (ty (caddr t)) (body (cadddr t)))
+       (list '-> ty (infer-type body (cons (cons x ty) env)))))
+    ((app)
+     (let ((fty (infer-type (cadr t) env))
+           (aty (infer-type (caddr t) env)))
+       (if (and (pair? fty) (type-equal? (cadr fty) aty))
+           (caddr fty)
+           (error 'type-mismatch fty))))
+    (else (error 'infer-type t))))
+
+(define typed-library
+  (list
+   ;; I : o -> o
+   (cons '(lam x o (var x)) '(-> o o))
+   ;; K : o -> o -> o
+   (cons '(lam x o (lam y o (var x))) '(-> o (-> o o)))
+   ;; S on booleans-at-o
+   (cons '(lam f (-> o (-> o o)) (lam g (-> o o) (lam x o
+            (app (app (var f) (var x)) (app (var g) (var x))))))
+         '(-> (-> o (-> o o)) (-> (-> o o) (-> o o))))
+   ;; composition
+   (cons '(lam f (-> o o) (lam g (-> o o) (lam x o
+            (app (var f) (app (var g) (var x))))))
+         '(-> (-> o o) (-> (-> o o) (-> o o))))
+   ;; twice
+   (cons '(lam f (-> o o) (lam x o (app (var f) (app (var f) (var x)))))
+         '(-> (-> o o) (-> o o)))))
+
+(define (check-library)
+  (fold-left
+   (lambda (ok entry)
+     (if (type-equal? (infer-type (car entry) '()) (cdr entry))
+         (+ ok 1)
+         (error 'library-type-error (cdr entry))))
+   0 typed-library))
+
+(define (lred-run steps)
+  (set! lred-trail '())
+  (set! lred-trail-length 0)
+  (let ((typed (check-library)))
+    ;; Reduce (mul a b) for growing numerals until the step budget is
+    ;; spent, keeping every 8th reduct on the trail.
+    (let loop ((a 4) (b 5) (remaining steps) (total 0))
+      (if (<= remaining 0)
+          (list 'done total lred-trail-length typed)
+          (let ((t (mk-app (mk-app church-mul (church a)) (church b))))
+            (let ((result (reduce-steps t remaining 8)))
+              (let ((used (cdr result)))
+                ;; Validate the product only when the budget allowed
+                ;; reduction to finish.
+                (when (< used remaining)
+                  (let ((value (church-value (car result))))
+                    (if (not (= value (* a b)))
+                        (error 'wrong-product value))))
+                ;; Cycle through moderate numeral sizes so term growth
+                ;; stays bounded while the trail keeps growing.
+                (loop (if (>= a 8) 4 (+ a 1))
+                      (if (>= b 11) 5 (+ b 2))
+                      (- remaining used)
+                      (+ total used)))))))))
+|scheme}
+
+let entry ~scale = Printf.sprintf "(lred-run %d)" (max 200 (scale * 1200))

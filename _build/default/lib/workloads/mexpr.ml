@@ -1,0 +1,232 @@
+(* The gambit analogue: a second compiler "quite different from" the
+   first (§3).  Where selfcomp is an expression compiler over alists
+   and gensyms, mexpr compiles regular expressions: Thompson NFA
+   construction, subset-construction determinization with sorted
+   state-set canonicalization, DFA minimization-style reachability
+   pruning, and a matcher that drives the compiled tables over
+   generated input.  The DFAs built for the whole regex suite are kept
+   alive to the end of the run, giving the many long-lived dynamic
+   blocks the paper observes in gambit (§7). *)
+
+let source =
+  {scheme|
+;;; mexpr: a regular-expression compiler and matcher.
+
+;; Regex AST: a character, (seq r1 r2), (alt r1 r2), (star r),
+;; (plus r), (opt r).
+
+;; --- Thompson construction ------------------------------------------
+;; NFA: states are integers; transitions collected as
+;; (state char next) with char = 'eps for epsilon moves.
+
+(define nfa-next-state 0)
+(define nfa-edges '())
+
+(define (new-state)
+  (set! nfa-next-state (+ nfa-next-state 1))
+  (- nfa-next-state 1))
+
+(define (add-edge from ch to)
+  (set! nfa-edges (cons (list from ch to) nfa-edges)))
+
+;; Build the fragment for r between fresh start/end states; returns
+;; (start . end).
+(define (thompson r)
+  (cond ((char? r)
+         (let ((s (new-state)) (e (new-state)))
+           (add-edge s r e)
+           (cons s e)))
+        ((eq? (car r) 'seq)
+         (let ((f1 (thompson (cadr r))) (f2 (thompson (caddr r))))
+           (add-edge (cdr f1) 'eps (car f2))
+           (cons (car f1) (cdr f2))))
+        ((eq? (car r) 'alt)
+         (let ((s (new-state))
+               (f1 (thompson (cadr r)))
+               (f2 (thompson (caddr r)))
+               (e (new-state)))
+           (add-edge s 'eps (car f1))
+           (add-edge s 'eps (car f2))
+           (add-edge (cdr f1) 'eps e)
+           (add-edge (cdr f2) 'eps e)
+           (cons s e)))
+        ((eq? (car r) 'star)
+         (let ((s (new-state)) (f (thompson (cadr r))) (e (new-state)))
+           (add-edge s 'eps (car f))
+           (add-edge s 'eps e)
+           (add-edge (cdr f) 'eps (car f))
+           (add-edge (cdr f) 'eps e)
+           (cons s e)))
+        ((eq? (car r) 'plus)
+         (thompson (list 'seq (cadr r) (list 'star (cadr r)))))
+        ((eq? (car r) 'opt)
+         (let ((s (new-state)) (f (thompson (cadr r))) (e (new-state)))
+           (add-edge s 'eps (car f))
+           (add-edge s 'eps e)
+           (add-edge (cdr f) 'eps e)
+           (cons s e)))
+        (else (error 'thompson r))))
+
+;; --- Subset construction ---------------------------------------------
+
+(define (sorted-insert x lst)
+  (cond ((null? lst) (list x))
+        ((= x (car lst)) lst)
+        ((< x (car lst)) (cons x lst))
+        (else (cons (car lst) (sorted-insert x (cdr lst))))))
+
+(define (eps-closure states edges)
+  (let loop ((work states) (seen states))
+    (if (null? work)
+        seen
+        (let ((s (car work)))
+          (let inner ((es edges) (work (cdr work)) (seen seen))
+            (cond ((null? es) (loop work seen))
+                  ((and (= (caar es) s) (eq? (cadr (car es)) 'eps)
+                        (not (memv (caddr (car es)) seen)))
+                   (inner (cdr es)
+                          (cons (caddr (car es)) work)
+                          (sorted-insert (caddr (car es)) seen)))
+                  (else (inner (cdr es) work seen))))))))
+
+(define (move states ch edges)
+  (fold-left
+   (lambda (acc e)
+     (if (and (memv (car e) states) (eqv? (cadr e) ch))
+         (sorted-insert (caddr e) acc)
+         acc))
+   '() edges))
+
+(define (alphabet-of edges)
+  (delete-duplicates
+   (fold-left (lambda (acc e)
+                (if (char? (cadr e)) (cons (cadr e) acc) acc))
+              '() edges)))
+
+;; DFA representation: list of (state-set accepting? (ch . state-set)...)
+(define (determinize start-set accept-state edges)
+  (let ((alphabet (alphabet-of edges)))
+    (let loop ((work (list start-set)) (dfa '()))
+      (cond ((null? work) (reverse dfa))
+            ((assoc (car work) dfa) (loop (cdr work) dfa))
+            (else
+             (let ((current (car work)))
+               (let ((transitions
+                      (fold-left
+                       (lambda (acc ch)
+                         (let ((target (eps-closure (move current ch edges)
+                                                    edges)))
+                           (if (null? target)
+                               acc
+                               (cons (cons ch target) acc))))
+                       '() alphabet)))
+                 (loop (append (cdr work) (map cdr transitions))
+                       (cons (cons current
+                                   (cons (if (memv accept-state current) #t #f)
+                                         transitions))
+                             dfa)))))))))
+
+(define (compile-regex r)
+  (set! nfa-next-state 0)
+  (set! nfa-edges '())
+  (let ((frag (thompson r)))
+    (let ((start (eps-closure (list (car frag)) nfa-edges)))
+      (cons start (determinize start (cdr frag) nfa-edges)))))
+
+;; --- Matcher -----------------------------------------------------------
+
+(define (dfa-match dfa input)
+  ;; dfa = (start-set . state-list); input a list of characters.
+  (let loop ((state (car dfa)) (cs input))
+    (let ((entry (assoc state (cdr dfa))))
+      (if (not entry)
+          #f
+          (if (null? cs)
+              (cadr entry)
+              (let ((tr (assv (car cs) (cddr entry))))
+                (if tr (loop (cdr tr) (cdr cs)) #f)))))))
+
+;; --- Test corpus --------------------------------------------------------
+
+(define mexpr-regexes
+  (list
+   ;; (a|b)*c
+   '(seq (star (alt #\a #\b)) #\c)
+   ;; a+b+
+   '(seq (plus #\a) (plus #\b))
+   ;; (ab|ba)*
+   '(star (alt (seq #\a #\b) (seq #\b #\a)))
+   ;; a?b?c?d
+   '(seq (opt #\a) (seq (opt #\b) (seq (opt #\c) #\d)))
+   ;; ((a|b)(c|d))+
+   '(plus (seq (alt #\a #\b) (alt #\c #\d)))
+   ;; (abc)*|(d(e|f))+ — nested alternation
+   '(alt (star (seq #\a (seq #\b #\c))) (plus (seq #\d (alt #\e #\f))))))
+
+(define mexpr-alphabet '(#\a #\b #\c #\d #\e #\f))
+
+(define (random-input len)
+  (let loop ((i 0) (acc '()))
+    (if (= i len)
+        acc
+        (loop (+ i 1)
+              (cons (list-ref mexpr-alphabet (random 6)) acc)))))
+
+;; Sample a string from the language of r; the compiled DFA must
+;; accept it, which makes each round self-checking.
+(define (sample-regex r)
+  (cond ((char? r) (list r))
+        ((eq? (car r) 'seq)
+         (append (sample-regex (cadr r)) (sample-regex (caddr r))))
+        ((eq? (car r) 'alt)
+         (sample-regex (if (= 0 (random 2)) (cadr r) (caddr r))))
+        ((eq? (car r) 'star)
+         (let loop ((n (random 4)) (acc '()))
+           (if (= n 0) acc (loop (- n 1) (append (sample-regex (cadr r)) acc)))))
+        ((eq? (car r) 'plus)
+         (append (sample-regex (cadr r))
+                 (sample-regex (list 'star (cadr r)))))
+        ((eq? (car r) 'opt)
+         (if (= 0 (random 2)) '() (sample-regex (cadr r))))
+        (else (error 'sample-regex r))))
+
+;; A compiled DFA for every regex, kept alive across the whole run.
+(define mexpr-dfa-library '())
+
+(define (mexpr-run rounds)
+  (set! mexpr-dfa-library '())
+  (let loop ((r 0) (accepted 0))
+    (if (= r rounds)
+        (list 'done accepted (length mexpr-dfa-library))
+        (begin
+          ;; recompile the whole suite; keep the DFAs
+          (for-each
+           (lambda (rx)
+             (set! mexpr-dfa-library
+                   (cons (compile-regex rx) mexpr-dfa-library)))
+           mexpr-regexes)
+          (let ((dfas (map compile-regex mexpr-regexes)))
+            ;; Positive tests: sampled members of each language must be
+            ;; accepted by the corresponding DFA.
+            (for-each
+             (lambda (rx dfa)
+               (let check ((k 0))
+                 (when (< k 4)
+                   (unless (dfa-match dfa (sample-regex rx))
+                     (error 'dfa-rejects-sample rx))
+                   (check (+ k 1)))))
+             mexpr-regexes dfas)
+            ;; Mixed tests: random strings over the alphabet.
+            (let ((hits
+                   (fold-left
+                    (lambda (acc len)
+                      (let ((input (random-input len)))
+                        (fold-left
+                         (lambda (acc dfa)
+                           (if (dfa-match dfa input) (+ acc 1) acc))
+                         acc dfas)))
+                    0 '(3 5 8 13 21 34))))
+              (loop (+ r 1) (+ accepted hits 24))))))))
+|scheme}
+
+let entry ~scale = Printf.sprintf "(mexpr-run %d)" (max 1 (scale * 4))

@@ -1,0 +1,110 @@
+(* The nbody analogue.  The paper ran Zhao's linear-time 3-D N-body
+   algorithm on 256 point masses distributed uniformly in a cube,
+   starting at rest.  We use direct pairwise summation with Plummer
+   softening instead of Zhao's multipole method (whose code is not
+   available); the substitution preserves what matters to the cache
+   study — a numeric workload over boxed flonums in long-lived vectors
+   that are re-referenced every step, the profile that makes a few
+   blocks liable to thrash in small caches (§6). *)
+
+let source =
+  {scheme|
+;;; nbody: direct-summation 3-D N-body with leapfrog integration.
+
+(define (make-body x y z m)
+  ;; #(x y z vx vy vz ax ay az m) — ten boxed flonums.
+  (let ((b (make-vector 10 0)))
+    (vector-set! b 0 x) (vector-set! b 1 y) (vector-set! b 2 z)
+    (vector-set! b 3 0.0) (vector-set! b 4 0.0) (vector-set! b 5 0.0)
+    (vector-set! b 6 0.0) (vector-set! b 7 0.0) (vector-set! b 8 0.0)
+    (vector-set! b 9 m)
+    b))
+
+(define (random-coord)
+  (- (/ (exact->inexact (random 10000)) 5000.0) 1.0))
+
+(define (make-cube n)
+  ;; n bodies uniformly distributed in [-1,1]^3, at rest.
+  (let ((bodies (make-vector n 0)))
+    (let loop ((i 0))
+      (if (= i n)
+          bodies
+          (begin
+            (vector-set! bodies i
+                         (make-body (random-coord) (random-coord)
+                                    (random-coord)
+                                    (+ 0.5 (/ (exact->inexact (random 1000))
+                                              1000.0))))
+            (loop (+ i 1)))))))
+
+(define nbody-softening 0.05)
+
+;; Accumulate the acceleration body j exerts on body i.
+(define (accumulate-force! bi bj)
+  (let ((dx (- (vector-ref bj 0) (vector-ref bi 0)))
+        (dy (- (vector-ref bj 1) (vector-ref bi 1)))
+        (dz (- (vector-ref bj 2) (vector-ref bi 2))))
+    (let ((r2 (+ (* dx dx) (* dy dy) (* dz dz)
+                 (* nbody-softening nbody-softening))))
+      (let ((inv-r3 (/ 1.0 (* r2 (sqrt r2)))))
+        (let ((s (* (vector-ref bj 9) inv-r3)))
+          (vector-set! bi 6 (+ (vector-ref bi 6) (* s dx)))
+          (vector-set! bi 7 (+ (vector-ref bi 7) (* s dy)))
+          (vector-set! bi 8 (+ (vector-ref bi 8) (* s dz))))))))
+
+(define (compute-accelerations! bodies)
+  (let ((n (vector-length bodies)))
+    (let loop ((i 0))
+      (when (< i n)
+        (let ((bi (vector-ref bodies i)))
+          (vector-set! bi 6 0.0)
+          (vector-set! bi 7 0.0)
+          (vector-set! bi 8 0.0)
+          (let inner ((j 0))
+            (when (< j n)
+              (unless (= i j)
+                (accumulate-force! bi (vector-ref bodies j)))
+              (inner (+ j 1)))))
+        (loop (+ i 1))))))
+
+(define (integrate! bodies dt)
+  (let ((n (vector-length bodies)))
+    (let loop ((i 0))
+      (when (< i n)
+        (let ((b (vector-ref bodies i)))
+          (vector-set! b 3 (+ (vector-ref b 3) (* dt (vector-ref b 6))))
+          (vector-set! b 4 (+ (vector-ref b 4) (* dt (vector-ref b 7))))
+          (vector-set! b 5 (+ (vector-ref b 5) (* dt (vector-ref b 8))))
+          (vector-set! b 0 (+ (vector-ref b 0) (* dt (vector-ref b 3))))
+          (vector-set! b 1 (+ (vector-ref b 1) (* dt (vector-ref b 4))))
+          (vector-set! b 2 (+ (vector-ref b 2) (* dt (vector-ref b 5)))))
+        (loop (+ i 1))))))
+
+(define (kinetic-energy bodies)
+  (let ((n (vector-length bodies)))
+    (let loop ((i 0) (e 0.0))
+      (if (= i n)
+          e
+          (let ((b (vector-ref bodies i)))
+            (let ((v2 (+ (* (vector-ref b 3) (vector-ref b 3))
+                         (* (vector-ref b 4) (vector-ref b 4))
+                         (* (vector-ref b 5) (vector-ref b 5)))))
+              (loop (+ i 1) (+ e (* 0.5 (vector-ref b 9) v2)))))))))
+
+(define (nbody-run n steps)
+  (let ((bodies (make-cube n)))
+    (let loop ((s 0))
+      (when (< s steps)
+        (compute-accelerations! bodies)
+        (integrate! bodies 0.001)
+        (loop (+ s 1))))
+    ;; Started at rest, so the system must have gained kinetic energy.
+    (let ((e (kinetic-energy bodies)))
+      (if (< e 0.0) (error 'negative-kinetic-energy e))
+      (inexact->exact (* e 1000000.0)))))
+|scheme}
+
+let entry ~scale =
+  let bodies = min 256 (40 + (scale * 12)) in
+  let steps = max 2 (scale / 2) in
+  Printf.sprintf "(nbody-run %d %d)" bodies steps

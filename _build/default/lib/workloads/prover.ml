@@ -1,0 +1,214 @@
+(* The imps analogue: an automated theorem prover.  Two engines, as in
+   imps's mix of deduction styles: a propositional resolution prover
+   with subsumption saturating pigeonhole instances, and an equational
+   simplifier running its "internal consistency checks" by normalizing
+   arithmetic expressions against a rewrite system.  The clause
+   database is a long-lived structure that grows during saturation;
+   candidate resolvents are short-lived, mostly-functional garbage. *)
+
+let source =
+  {scheme|
+;;; prover: resolution with subsumption + an equational simplifier.
+
+;; Literals are nonzero integers; a clause is a strictly increasing
+;; list of literals (a set).
+
+(define (lit< a b) (< a b))
+
+(define (clause-insert lit clause)
+  (cond ((null? clause) (list lit))
+        ((= lit (car clause)) clause)
+        ((lit< lit (car clause)) (cons lit clause))
+        (else (cons (car clause) (clause-insert lit (cdr clause))))))
+
+(define (clause-member? lit clause) (if (memv lit clause) #t #f))
+
+(define (clause-tautology? clause)
+  (any (lambda (l) (clause-member? (- 0 l) clause)) clause))
+
+;; Does clause a subsume clause b (a subset of b)?
+(define (subsumes? a b)
+  (cond ((null? a) #t)
+        ((null? b) #f)
+        ((= (car a) (car b)) (subsumes? (cdr a) (cdr b)))
+        ((lit< (car a) (car b)) #f)
+        (else (subsumes? a (cdr b)))))
+
+(define (subsumed-by-any? clause db)
+  (any (lambda (c) (subsumes? c clause)) db))
+
+;; All resolvents of clauses a and b.
+(define (resolvents a b)
+  (fold-left
+   (lambda (acc lit)
+     (if (clause-member? (- 0 lit) b)
+         (let ((merged
+                (fold-left (lambda (c l) (clause-insert l c))
+                           (filter (lambda (l) (not (= l (- 0 lit)))) b)
+                           (filter (lambda (l) (not (= l lit))) a))))
+           (if (clause-tautology? merged) acc (cons merged acc)))
+         acc))
+   '() a))
+
+;; Pull the shortest clause out of usable: (shortest . rest).
+(define (select-given usable)
+  (let ((best (fold-left (lambda (best c)
+                           (if (< (length c) (length best)) c best))
+                         (car usable) (cdr usable))))
+    (cons best (remq best usable))))
+
+;; Saturation with forward subsumption and shortest-clause selection;
+;; returns (status . steps) with status 'refuted when the empty clause
+;; appears.
+(define (saturate clauses limit)
+  (let loop ((usable clauses) (db '()) (steps 0))
+    (cond ((null? usable) (cons 'saturated steps))
+          ((> steps limit) (cons 'limit steps))
+          (else
+           (let ((selection (select-given usable)))
+             (let ((given (car selection)) (rest (cdr selection)))
+             (cond ((null? given) (cons 'refuted steps))
+                   ((subsumed-by-any? given db)
+                    (loop rest db (+ steps 1)))
+                   (else
+                    (let ((new (fold-left
+                                (lambda (acc c)
+                                  (append (resolvents given c) acc))
+                                '() (cons given db))))
+                      ;; Forward subsumption: keep a resolvent unless
+                      ;; the database or an already-kept resolvent
+                      ;; subsumes it.
+                      (let ((fresh
+                             (reverse
+                              (fold-left
+                               (lambda (kept c)
+                                 (if (or (subsumed-by-any? c db)
+                                         (subsumed-by-any? c kept))
+                                     kept
+                                     (cons c kept)))
+                               '() new))))
+                        (if (any null? fresh)
+                            (cons 'refuted (+ steps 1))
+                            (loop (append rest fresh)
+                                  (cons given db)
+                                  (+ steps 1)))))))))))))
+
+;; Pigeonhole principle: n+1 pigeons, n holes; variable p(i,j) says
+;; pigeon i sits in hole j.  Unsatisfiable, so saturation refutes it.
+(define (php-var i j n) (+ (* i n) j 1))
+
+(define (php-clauses n)
+  (let ((clauses '()))
+    ;; every pigeon somewhere
+    (let loop ((i 0))
+      (when (<= i n)
+        (set! clauses
+              (cons (let inner ((j 0) (c '()))
+                      (if (= j n) (reverse c)
+                          (inner (+ j 1) (cons (php-var i j n) c))))
+                    clauses))
+        (loop (+ i 1))))
+    ;; no two pigeons share a hole
+    (let loop ((i1 0))
+      (when (<= i1 n)
+        (let loop2 ((i2 (+ i1 1)))
+          (when (<= i2 n)
+            (let loop3 ((j 0))
+              (when (< j n)
+                (set! clauses
+                      (cons (clause-insert (- 0 (php-var i1 j n))
+                                           (list (- 0 (php-var i2 j n))))
+                            clauses))
+                (loop3 (+ j 1))))
+            (loop2 (+ i2 1))))
+        (loop (+ i1 1))))
+    clauses))
+
+;; --- Equational simplifier ------------------------------------------
+;; Terms: integers, symbols, or (op t1 t2).  Normalizes with a fixed
+;; rewrite system; used for the "internal consistency checks".
+
+(define (term-size t)
+  (if (pair? t) (+ 1 (term-size (cadr t)) (term-size (caddr t))) 1))
+
+(define (simp t)
+  (if (not (pair? t))
+      t
+      (let ((op (car t)) (a (simp (cadr t))) (b (simp (caddr t))))
+        (cond
+         ((and (integer? a) (integer? b))
+          (case op
+            ((+) (+ a b)) ((*) (* a b)) ((-) (- a b))
+            (else (list op a b))))
+         ((eq? op '+)
+          (cond ((eqv? a 0) b)
+                ((eqv? b 0) a)
+                ((and (pair? b) (eq? (car b) '+) (integer? (cadr b)) (integer? a))
+                 (simp (list '+ (+ a (cadr b)) (caddr b))))
+                ((equal? a b) (simp (list '* 2 a)))
+                (else (list '+ a b))))
+         ((eq? op '*)
+          (cond ((eqv? a 0) 0) ((eqv? b 0) 0)
+                ((eqv? a 1) b) ((eqv? b 1) a)
+                ((and (pair? b) (eq? (car b) '*) (integer? (cadr b)) (integer? a))
+                 (simp (list '* (* a (cadr b)) (caddr b))))
+                (else (list '* a b))))
+         ((eq? op '-)
+          (cond ((eqv? b 0) a)
+                ((equal? a b) 0)
+                (else (list '- a b))))
+         (else (list op a b))))))
+
+;; Build the fully parenthesized sum 1 + 2 + ... + n symbolically and
+;; check Gauss's identity by simplification — the prover's "simple
+;; combinatorial identity".
+(define (gauss-term n)
+  (let loop ((i n) (acc 1))
+    (if (= i 1) acc (loop (- i 1) (list '+ acc i)))))
+
+(define (check-gauss n)
+  (let ((lhs (simp (list '* 2 (gauss-term n))))
+        (rhs (simp (list '* n (list '+ n 1)))))
+    (equal? lhs rhs)))
+
+;; Random expression trees for consistency checking: simplification
+;; must agree with direct evaluation.
+(define (random-term depth)
+  (if (or (= depth 0) (= 0 (random 3)))
+      (let ((r (random 24)))
+        ;; a few symbolic leaves keep the rewrite rules honest
+        (if (< r 3)
+            (case r ((0) 'x) ((1) 'y) (else 'z))
+            (- r 13)))
+      (let ((op (case (random 3) ((0) '+) ((1) '*) (else '-))))
+        (list op (random-term (- depth 1)) (random-term (- depth 1))))))
+
+(define (eval-term t)
+  (if (not (pair? t))
+      (if (integer? t) t 0)
+      (let ((a (eval-term (cadr t))) (b (eval-term (caddr t))))
+        (case (car t) ((+) (+ a b)) ((*) (* a b)) ((-) (- a b)) (else 0)))))
+
+(define (consistency-check trials depth)
+  (let loop ((i 0) (ok 0))
+    (if (= i trials)
+        ok
+        (let ((t (random-term depth)))
+          (let ((s (simp t)))
+            (if (or (not (integer? s)) (= s (eval-term t)))
+                (loop (+ i 1) (+ ok 1))
+                (error 'simplifier-disagrees t)))))))
+
+(define (prover-run rounds)
+  (let loop ((r 0) (acc 0))
+    (if (= r rounds)
+        acc
+        (let ((res (saturate (php-clauses 2) 2000))
+              (checks (consistency-check 150 6))
+              (gauss (if (check-gauss (+ 20 (* 5 (remainder r 4)))) 1 0)))
+          (if (not (eq? (car res) 'refuted))
+              (error 'php-not-refuted (car res)))
+          (loop (+ r 1) (+ acc (cdr res) checks gauss))))))
+|scheme}
+
+let entry ~scale = Printf.sprintf "(prover-run %d)" (max 1 scale)

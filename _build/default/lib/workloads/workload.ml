@@ -1,0 +1,70 @@
+type t = {
+  name : string;
+  paper_analogue : string;
+  description : string;
+  source : string;
+  entry : scale:int -> string;
+}
+
+let selfcomp =
+  { name = "selfcomp";
+    paper_analogue = "orbit (the T system's native compiler, compiling itself)";
+    description =
+      "an orbit-style Scheme compiler (expansion, renaming, closure \
+       conversion, linearization, peephole) recompiling its corpus";
+    source = Selfcomp.source;
+    entry = Selfcomp.entry
+  }
+
+let prover =
+  { name = "prover";
+    paper_analogue = "imps (an interactive theorem prover)";
+    description =
+      "resolution with subsumption refuting pigeonhole instances, plus an \
+       equational simplifier running consistency checks";
+    source = Prover.source;
+    entry = Prover.entry
+  }
+
+let lred =
+  { name = "lred";
+    paper_analogue = "lp (a reduction engine for a typed lambda-calculus)";
+    description =
+      "normal-order beta-reduction of Church-numeral arithmetic with a \
+       simply-typed checker and a monotonically growing trail of reducts";
+    source = Lred.source;
+    entry = Lred.entry
+  }
+
+let nbody =
+  { name = "nbody";
+    paper_analogue = "nbody (Zhao's linear-time 3-D N-body simulation)";
+    description =
+      "direct-summation 3-D N-body over boxed flonums in long-lived body \
+       vectors, leapfrog integration";
+    source = Nbody.source;
+    entry = Nbody.entry
+  }
+
+let mexpr =
+  { name = "mexpr";
+    paper_analogue = "gambit (another, quite different Scheme compiler)";
+    description =
+      "a regular-expression compiler: Thompson NFAs, subset-construction \
+       DFAs kept live for the whole run, and a matcher";
+    source = Mexpr.source;
+    entry = Mexpr.entry
+  }
+
+let all = [ selfcomp; prover; lred; nbody; mexpr ]
+
+let find name = List.find_opt (fun w -> String.equal w.name name) all
+
+let source_lines w =
+  let lines = String.split_on_char '\n' w.source in
+  List.length
+    (List.filter (fun l -> String.exists (fun c -> c <> ' ' && c <> '\t') l) lines)
+
+let load machine w = ignore (Vscheme.Machine.eval_string machine w.source)
+
+let run machine w ~scale = Vscheme.Machine.eval_string machine (w.entry ~scale)

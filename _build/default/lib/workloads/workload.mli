@@ -1,0 +1,42 @@
+(** The five test programs (§3 of the paper), as vscheme programs.
+
+    Each workload is the closest reconstructible analogue of one of
+    the paper's proprietary test programs; DESIGN.md records the
+    correspondence and why each substitution preserves the behaviour
+    the paper attributes to the original:
+
+    - [selfcomp] — orbit, a compiler compiling itself;
+    - [prover]   — imps, an interactive theorem prover;
+    - [lred]     — lp, a reduction engine for a typed λ-calculus;
+    - [nbody]    — Zhao's 3-D N-body simulation;
+    - [mexpr]    — gambit, a second, quite different compiler. *)
+
+type t = {
+  name : string;
+  paper_analogue : string;  (** the §3 program this stands in for *)
+  description : string;
+  source : string;          (** Scheme definitions *)
+  entry : scale:int -> string;
+      (** expression to evaluate; [scale] stretches the run length
+          roughly linearly *)
+}
+
+val selfcomp : t
+val prover : t
+val lred : t
+val nbody : t
+val mexpr : t
+
+val all : t list
+(** In the paper's order: selfcomp, prover, lred, nbody, mexpr. *)
+
+val find : string -> t option
+
+val source_lines : t -> int
+(** Non-blank lines of Scheme source, for the §3 table. *)
+
+val load : Vscheme.Machine.t -> t -> unit
+(** Evaluate the workload's definitions on the machine. *)
+
+val run : Vscheme.Machine.t -> t -> scale:int -> Vscheme.Value.t
+(** [load] must have been called first. *)

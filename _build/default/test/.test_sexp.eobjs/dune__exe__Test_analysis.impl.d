@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Buffer Float Format Fun List Memsim QCheck QCheck_alcotest String

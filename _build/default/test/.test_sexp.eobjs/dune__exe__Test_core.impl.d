@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Buffer Core Format List Memsim String Vscheme Workloads

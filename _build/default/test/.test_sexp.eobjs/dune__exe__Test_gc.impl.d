@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest List Memsim Printf QCheck QCheck_alcotest Vscheme

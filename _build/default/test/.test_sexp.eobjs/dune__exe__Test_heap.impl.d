@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Float List Memsim Option Printf QCheck QCheck_alcotest String Vscheme

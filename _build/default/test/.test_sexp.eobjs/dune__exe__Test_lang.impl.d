@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Buffer Format List Printf QCheck QCheck_alcotest String Vscheme

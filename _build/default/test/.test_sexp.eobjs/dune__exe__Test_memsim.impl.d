@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Array Filename Format Fun List Memsim Printf QCheck QCheck_alcotest Sys

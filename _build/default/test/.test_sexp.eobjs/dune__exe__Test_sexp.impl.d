@@ -1,0 +1,1 @@
+test/test_sexp.ml: Alcotest Array Float List QCheck QCheck_alcotest Sexp

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Char List Printf QCheck QCheck_alcotest Vscheme

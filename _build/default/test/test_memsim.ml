@@ -1,0 +1,567 @@
+(* Cache and timing-model tests. *)
+
+let mutator = Memsim.Trace.Mutator
+let collector = Memsim.Trace.Collector
+
+let mk ?(policy = Memsim.Cache.Write_validate) ?(size = 1024) ?(block = 64)
+    ?(block_stats = false) () =
+  Memsim.Cache.create
+    (Memsim.Cache.config ~write_miss_policy:policy
+       ~record_block_stats:block_stats ~size_bytes:size ~block_bytes:block ())
+
+let stats = Memsim.Cache.stats
+
+(* --- Timing ---------------------------------------------------------- *)
+
+let test_penalties () =
+  (* 30 + 180 + 30 * ceil(n/16) ns *)
+  List.iter
+    (fun (block, slow, fast) ->
+      Alcotest.(check int)
+        (Printf.sprintf "slow %db" block)
+        slow
+        (Memsim.Timing.miss_penalty_cycles Memsim.Timing.Slow ~block_bytes:block);
+      Alcotest.(check int)
+        (Printf.sprintf "fast %db" block)
+        fast
+        (Memsim.Timing.miss_penalty_cycles Memsim.Timing.Fast ~block_bytes:block))
+    [ (16, 8, 120); (32, 9, 135); (64, 11, 165); (128, 15, 225); (256, 23, 345) ]
+
+let test_overhead_math () =
+  (* O_cache = M * P / I *)
+  let o =
+    Memsim.Timing.cache_overhead Memsim.Timing.Slow ~block_bytes:16
+      ~fetches:1000 ~instructions:160000
+  in
+  Alcotest.(check (float 1e-9)) "cache overhead" 0.05 o;
+  (* O_gc can be negative when the collector removes program misses *)
+  let gc =
+    Memsim.Timing.gc_overhead Memsim.Timing.Slow ~block_bytes:16
+      ~collector_fetches:0 ~program_fetch_delta:(-1000)
+      ~collector_instructions:0 ~program_instruction_delta:0
+      ~program_instructions:160000
+  in
+  Alcotest.(check (float 1e-9)) "negative O_gc" (-0.05) gc
+
+(* --- Basic cache behaviour ------------------------------------------- *)
+
+let test_read_miss_then_hit () =
+  let c = mk () in
+  Memsim.Cache.access c 0 Memsim.Trace.Read mutator;
+  Memsim.Cache.access c 0 Memsim.Trace.Read mutator;
+  Memsim.Cache.access c 4 Memsim.Trace.Read mutator;
+  let s = stats c in
+  Alcotest.(check int) "refs" 3 s.Memsim.Cache.refs;
+  Alcotest.(check int) "one miss" 1 s.Memsim.Cache.misses;
+  Alcotest.(check int) "one fetch" 1 s.Memsim.Cache.fetches
+
+let test_direct_mapped_conflict () =
+  let c = mk ~size:1024 ~block:64 () in
+  (* addresses 0 and 1024 share cache block 0 *)
+  Memsim.Cache.access c 0 Memsim.Trace.Read mutator;
+  Memsim.Cache.access c 1024 Memsim.Trace.Read mutator;
+  Memsim.Cache.access c 0 Memsim.Trace.Read mutator;
+  let s = stats c in
+  Alcotest.(check int) "three misses" 3 s.Memsim.Cache.misses;
+  (* non-conflicting address in another set *)
+  Memsim.Cache.access c 64 Memsim.Trace.Read mutator;
+  Memsim.Cache.access c 64 Memsim.Trace.Read mutator;
+  Alcotest.(check int) "one more miss" 4 (stats c).Memsim.Cache.misses
+
+let test_write_validate_no_fetch () =
+  let c = mk ~policy:Memsim.Cache.Write_validate () in
+  Memsim.Cache.access c 0 Memsim.Trace.Alloc_write mutator;
+  Memsim.Cache.access c 4 Memsim.Trace.Alloc_write mutator;
+  let s = stats c in
+  Alcotest.(check int) "one miss (tag install)" 1 s.Memsim.Cache.misses;
+  Alcotest.(check int) "alloc miss" 1 s.Memsim.Cache.alloc_misses;
+  Alcotest.(check int) "no fetches" 0 s.Memsim.Cache.fetches;
+  (* reading back the written words hits *)
+  Memsim.Cache.access c 0 Memsim.Trace.Read mutator;
+  Memsim.Cache.access c 4 Memsim.Trace.Read mutator;
+  Alcotest.(check int) "still no fetch" 0 (stats c).Memsim.Cache.fetches
+
+let test_write_validate_subblock () =
+  let c = mk ~policy:Memsim.Cache.Write_validate () in
+  Memsim.Cache.access c 0 Memsim.Trace.Alloc_write mutator;
+  (* word 1 of the same block was never written: reading it fetches *)
+  Memsim.Cache.access c 8 Memsim.Trace.Read mutator;
+  let s = stats c in
+  Alcotest.(check int) "read of invalid word misses" 2 s.Memsim.Cache.misses;
+  Alcotest.(check int) "and fetches" 1 s.Memsim.Cache.fetches;
+  (* after the fetch the whole block is valid *)
+  Memsim.Cache.access c 60 Memsim.Trace.Read mutator;
+  Alcotest.(check int) "rest of block now valid" 2 (stats c).Memsim.Cache.misses
+
+let test_word63_validates () =
+  (* Regression: word 63 of a 256-byte block needs the 64th valid bit. *)
+  let c = mk ~size:4096 ~block:256 () in
+  Memsim.Cache.access c 252 Memsim.Trace.Write mutator;
+  Memsim.Cache.access c 252 Memsim.Trace.Read mutator;
+  let s = stats c in
+  Alcotest.(check int) "write installs, read hits" 1 s.Memsim.Cache.misses;
+  Alcotest.(check int) "no fetch" 0 s.Memsim.Cache.fetches;
+  (* and word 32, the low bit of the high mask *)
+  Memsim.Cache.access c 128 Memsim.Trace.Write mutator;
+  Memsim.Cache.access c 128 Memsim.Trace.Read mutator;
+  Alcotest.(check int) "word 32 hits too" 1 (stats c).Memsim.Cache.misses
+
+let test_fetch_on_write () =
+  let c = mk ~policy:Memsim.Cache.Fetch_on_write () in
+  Memsim.Cache.access c 0 Memsim.Trace.Alloc_write mutator;
+  let s = stats c in
+  Alcotest.(check int) "write miss fetches" 1 s.Memsim.Cache.fetches;
+  (* whole block valid after the fetch *)
+  Memsim.Cache.access c 32 Memsim.Trace.Read mutator;
+  Alcotest.(check int) "read hits" 1 (stats c).Memsim.Cache.misses
+
+let test_collector_phase () =
+  let c = mk ~policy:Memsim.Cache.Write_validate () in
+  Memsim.Cache.access c 0 Memsim.Trace.Write collector;
+  let s = stats c in
+  Alcotest.(check int) "collector refs" 1 s.Memsim.Cache.collector_refs;
+  Alcotest.(check int) "no mutator refs" 0 s.Memsim.Cache.refs;
+  (* collector writes fetch (fetch-on-write during collection) *)
+  Alcotest.(check int) "collector fetch" 1 s.Memsim.Cache.collector_fetches;
+  Alcotest.(check int) "collector miss" 1 s.Memsim.Cache.collector_misses
+
+let test_writebacks () =
+  let c = mk ~size:1024 ~block:64 () in
+  Memsim.Cache.access c 0 Memsim.Trace.Write mutator;
+  (* evicting a dirty block writes it back *)
+  Memsim.Cache.access c 1024 Memsim.Trace.Read mutator;
+  Alcotest.(check int) "one writeback" 1 (stats c).Memsim.Cache.writebacks;
+  (* a clean eviction does not *)
+  Memsim.Cache.access c 2048 Memsim.Trace.Read mutator;
+  Alcotest.(check int) "still one" 1 (stats c).Memsim.Cache.writebacks;
+  Alcotest.(check int) "write count" 1 (stats c).Memsim.Cache.writes
+
+let test_alloc_miss_classification () =
+  let c = mk () in
+  Memsim.Cache.access c 0 Memsim.Trace.Alloc_write mutator;
+  Memsim.Cache.access c 1024 Memsim.Trace.Write mutator;
+  let s = stats c in
+  Alcotest.(check int) "two misses" 2 s.Memsim.Cache.misses;
+  Alcotest.(check int) "one alloc miss" 1 s.Memsim.Cache.alloc_misses
+
+let test_block_stats () =
+  let c = mk ~block_stats:true () in
+  Memsim.Cache.access c 0 Memsim.Trace.Read mutator;
+  Memsim.Cache.access c 0 Memsim.Trace.Read mutator;
+  Memsim.Cache.access c 64 Memsim.Trace.Alloc_write mutator;
+  let refs = Memsim.Cache.block_refs c in
+  let misses = Memsim.Cache.block_misses c in
+  let allocs = Memsim.Cache.block_alloc_misses c in
+  Alcotest.(check int) "block 0 refs" 2 refs.(0);
+  Alcotest.(check int) "block 0 misses" 1 misses.(0);
+  Alcotest.(check int) "block 1 alloc misses" 1 allocs.(1);
+  Alcotest.(check int) "block 1 misses excl alloc" 0 misses.(1)
+
+let test_block_stats_guard () =
+  let c = mk () in
+  Alcotest.check_raises "requires record_block_stats"
+    (Invalid_argument "Cache.block_refs: cache created without record_block_stats")
+    (fun () -> ignore (Memsim.Cache.block_refs c))
+
+let test_miss_hook () =
+  let c = mk () in
+  let seen = ref [] in
+  Memsim.Cache.set_miss_hook c (fun ~cache_block ~alloc ->
+      seen := (cache_block, alloc) :: !seen);
+  Memsim.Cache.access c 0 Memsim.Trace.Alloc_write mutator;
+  Memsim.Cache.access c 0 Memsim.Trace.Read mutator;
+  Memsim.Cache.access c 64 Memsim.Trace.Read mutator;
+  Alcotest.(check (list (pair int bool)))
+    "hook calls (newest first)"
+    [ (1, false); (0, true) ]
+    !seen
+
+let test_reset () =
+  let c = mk () in
+  Memsim.Cache.access c 0 Memsim.Trace.Read mutator;
+  Memsim.Cache.reset_stats c;
+  let s = stats c in
+  Alcotest.(check int) "refs reset" 0 s.Memsim.Cache.refs;
+  Alcotest.(check int) "misses reset" 0 s.Memsim.Cache.misses;
+  (* contents kept: the line still hits *)
+  Memsim.Cache.access c 0 Memsim.Trace.Read mutator;
+  Alcotest.(check int) "hit after reset" 0 (stats c).Memsim.Cache.misses
+
+let test_create_validation () =
+  let bad f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  bad (fun () -> mk ~size:1000 ());
+  bad (fun () -> mk ~block:48 ());
+  bad (fun () -> mk ~size:32 ~block:64 ());
+  bad (fun () -> mk ~size:4096 ~block:512 ());
+  bad (fun () -> mk ~block:2 ())
+
+(* --- Sweep ------------------------------------------------------------ *)
+
+let test_sweep () =
+  let sw =
+    Memsim.Sweep.create
+      (Memsim.Sweep.grid ~cache_sizes:[ 1024; 2048 ] ~block_sizes:[ 32; 64 ] ())
+  in
+  Alcotest.(check int) "four caches" 4 (Array.length (Memsim.Sweep.caches sw));
+  let sink = Memsim.Sweep.sink sw in
+  sink.Memsim.Trace.access 0 Memsim.Trace.Read mutator;
+  List.iter
+    (fun (_, s) -> Alcotest.(check int) "each saw the ref" 1 s.Memsim.Cache.refs)
+    (Memsim.Sweep.results sw);
+  let c = Memsim.Sweep.find sw ~size_bytes:2048 ~block_bytes:32 in
+  Alcotest.(check int) "find locates" 2048
+    (Memsim.Cache.geometry c).Memsim.Cache.size_bytes;
+  (match Memsim.Sweep.find sw ~size_bytes:4096 ~block_bytes:32 with
+   | exception Not_found -> ()
+   | _ -> Alcotest.fail "expected Not_found")
+
+let test_size_labels () =
+  Alcotest.(check string) "kb" "64k"
+    (Format.asprintf "%a" Memsim.Sweep.pp_size (64 * 1024));
+  Alcotest.(check string) "mb" "2m"
+    (Format.asprintf "%a" Memsim.Sweep.pp_size (2 * 1024 * 1024));
+  Alcotest.(check string) "bytes" "48b" (Format.asprintf "%a" Memsim.Sweep.pp_size 48)
+
+let test_tee_and_counting () =
+  let s1, n1 = Memsim.Trace.counting () in
+  let s2, n2 = Memsim.Trace.counting () in
+  let s3, n3 = Memsim.Trace.counting () in
+  let tee = Memsim.Trace.tee [ s1; s2; s3 ] in
+  tee.Memsim.Trace.access 0 Memsim.Trace.Read mutator;
+  tee.Memsim.Trace.access 4 Memsim.Trace.Write mutator;
+  Alcotest.(check (list int)) "all counted" [ 2; 2; 2 ] [ n1 (); n2 (); n3 () ]
+
+(* --- Set-associative cache --------------------------------------------- *)
+
+let mk_assoc ?(policy = Memsim.Cache.Write_validate) ?(size = 1024)
+    ?(block = 64) ~ways () =
+  Memsim.Assoc.create
+    (Memsim.Assoc.config ~write_miss_policy:policy ~size_bytes:size
+       ~block_bytes:block ~ways ())
+
+let test_assoc_lru () =
+  (* 2-way, one set worth of conflict: A, B, A then C must evict B. *)
+  let c = mk_assoc ~size:128 ~block:64 ~ways:2 () in
+  let a = 0 and b = 128 and cc = 256 in
+  Memsim.Assoc.access c a Memsim.Trace.Read mutator;
+  Memsim.Assoc.access c b Memsim.Trace.Read mutator;
+  Memsim.Assoc.access c a Memsim.Trace.Read mutator;
+  Memsim.Assoc.access c cc Memsim.Trace.Read mutator;
+  (* A must still hit; B must miss. *)
+  Memsim.Assoc.access c a Memsim.Trace.Read mutator;
+  Alcotest.(check int) "A survives (LRU evicts B)" 3
+    (Memsim.Assoc.stats c).Memsim.Cache.misses;
+  Memsim.Assoc.access c b Memsim.Trace.Read mutator;
+  Alcotest.(check int) "B was evicted" 4
+    (Memsim.Assoc.stats c).Memsim.Cache.misses
+
+let test_assoc_removes_conflicts () =
+  (* Two addresses that thrash a direct-mapped cache coexist in a
+     2-way set. *)
+  let direct = mk ~size:1024 ~block:64 () in
+  let two_way = mk_assoc ~size:1024 ~block:64 ~ways:2 () in
+  for _ = 1 to 100 do
+    List.iter
+      (fun addr ->
+        Memsim.Cache.access direct addr Memsim.Trace.Read mutator;
+        Memsim.Assoc.access two_way addr Memsim.Trace.Read mutator)
+      [ 0; 1024 ]
+  done;
+  Alcotest.(check int) "direct-mapped thrashes" 200
+    (stats direct).Memsim.Cache.misses;
+  Alcotest.(check int) "two-way holds both" 2
+    (Memsim.Assoc.stats two_way).Memsim.Cache.misses
+
+let test_assoc_validation () =
+  let bad f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  bad (fun () -> mk_assoc ~ways:3 ());
+  bad (fun () -> mk_assoc ~ways:32 ());
+  bad (fun () -> mk_assoc ~size:64 ~block:64 ~ways:2 ())
+
+(* --- Two-level hierarchy ------------------------------------------------ *)
+
+let mk_hierarchy () =
+  Memsim.Hierarchy.create
+    (Memsim.Hierarchy.config
+       ~l1:(Memsim.Cache.config ~size_bytes:512 ~block_bytes:64 ())
+       ~l2:(Memsim.Cache.config ~size_bytes:4096 ~block_bytes:64 ())
+       ())
+
+let test_hierarchy_refill () =
+  let h = mk_hierarchy () in
+  (* first read misses both levels *)
+  Memsim.Hierarchy.access h 0 Memsim.Trace.Read mutator;
+  Alcotest.(check int) "L1 fetch" 1
+    (Memsim.Hierarchy.l1_stats h).Memsim.Cache.fetches;
+  Alcotest.(check int) "L2 fetch" 1
+    (Memsim.Hierarchy.l2_stats h).Memsim.Cache.fetches;
+  (* evict block 0 from L1 (conflict at 512) and re-read: L2 absorbs *)
+  Memsim.Hierarchy.access h 512 Memsim.Trace.Read mutator;
+  Memsim.Hierarchy.access h 0 Memsim.Trace.Read mutator;
+  Alcotest.(check int) "three L1 fetches" 3
+    (Memsim.Hierarchy.l1_stats h).Memsim.Cache.fetches;
+  Alcotest.(check int) "only two L2 fetches (one L2 hit)" 2
+    (Memsim.Hierarchy.l2_stats h).Memsim.Cache.fetches
+
+let test_hierarchy_writeback_path () =
+  let h = mk_hierarchy () in
+  (* dirty a block in L1, evict it, and re-read: the write-back must
+     have installed it in L2 so no memory fetch is needed *)
+  Memsim.Hierarchy.access h 0 Memsim.Trace.Write mutator;
+  Memsim.Hierarchy.access h 512 Memsim.Trace.Read mutator;
+  (* reading a different word of the written-back block: the whole
+     block must be valid in L2, so only the 512 read ever fetched *)
+  Memsim.Hierarchy.access h 8 Memsim.Trace.Read mutator;
+  Alcotest.(check int) "L1 write-back happened" 1
+    (Memsim.Hierarchy.l1_stats h).Memsim.Cache.writebacks;
+  Alcotest.(check int) "L2 fetched only for the read at 512" 1
+    (Memsim.Hierarchy.l2_stats h).Memsim.Cache.fetches
+
+let test_hierarchy_overhead () =
+  let h = mk_hierarchy () in
+  Memsim.Hierarchy.access h 0 Memsim.Trace.Read mutator;
+  (* one L1 fetch (60ns) + one L2 fetch (330ns) over 100 insns, slow *)
+  let o = Memsim.Hierarchy.overhead h Memsim.Timing.Slow ~instructions:100 in
+  Alcotest.(check (float 1e-9)) "overhead math" 0.13 o
+
+let test_hierarchy_validation () =
+  match
+    Memsim.Hierarchy.create
+      (Memsim.Hierarchy.config
+         ~l1:(Memsim.Cache.config ~size_bytes:512 ~block_bytes:64 ())
+         ~l2:(Memsim.Cache.config ~size_bytes:4096 ~block_bytes:32 ())
+         ())
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* --- Recording ----------------------------------------------------------- *)
+
+let test_recording_replay () =
+  let rec_ = Memsim.Recording.create () in
+  let sink = Memsim.Recording.sink rec_ in
+  sink.Memsim.Trace.access 0 Memsim.Trace.Alloc_write mutator;
+  sink.Memsim.Trace.access 64 Memsim.Trace.Read collector;
+  sink.Memsim.Trace.access 4 Memsim.Trace.Write mutator;
+  Alcotest.(check int) "length" 3 (Memsim.Recording.length rec_);
+  let a, k, p = Memsim.Recording.event rec_ 1 in
+  Alcotest.(check int) "event addr" 64 a;
+  Alcotest.(check bool) "event kind" true (k = Memsim.Trace.Read);
+  Alcotest.(check bool) "event phase" true (p = Memsim.Trace.Collector);
+  (* replay into a cache gives the same result as live feeding *)
+  let live = mk () in
+  Memsim.Cache.access live 0 Memsim.Trace.Alloc_write mutator;
+  Memsim.Cache.access live 64 Memsim.Trace.Read collector;
+  Memsim.Cache.access live 4 Memsim.Trace.Write mutator;
+  let replayed = mk () in
+  Memsim.Recording.replay rec_ (Memsim.Cache.sink replayed);
+  Alcotest.(check bool) "replay = live" true (stats live = stats replayed)
+
+let test_recording_file_roundtrip () =
+  let rec_ = Memsim.Recording.create ~initial_capacity:4 () in
+  let sink = Memsim.Recording.sink rec_ in
+  for i = 0 to 99 do
+    sink.Memsim.Trace.access (i * 4)
+      (if i land 1 = 0 then Memsim.Trace.Read else Memsim.Trace.Alloc_write)
+      (if i land 3 = 0 then collector else mutator)
+  done;
+  let path = Filename.temp_file "repro" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Memsim.Recording.save rec_ path;
+      let back = Memsim.Recording.load path in
+      Alcotest.(check int) "length survives" 100 (Memsim.Recording.length back);
+      for i = 0 to 99 do
+        Alcotest.(check bool)
+          (Printf.sprintf "event %d survives" i)
+          true
+          (Memsim.Recording.event rec_ i = Memsim.Recording.event back i)
+      done)
+
+let test_recording_bad_file () =
+  let path = Filename.temp_file "repro" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "not a trace file at all";
+      close_out oc;
+      match Memsim.Recording.load path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected Failure")
+
+(* --- Properties -------------------------------------------------------- *)
+
+(* The reference model: an address is a hit iff the last access mapping
+   to its set was to the same block and (for reads) the word is
+   fetched-or-written since the tag was installed.  Rather than
+   duplicating the sub-block logic we check coarser invariants. *)
+let trace_gen =
+  QCheck.Gen.(
+    list_size (int_bound 400)
+      (pair (int_bound 4096) (int_bound 2)))
+
+let invariants_prop =
+  QCheck.Test.make ~count:200 ~name:"cache counter invariants"
+    (QCheck.make trace_gen)
+    (fun events ->
+      let c = mk ~size:512 ~block:32 () in
+      List.iter
+        (fun (addr, k) ->
+          let addr = addr land lnot 3 in
+          let kind =
+            match k with
+            | 0 -> Memsim.Trace.Read
+            | 1 -> Memsim.Trace.Write
+            | _ -> Memsim.Trace.Alloc_write
+          in
+          Memsim.Cache.access c addr kind mutator)
+        events;
+      let s = stats c in
+      s.Memsim.Cache.refs = List.length events
+      && s.Memsim.Cache.misses <= s.Memsim.Cache.refs
+      && s.Memsim.Cache.fetches <= s.Memsim.Cache.misses
+      && s.Memsim.Cache.alloc_misses <= s.Memsim.Cache.misses
+      && s.Memsim.Cache.writebacks <= s.Memsim.Cache.writes)
+
+let policy_dominance_prop =
+  (* Fetch-on-write never fetches less than write-validate on the same
+     trace. *)
+  QCheck.Test.make ~count:200 ~name:"fetch-on-write fetches >= write-validate"
+    (QCheck.make trace_gen)
+    (fun events ->
+      let wv = mk ~policy:Memsim.Cache.Write_validate ~size:512 ~block:32 () in
+      let fow = mk ~policy:Memsim.Cache.Fetch_on_write ~size:512 ~block:32 () in
+      List.iter
+        (fun (addr, k) ->
+          let addr = addr land lnot 3 in
+          let kind =
+            match k with
+            | 0 -> Memsim.Trace.Read
+            | 1 -> Memsim.Trace.Write
+            | _ -> Memsim.Trace.Alloc_write
+          in
+          Memsim.Cache.access wv addr kind mutator;
+          Memsim.Cache.access fow addr kind mutator)
+        events;
+      (stats fow).Memsim.Cache.fetches >= (stats wv).Memsim.Cache.fetches)
+
+let assoc_one_way_equals_direct_prop =
+  QCheck.Test.make ~count:200 ~name:"1-way assoc cache = direct-mapped cache"
+    (QCheck.make trace_gen)
+    (fun events ->
+      let direct = mk ~size:512 ~block:32 () in
+      let one_way = mk_assoc ~size:512 ~block:32 ~ways:1 () in
+      List.iter
+        (fun (addr, k) ->
+          let addr = addr land lnot 3 in
+          let kind =
+            match k with
+            | 0 -> Memsim.Trace.Read
+            | 1 -> Memsim.Trace.Write
+            | _ -> Memsim.Trace.Alloc_write
+          in
+          Memsim.Cache.access direct addr kind mutator;
+          Memsim.Assoc.access one_way addr kind mutator)
+        events;
+      stats direct = Memsim.Assoc.stats one_way)
+
+let assoc_inclusion_prop =
+  (* The classic LRU inclusion property: with the number of sets held
+     fixed, adding ways can only remove (read) misses. *)
+  QCheck.Test.make ~count:200 ~name:"LRU inclusion with fixed set count"
+    (QCheck.make trace_gen)
+    (fun events ->
+      let run ways =
+        let c = mk_assoc ~size:(512 * ways) ~block:32 ~ways () in
+        List.iter
+          (fun (addr, _) ->
+            Memsim.Assoc.access c (addr land lnot 3) Memsim.Trace.Read mutator)
+          events;
+        (Memsim.Assoc.stats c).Memsim.Cache.misses
+      in
+      let m1 = run 1 in
+      let m2 = run 2 in
+      let m4 = run 4 in
+      m4 <= m2 && m2 <= m1)
+
+let fow_equals_misses_prop =
+  QCheck.Test.make ~count:200 ~name:"under fetch-on-write, fetches = misses"
+    (QCheck.make trace_gen)
+    (fun events ->
+      let c = mk ~policy:Memsim.Cache.Fetch_on_write ~size:512 ~block:32 () in
+      List.iter
+        (fun (addr, k) ->
+          let addr = addr land lnot 3 in
+          let kind =
+            match k with
+            | 0 -> Memsim.Trace.Read
+            | 1 -> Memsim.Trace.Write
+            | _ -> Memsim.Trace.Alloc_write
+          in
+          Memsim.Cache.access c addr kind mutator)
+        events;
+      let s = stats c in
+      s.Memsim.Cache.fetches = s.Memsim.Cache.misses)
+
+let () =
+  Alcotest.run "memsim"
+    [ ( "timing",
+        [ Alcotest.test_case "penalty table" `Quick test_penalties;
+          Alcotest.test_case "overhead math" `Quick test_overhead_math
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "read miss then hit" `Quick test_read_miss_then_hit;
+          Alcotest.test_case "direct-mapped conflicts" `Quick test_direct_mapped_conflict;
+          Alcotest.test_case "write-validate avoids fetches" `Quick test_write_validate_no_fetch;
+          Alcotest.test_case "sub-block validity" `Quick test_write_validate_subblock;
+          Alcotest.test_case "word 63 validates (256b blocks)" `Quick test_word63_validates;
+          Alcotest.test_case "fetch-on-write" `Quick test_fetch_on_write;
+          Alcotest.test_case "collector phase" `Quick test_collector_phase;
+          Alcotest.test_case "write-backs" `Quick test_writebacks;
+          Alcotest.test_case "alloc-miss classification" `Quick test_alloc_miss_classification;
+          Alcotest.test_case "per-block stats" `Quick test_block_stats;
+          Alcotest.test_case "per-block stats guard" `Quick test_block_stats_guard;
+          Alcotest.test_case "miss hook" `Quick test_miss_hook;
+          Alcotest.test_case "reset keeps contents" `Quick test_reset;
+          Alcotest.test_case "create validation" `Quick test_create_validation
+        ] );
+      ( "sweep",
+        [ Alcotest.test_case "fan-out" `Quick test_sweep;
+          Alcotest.test_case "size labels" `Quick test_size_labels;
+          Alcotest.test_case "tee and counting" `Quick test_tee_and_counting
+        ] );
+      ( "assoc",
+        [ Alcotest.test_case "LRU replacement" `Quick test_assoc_lru;
+          Alcotest.test_case "conflict elimination" `Quick
+            test_assoc_removes_conflicts;
+          Alcotest.test_case "validation" `Quick test_assoc_validation
+        ] );
+      ( "hierarchy",
+        [ Alcotest.test_case "refill path" `Quick test_hierarchy_refill;
+          Alcotest.test_case "write-back path" `Quick
+            test_hierarchy_writeback_path;
+          Alcotest.test_case "overhead math" `Quick test_hierarchy_overhead;
+          Alcotest.test_case "validation" `Quick test_hierarchy_validation
+        ] );
+      ( "recording",
+        [ Alcotest.test_case "record and replay" `Quick test_recording_replay;
+          Alcotest.test_case "file roundtrip" `Quick
+            test_recording_file_roundtrip;
+          Alcotest.test_case "bad file rejected" `Quick test_recording_bad_file
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest invariants_prop;
+          QCheck_alcotest.to_alcotest policy_dominance_prop;
+          QCheck_alcotest.to_alcotest fow_equals_misses_prop;
+          QCheck_alcotest.to_alcotest assoc_one_way_equals_direct_prop;
+          QCheck_alcotest.to_alcotest assoc_inclusion_prop
+        ] )
+    ]

@@ -1,0 +1,131 @@
+(* Workload tests: each of the five §3 analogues loads, runs at tiny
+   scale, produces its expected self-checked result, and behaves
+   identically under a collector. *)
+
+let run ?gc w ~scale =
+  let cfg =
+    { Vscheme.Machine.default_config with
+      heap_bytes = 32 * 1024 * 1024;
+      gc = Option.value gc ~default:Vscheme.Machine.No_gc
+    }
+  in
+  let m = Vscheme.Machine.create cfg in
+  Workloads.Workload.load m w;
+  let v = Workloads.Workload.run m w ~scale in
+  (Vscheme.Machine.value_to_string m v, Vscheme.Machine.stats m)
+
+let test_registry () =
+  Alcotest.(check int) "five workloads" 5 (List.length Workloads.Workload.all);
+  Alcotest.(check (list string)) "paper order"
+    [ "selfcomp"; "prover"; "lred"; "nbody"; "mexpr" ]
+    (List.map (fun w -> w.Workloads.Workload.name) Workloads.Workload.all);
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (w.Workloads.Workload.name ^ " findable")
+        true
+        (match Workloads.Workload.find w.Workloads.Workload.name with
+         | Some found ->
+           String.equal found.Workloads.Workload.name w.Workloads.Workload.name
+         | None -> false);
+      Alcotest.(check bool)
+        (w.Workloads.Workload.name ^ " has substantial source")
+        true
+        (Workloads.Workload.source_lines w > 50))
+    Workloads.Workload.all;
+  Alcotest.(check bool) "unknown not found" true
+    (match Workloads.Workload.find "nope" with
+     | None -> true
+     | Some _ -> false)
+
+let test_runs w =
+  Alcotest.test_case (w.Workloads.Workload.name ^ " runs") `Quick (fun () ->
+      let v, stats = run w ~scale:1 in
+      Alcotest.(check bool) "nonempty result" true (String.length v > 0);
+      Alcotest.(check bool) "allocates" true
+        (stats.Vscheme.Machine.bytes_allocated > 100_000);
+      Alcotest.(check bool) "executes" true
+        (stats.Vscheme.Machine.mutator_insns > 1_000_000))
+
+let test_deterministic w =
+  Alcotest.test_case (w.Workloads.Workload.name ^ " deterministic") `Quick
+    (fun () ->
+      let v1, s1 = run w ~scale:1 in
+      let v2, s2 = run w ~scale:1 in
+      Alcotest.(check string) "same value" v1 v2;
+      Alcotest.(check int) "same instructions" s1.Vscheme.Machine.mutator_insns
+        s2.Vscheme.Machine.mutator_insns)
+
+let test_gc_invariant w =
+  Alcotest.test_case (w.Workloads.Workload.name ^ " GC-invariant") `Slow
+    (fun () ->
+      let v_nogc, _ = run w ~scale:2 in
+      (* lred's trail grows for the whole run, so its semispace must be
+         larger (that is the point of the workload, sec. 6). *)
+      let semispace_bytes =
+        if String.equal w.Workloads.Workload.name "lred" then 768 * 1024
+        else 128 * 1024
+      in
+      let v_cheney, s =
+        run ~gc:(Vscheme.Machine.Cheney { semispace_bytes }) w ~scale:2
+      in
+      Alcotest.(check string) "same result under Cheney" v_nogc v_cheney;
+      Alcotest.(check bool) "collected" true (s.Vscheme.Machine.collections > 0);
+      let v_gen, _ =
+        run
+          ~gc:
+            (Vscheme.Machine.Generational
+               { nursery_bytes = 64 * 1024; old_bytes = 8 * 1024 * 1024 })
+          w ~scale:2
+      in
+      Alcotest.(check string) "same result under generational" v_nogc v_gen)
+
+let test_scale_monotone w =
+  Alcotest.test_case (w.Workloads.Workload.name ^ " scales") `Slow (fun () ->
+      let _, s1 = run w ~scale:1 in
+      let _, s2 = run w ~scale:3 in
+      Alcotest.(check bool) "more work at higher scale" true
+        (s2.Vscheme.Machine.mutator_insns > s1.Vscheme.Machine.mutator_insns))
+
+(* Workload-specific result sanity. *)
+let test_selfcomp_output () =
+  let v, _ = run Workloads.Workload.selfcomp ~scale:1 in
+  (* total instruction count across compiled units: a positive fixnum *)
+  Alcotest.(check bool) "positive count" true (int_of_string v > 0)
+
+let test_prover_refutes () =
+  (* prover errors out if pigeonhole is not refuted, so completing is
+     itself the check; the result counts saturation steps. *)
+  let v, _ = run Workloads.Workload.prover ~scale:1 in
+  Alcotest.(check bool) "steps counted" true (int_of_string v > 0)
+
+let test_lred_structure () =
+  let v, _ = run Workloads.Workload.lred ~scale:1 in
+  (* (done total-steps trail-length typed-count) *)
+  Alcotest.(check bool) "done marker" true
+    (String.length v > 6 && String.sub v 1 4 = "done")
+
+let test_nbody_energy () =
+  let v, _ = run Workloads.Workload.nbody ~scale:1 in
+  Alcotest.(check bool) "kinetic energy gained" true (int_of_string v > 0)
+
+let test_mexpr_accepts () =
+  let v, _ = run Workloads.Workload.mexpr ~scale:1 in
+  Alcotest.(check bool) "done marker" true
+    (String.length v > 6 && String.sub v 1 4 = "done")
+
+let () =
+  Alcotest.run "workloads"
+    [ ("registry", [ Alcotest.test_case "registry" `Quick test_registry ]);
+      ("runs", List.map test_runs Workloads.Workload.all);
+      ("determinism", List.map test_deterministic Workloads.Workload.all);
+      ("gc-invariance", List.map test_gc_invariant Workloads.Workload.all);
+      ("scaling", List.map test_scale_monotone Workloads.Workload.all);
+      ( "results",
+        [ Alcotest.test_case "selfcomp output" `Quick test_selfcomp_output;
+          Alcotest.test_case "prover refutes" `Quick test_prover_refutes;
+          Alcotest.test_case "lred structure" `Quick test_lred_structure;
+          Alcotest.test_case "nbody energy" `Quick test_nbody_energy;
+          Alcotest.test_case "mexpr accepts" `Quick test_mexpr_accepts
+        ] )
+    ]
