@@ -1,0 +1,27 @@
+# Convenience targets; CI runs `make check`.
+
+.PHONY: all build test bench check untracked-build clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Fail if the _build tree ever sneaks back into the index.
+untracked-build:
+	@n=$$(git ls-files _build | wc -l); \
+	if [ "$$n" -ne 0 ]; then \
+	  echo "error: $$n file(s) under _build/ are tracked by git"; exit 1; \
+	fi
+
+check: build test untracked-build
+	@echo "check: ok"
+
+clean:
+	dune clean

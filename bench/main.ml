@@ -85,6 +85,39 @@ let analyzer_bench =
          done;
          t := !t + 4096))
 
+(* Telemetry hot paths: a counter update against a disabled registry
+   (the cost every instrumentation site pays when telemetry is off)
+   vs. an enabled one, and histogram observation. *)
+let obs_counter_disabled_bench =
+  let reg = Obs.Metrics.create ~enabled:false () in
+  let c = Obs.Metrics.counter reg "bench.count" in
+  Bechamel.Test.make ~name:"obs-counter-disabled-1k"
+    (Bechamel.Staged.stage (fun () ->
+         for _ = 1 to 1000 do
+           Obs.Metrics.Counter.incr c
+         done))
+
+let obs_counter_enabled_bench =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "bench.count" in
+  Bechamel.Test.make ~name:"obs-counter-enabled-1k"
+    (Bechamel.Staged.stage (fun () ->
+         for _ = 1 to 1000 do
+           Obs.Metrics.Counter.incr c
+         done))
+
+let obs_histogram_bench =
+  let reg = Obs.Metrics.create () in
+  let h =
+    Obs.Metrics.histogram reg "bench.hist"
+      ~buckets:[| 10.; 100.; 1000.; 10000. |]
+  in
+  Bechamel.Test.make ~name:"obs-histogram-1k"
+    (Bechamel.Staged.stage (fun () ->
+         for i = 1 to 1000 do
+           Obs.Metrics.Histogram.observe_int h (i * 37 land 8191)
+         done))
+
 let run_perf () =
   let open Bechamel in
   let open Toolkit in
@@ -92,7 +125,9 @@ let run_perf () =
     "@.==== simulator microbenchmarks (host performance, Bechamel) ====@.";
   let grouped =
     Test.make_grouped ~name:"perf" ~fmt:"%s %s"
-      [ cache_bench; vm_bench; gc_bench; analyzer_bench ]
+      [ cache_bench; vm_bench; gc_bench; analyzer_bench;
+        obs_counter_disabled_bench; obs_counter_enabled_bench;
+        obs_histogram_bench ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -104,16 +139,42 @@ let run_perf () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
-  List.iter
+  List.filter_map
     (fun (name, r) ->
       match Analyze.OLS.estimates r with
-      | Some [ est ] -> Format.fprintf ppf "%-32s %14.1f ns/run@." name est
-      | Some _ | None -> Format.fprintf ppf "%-32s (no estimate)@." name)
+      | Some [ est ] ->
+        Format.fprintf ppf "%-32s %14.1f ns/run@." name est;
+        Some (name, est)
+      | Some _ | None ->
+        Format.fprintf ppf "%-32s (no estimate)@." name;
+        None)
     (List.sort compare rows)
+
+let write_bench_metrics results =
+  let json =
+    Obs.Json.Obj
+      [ ("scale_factor", Obs.Json.Int (Core.Runner.scale_factor ()));
+        ("benchmarks",
+         Obs.Json.Obj
+           (List.map
+              (fun (name, est) ->
+                (name, Obs.Json.Obj [ ("ns_per_run", Obs.Json.Float est) ]))
+              results))
+      ]
+  in
+  let oc = open_out "BENCH_metrics.json" in
+  output_string oc (Obs.Json.to_pretty_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf ppf "wrote BENCH_metrics.json (%d benchmarks)@."
+    (List.length results)
 
 let () =
   run_experiments ();
-  (match Sys.getenv_opt "REPRO_SKIP_PERF" with
-   | Some "1" -> ()
-   | Some _ | None -> run_perf ());
+  let results =
+    match Sys.getenv_opt "REPRO_SKIP_PERF" with
+    | Some "1" -> []
+    | Some _ | None -> run_perf ()
+  in
+  write_bench_metrics results;
   Format.pp_print_flush ppf ()

@@ -8,19 +8,9 @@ let ppf = Format.std_formatter
 
 let size_conv =
   let parse s =
-    let mult, body =
-      let n = String.length s in
-      if n = 0 then (1, s)
-      else
-        match s.[n - 1] with
-        | 'k' | 'K' -> (1024, String.sub s 0 (n - 1))
-        | 'm' | 'M' -> (1024 * 1024, String.sub s 0 (n - 1))
-        | '0' .. '9' -> (1, s)
-        | _ -> (0, s)
-    in
-    match int_of_string_opt body with
-    | Some n when mult > 0 && n > 0 -> Ok (n * mult)
-    | Some _ | None -> Error (`Msg (Printf.sprintf "bad size %S (try 64k, 2m)" s))
+    match Core.Units.parse_size s with
+    | Ok n -> Ok n
+    | Error msg -> Error (`Msg (msg ^ " (try 64k, 2m, 1g)"))
   in
   let print fmt n = Format.fprintf fmt "%a" Memsim.Sweep.pp_size n in
   Cmdliner.Arg.conv (parse, print)
@@ -70,6 +60,39 @@ let gc_conv =
   in
   Cmdliner.Arg.conv (parse, print)
 
+(* --- telemetry exports ------------------------------------------------- *)
+
+let write_telemetry tel ~metrics ~trace_events =
+  let write done_msg f =
+    try
+      f ();
+      Format.fprintf ppf "%s@." done_msg;
+      0
+    with Sys_error msg ->
+      Format.eprintf "repro: %s@." msg;
+      1
+  in
+  match tel with
+  | None -> 0
+  | Some t ->
+    let rc_metrics =
+      match metrics with
+      | None -> 0
+      | Some path ->
+        write
+          (Printf.sprintf "wrote metrics to %s" path)
+          (fun () -> Core.Telemetry.write_metrics t path)
+    in
+    let rc_trace =
+      match trace_events with
+      | None -> 0
+      | Some path ->
+        write
+          (Printf.sprintf "wrote trace events to %s (load in Perfetto)" path)
+          (fun () -> Core.Telemetry.write_chrome_trace t path)
+    in
+    max rc_metrics rc_trace
+
 (* --- experiments ------------------------------------------------------ *)
 
 let list_experiments () =
@@ -82,31 +105,6 @@ let list_experiments () =
              e.Core.Experiments.title ])
          Core.Experiments.all);
   0
-
-let run_experiments ids =
-  match ids with
-  | [] ->
-    Core.Experiments.run_all ppf;
-    0
-  | ids ->
-    let missing = List.filter (fun id -> Core.Experiments.find id = None) ids in
-    if missing <> [] then begin
-      Format.eprintf "unknown experiment(s): %s@." (String.concat ", " missing);
-      1
-    end
-    else begin
-      List.iter
-        (fun id ->
-          match Core.Experiments.find id with
-          | Some e ->
-            Format.fprintf ppf "@.==== E-%s: %s [%s] ====@."
-              e.Core.Experiments.id e.Core.Experiments.title
-              e.Core.Experiments.paper_artifact;
-            e.Core.Experiments.run ppf
-          | None -> assert false)
-        ids;
-      0
-    end
 
 (* --- scheme ------------------------------------------------------------ *)
 
@@ -178,52 +176,120 @@ let list_workloads () =
          Workloads.Workload.all);
   0
 
-let simulate name cache_bytes block_bytes policy gc scale =
+let run_workload w cache_bytes block_bytes policy gc scale metrics trace_events
+    =
+  let tel =
+    if metrics <> None || trace_events <> None then
+      Some (Core.Telemetry.create ())
+    else None
+  in
+  let events = Option.map Core.Telemetry.timeline tel in
+  let cache =
+    Memsim.Cache.create
+      (Memsim.Cache.config ~write_miss_policy:policy ~size_bytes:cache_bytes
+         ~block_bytes ())
+  in
+  let r = Runner_facade.run ~gc ~cache ?events ?scale w in
+  let s = Memsim.Cache.stats cache in
+  let insns = r.Core.Runner.stats.Vscheme.Machine.mutator_insns in
+  Core.Report.table ppf ~headers:[ "metric"; "value" ]
+    ~rows:
+      [ [ "workload"; w.Workloads.Workload.name ];
+        [ "scale"; string_of_int r.Core.Runner.scale ];
+        [ "result"; r.Core.Runner.value ];
+        [ "instructions"; Core.Report.eng insns ];
+        [ "references"; Core.Report.eng r.Core.Runner.refs ];
+        [ "collector refs"; Core.Report.eng s.Memsim.Cache.collector_refs ];
+        [ "allocated";
+          Core.Report.mb r.Core.Runner.stats.Vscheme.Machine.bytes_allocated
+        ];
+        [ "collections";
+          string_of_int r.Core.Runner.stats.Vscheme.Machine.collections ];
+        [ "misses"; Core.Report.eng s.Memsim.Cache.misses ];
+        [ "collector misses"; Core.Report.eng s.Memsim.Cache.collector_misses ];
+        [ "alloc misses"; Core.Report.eng s.Memsim.Cache.alloc_misses ];
+        [ "fetches"; Core.Report.eng s.Memsim.Cache.fetches ];
+        [ "miss ratio";
+          Format.sprintf "%.4f"
+            (float_of_int s.Memsim.Cache.misses
+             /. float_of_int (max 1 s.Memsim.Cache.refs))
+        ];
+        [ "O_cache slow";
+          Core.Report.pct
+            (Memsim.Timing.cache_overhead Memsim.Timing.Slow ~block_bytes
+               ~fetches:s.Memsim.Cache.fetches ~instructions:insns)
+        ];
+        [ "O_cache fast";
+          Core.Report.pct
+            (Memsim.Timing.cache_overhead Memsim.Timing.Fast ~block_bytes
+               ~fetches:s.Memsim.Cache.fetches ~instructions:insns)
+        ]
+      ];
+  (match tel with
+   | None -> ()
+   | Some t ->
+     Core.Telemetry.record_run t r;
+     Core.Telemetry.record_cache t s;
+     Core.Telemetry.set_meta t "cache_bytes" (Obs.Json.Int cache_bytes);
+     Core.Telemetry.set_meta t "block_bytes" (Obs.Json.Int block_bytes));
+  write_telemetry tel ~metrics ~trace_events
+
+let simulate name cache_bytes block_bytes policy gc scale metrics trace_events =
   match Workloads.Workload.find name with
   | None ->
     Format.eprintf "unknown workload %S (try `repro workloads')@." name;
     1
   | Some w ->
-    let cache =
-      Memsim.Cache.create
-        (Memsim.Cache.config ~write_miss_policy:policy ~size_bytes:cache_bytes
-           ~block_bytes ())
-    in
-    let r = Runner_facade.run ~gc ~cache ?scale w in
-    let s = Memsim.Cache.stats cache in
-    let insns = r.Core.Runner.stats.Vscheme.Machine.mutator_insns in
-    Core.Report.table ppf ~headers:[ "metric"; "value" ]
-      ~rows:
-        [ [ "workload"; w.Workloads.Workload.name ];
-          [ "scale"; string_of_int r.Core.Runner.scale ];
-          [ "result"; r.Core.Runner.value ];
-          [ "instructions"; Core.Report.eng insns ];
-          [ "references"; Core.Report.eng r.Core.Runner.refs ];
-          [ "allocated";
-            Core.Report.mb r.Core.Runner.stats.Vscheme.Machine.bytes_allocated
-          ];
-          [ "collections";
-            string_of_int r.Core.Runner.stats.Vscheme.Machine.collections ];
-          [ "misses"; Core.Report.eng s.Memsim.Cache.misses ];
-          [ "alloc misses"; Core.Report.eng s.Memsim.Cache.alloc_misses ];
-          [ "fetches"; Core.Report.eng s.Memsim.Cache.fetches ];
-          [ "miss ratio";
-            Format.sprintf "%.4f"
-              (float_of_int s.Memsim.Cache.misses
-               /. float_of_int (max 1 s.Memsim.Cache.refs))
-          ];
-          [ "O_cache slow";
-            Core.Report.pct
-              (Memsim.Timing.cache_overhead Memsim.Timing.Slow ~block_bytes
-                 ~fetches:s.Memsim.Cache.fetches ~instructions:insns)
-          ];
-          [ "O_cache fast";
-            Core.Report.pct
-              (Memsim.Timing.cache_overhead Memsim.Timing.Fast ~block_bytes
-                 ~fetches:s.Memsim.Cache.fetches ~instructions:insns)
-          ]
-        ];
+    run_workload w cache_bytes block_bytes policy gc scale metrics trace_events
+
+(* [repro run] targets are experiment ids or workload names; workloads
+   go through the simulated cache with the telemetry flags. *)
+let run_targets targets cache_bytes block_bytes policy gc scale metrics
+    trace_events =
+  match targets with
+  | [] ->
+    Core.Experiments.run_all ppf;
     0
+  | targets ->
+    let classified =
+      List.map
+        (fun id ->
+          match Core.Experiments.find id with
+          | Some e -> `Experiment e
+          | None -> (
+            match Workloads.Workload.find id with
+            | Some w -> `Workload w
+            | None -> `Unknown id))
+        targets
+    in
+    let unknown =
+      List.filter_map
+        (function `Unknown id -> Some id | _ -> None)
+        classified
+    in
+    if unknown <> [] then begin
+      Format.eprintf
+        "unknown experiment or workload(s): %s (try `repro experiments' or \
+         `repro workloads')@."
+        (String.concat ", " unknown);
+      1
+    end
+    else
+      List.fold_left
+        (fun rc target ->
+          match target with
+          | `Experiment e ->
+            Format.fprintf ppf "@.==== E-%s: %s [%s] ====@."
+              e.Core.Experiments.id e.Core.Experiments.title
+              e.Core.Experiments.paper_artifact;
+            e.Core.Experiments.run ppf;
+            rc
+          | `Workload w ->
+            max rc
+              (run_workload w cache_bytes block_bytes policy gc scale metrics
+                 trace_events)
+          | `Unknown _ -> assert false)
+        0 classified
 
 (* --- record / replay ----------------------------------------------------- *)
 
@@ -271,9 +337,76 @@ let replay path cache_bytes block_bytes policy =
         ];
     0
 
+(* Replay a saved trace and dump the telemetry document: per-phase
+   cache counters as metrics, collector activity reconstructed from
+   the trace's phase bits as gc.collection spans. *)
+let stats_of_trace path cache_bytes block_bytes policy metrics trace_events =
+  match Memsim.Recording.load path with
+  | exception Sys_error msg | exception Failure msg ->
+    Format.eprintf "stats: %s@." msg;
+    1
+  | recording ->
+    let cache =
+      Memsim.Cache.create
+        (Memsim.Cache.config ~write_miss_policy:policy ~size_bytes:cache_bytes
+           ~block_bytes ())
+    in
+    Memsim.Recording.replay recording (Memsim.Cache.sink cache);
+    let t =
+      Core.Telemetry.create
+        ~timeline:(Core.Telemetry.of_recording recording) ()
+    in
+    Core.Telemetry.set_meta t "trace" (Obs.Json.Str path);
+    Core.Telemetry.set_meta t "trace_events"
+      (Obs.Json.Int (Memsim.Recording.length recording));
+    Core.Telemetry.set_meta t "cache_bytes" (Obs.Json.Int cache_bytes);
+    Core.Telemetry.set_meta t "block_bytes" (Obs.Json.Int block_bytes);
+    Core.Telemetry.record_cache t (Memsim.Cache.stats cache);
+    (match metrics with
+     | None ->
+       print_string (Obs.Json.to_pretty_string (Core.Telemetry.to_json t));
+       print_newline ()
+     | Some _ -> ());
+    write_telemetry (Some t) ~metrics ~trace_events
+
 (* --- Command definitions ------------------------------------------------ *)
 
 open Cmdliner
+
+let policy_conv =
+  Arg.enum
+    [ ("write-validate", Memsim.Cache.Write_validate);
+      ("fetch-on-write", Memsim.Cache.Fetch_on_write)
+    ]
+
+let cache_arg =
+  Arg.(value & opt size_conv (64 * 1024) & info [ "cache" ] ~docv:"SIZE" ~doc:"Cache size")
+
+let block_arg =
+  Arg.(value & opt int 64 & info [ "block" ] ~docv:"BYTES" ~doc:"Block size")
+
+let policy_arg =
+  Arg.(value & opt policy_conv Memsim.Cache.Write_validate
+       & info [ "policy" ] ~docv:"POLICY" ~doc:"Write-miss policy")
+
+let gc_arg =
+  Arg.(value & opt gc_conv Vscheme.Machine.No_gc
+       & info [ "gc" ] ~docv:"GC" ~doc:"Collector: none, cheney:SIZE, gen:NURSERY:OLD, marksweep:NURSERY:OLD")
+
+let scale_arg =
+  Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N" ~doc:"Workload scale")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write a JSON telemetry document (meta, per-phase cache and \
+                 GC counters, event timeline) to $(docv)")
+
+let trace_events_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-events" ] ~docv:"FILE"
+           ~doc:"Write the event timeline in Chrome trace-event format to \
+                 $(docv) (load in chrome://tracing or Perfetto)")
 
 let experiments_cmd =
   Cmd.v (Cmd.info "experiments" ~doc:"List the paper's experiments")
@@ -281,13 +414,17 @@ let experiments_cmd =
 
 let run_cmd =
   let ids =
-    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all)")
+    Arg.(value & pos_all string []
+         & info [] ~docv:"TARGET"
+             ~doc:"Experiment ids and/or workload names (default: all \
+                   experiments)")
   in
   Cmd.v
     (Cmd.info "run"
-       ~doc:"Run experiments and print their tables/figures (REPRO_SCALE \
-             lengthens the runs)")
-    Term.(const run_experiments $ ids)
+       ~doc:"Run experiments (print their tables/figures) or workloads \
+             through the simulated cache; REPRO_SCALE lengthens the runs")
+    Term.(const run_targets $ ids $ cache_arg $ block_arg $ policy_arg
+          $ gc_arg $ scale_arg $ metrics_arg $ trace_events_arg)
 
 let scheme_cmd =
   let file =
@@ -315,35 +452,14 @@ let workloads_cmd =
   Cmd.v (Cmd.info "workloads" ~doc:"List the five test-program workloads")
     Term.(const list_workloads $ const ())
 
-let policy_conv =
-  Arg.enum
-    [ ("write-validate", Memsim.Cache.Write_validate);
-      ("fetch-on-write", Memsim.Cache.Fetch_on_write)
-    ]
-
 let simulate_cmd =
   let workload_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name")
   in
-  let cache =
-    Arg.(value & opt size_conv (64 * 1024) & info [ "cache" ] ~docv:"SIZE" ~doc:"Cache size")
-  in
-  let block =
-    Arg.(value & opt int 64 & info [ "block" ] ~docv:"BYTES" ~doc:"Block size")
-  in
-  let policy =
-    Arg.(value & opt policy_conv Memsim.Cache.Write_validate
-         & info [ "policy" ] ~docv:"POLICY" ~doc:"Write-miss policy")
-  in
-  let gc =
-    Arg.(value & opt gc_conv Vscheme.Machine.No_gc & info [ "gc" ] ~docv:"GC" ~doc:"Collector")
-  in
-  let scale =
-    Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N" ~doc:"Workload scale")
-  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one workload through one cache configuration")
-    Term.(const simulate $ workload_arg $ cache $ block $ policy $ gc $ scale)
+    Term.(const simulate $ workload_arg $ cache_arg $ block_arg $ policy_arg
+          $ gc_arg $ scale_arg $ metrics_arg $ trace_events_arg)
 
 let record_cmd =
   let workload_arg =
@@ -363,20 +479,22 @@ let replay_cmd =
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file from `repro record'")
   in
-  let cache =
-    Arg.(value & opt size_conv (64 * 1024) & info [ "cache" ] ~docv:"SIZE" ~doc:"Cache size")
-  in
-  let block =
-    Arg.(value & opt int 64 & info [ "block" ] ~docv:"BYTES" ~doc:"Block size")
-  in
-  let policy =
-    Arg.(value & opt policy_conv Memsim.Cache.Write_validate
-         & info [ "policy" ] ~docv:"POLICY" ~doc:"Write-miss policy")
-  in
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Replay a recorded trace through a cache configuration")
-    Term.(const replay $ path $ cache $ block $ policy)
+    Term.(const replay $ path $ cache_arg $ block_arg $ policy_arg)
+
+let stats_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file from `repro record'")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Replay a recorded trace and dump a telemetry document: \
+             per-phase cache counters plus GC spans reconstructed from the \
+             trace's phase bits (stdout, or --metrics FILE)")
+    Term.(const stats_of_trace $ path $ cache_arg $ block_arg $ policy_arg
+          $ metrics_arg $ trace_events_arg)
 
 let main =
   Cmd.group
@@ -384,6 +502,6 @@ let main =
        ~doc:"Cache Performance of Garbage-Collected Programs (PLDI 1994), \
              reproduced")
     [ experiments_cmd; run_cmd; scheme_cmd; workloads_cmd; simulate_cmd;
-      record_cmd; replay_cmd ]
+      record_cmd; replay_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval' main)

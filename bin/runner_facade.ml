@@ -1,5 +1,5 @@
 (* Small adapter so the CLI can run a workload with one cache
    attached. *)
 
-let run ~gc ~cache ?scale w =
-  Core.Runner.run ~gc ?scale ~sinks:[ Memsim.Cache.sink cache ] w
+let run ~gc ~cache ?events ?scale w =
+  Core.Runner.run ~gc ?events ?scale ~sinks:[ Memsim.Cache.sink cache ] w

@@ -33,22 +33,8 @@ let layout machine ~dynamic_base =
   in
   words * Memsim.Trace.word_bytes
 
-(* A cheap counting sink for mutator and collector references. *)
-let ref_counter () =
-  let mut = ref 0 in
-  let col = ref 0 in
-  let sink =
-    { Memsim.Trace.access =
-        (fun _addr _kind phase ->
-          match (phase : Memsim.Trace.phase) with
-          | Memsim.Trace.Mutator -> incr mut
-          | Memsim.Trace.Collector -> incr col)
-    }
-  in
-  (sink, mut, col)
-
 let run ?(gc = Vscheme.Machine.No_gc) ?heap_bytes ?(pathological_layout = false)
-    ?(sinks = []) ?scale w =
+    ?(sinks = []) ?events ?scale w =
   let heap_bytes =
     match heap_bytes with
     | Some b -> b
@@ -59,23 +45,34 @@ let run ?(gc = Vscheme.Machine.No_gc) ?heap_bytes ?(pathological_layout = false)
     | Some s -> s
     | None -> base_scale w * scale_factor ()
   in
-  let counter, mut, col = ref_counter () in
+  let counter, counts = Memsim.Trace.counting_by_phase () in
   let cfg =
     { Vscheme.Machine.default_config with
       gc;
       heap_bytes;
       pathological_layout;
-      sink = Memsim.Trace.tee (counter :: sinks)
+      sink = Memsim.Trace.tee (counter :: sinks);
+      telemetry = events
     }
   in
+  let mark kind name =
+    match events with
+    | None -> ()
+    | Some tl -> Obs.Events.emit tl ~cat:"phase" kind name
+  in
   let machine = Vscheme.Machine.create cfg in
+  mark Obs.Events.Begin "phase.load";
   Workloads.Workload.load machine w;
+  mark Obs.Events.End "phase.load";
+  mark Obs.Events.Begin "phase.run";
   let value = Workloads.Workload.run machine w ~scale in
+  mark Obs.Events.End "phase.run";
+  let mut, col = counts () in
   { workload = w;
     scale;
     value = Vscheme.Machine.value_to_string machine value;
-    refs = !mut;
-    collector_refs = !col;
+    refs = mut;
+    collector_refs = col;
     stats = Vscheme.Machine.stats machine;
     machine
   }

@@ -36,9 +36,13 @@ val run :
   ?heap_bytes:int ->
   ?pathological_layout:bool ->
   ?sinks:Memsim.Trace.sink list ->
+  ?events:Obs.Events.timeline ->
   ?scale:int ->
   Workloads.Workload.t ->
   result
 (** Run a workload to completion.  [scale] defaults to
     [base_scale w * scale_factor ()].  [pathological_layout] selects
-    the stack-aliasing static layout of experiment A2. *)
+    the stack-aliasing static layout of experiment A2.  [events], when
+    given, becomes the machine's telemetry timeline (GC lifecycle
+    events) and additionally receives [phase.load] / [phase.run]
+    markers around workload loading and execution. *)

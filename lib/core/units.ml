@@ -1,0 +1,27 @@
+let parse_size str =
+  let s = String.trim str in
+  let len = String.length s in
+  if len = 0 then Error "empty size"
+  else
+    let mult =
+      match s.[len - 1] with
+      | 'k' | 'K' -> 1024
+      | 'm' | 'M' -> 1024 * 1024
+      | 'g' | 'G' -> 1024 * 1024 * 1024
+      | _ -> 1
+    in
+    let digits = if mult = 1 then s else String.sub s 0 (len - 1) in
+    if digits = "" then Error (Printf.sprintf "no digits in size %S" str)
+    else if not (String.for_all (fun c -> c >= '0' && c <= '9') digits) then
+      Error
+        (Printf.sprintf
+           "invalid size %S (expected digits with an optional k/m/g suffix)"
+           str)
+    else
+      match int_of_string_opt digits with
+      | None -> Error (Printf.sprintf "size %S is out of range" str)
+      | Some n ->
+        if n = 0 then Error (Printf.sprintf "size must be positive: %S" str)
+        else if n > max_int / mult then
+          Error (Printf.sprintf "size %S overflows the native integer" str)
+        else Ok (n * mult)

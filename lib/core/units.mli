@@ -1,0 +1,7 @@
+(** Byte-size parsing shared by the CLI and experiment configs. *)
+
+val parse_size : string -> (int, string) result
+(** [parse_size "64k"] is [Ok 65536].  Accepts a run of decimal digits
+    with an optional [k]/[K], [m]/[M] or [g]/[G] suffix (powers of
+    1024).  Rejects zero, negative, malformed and overflowing sizes
+    (the multiply is checked against [max_int]). *)

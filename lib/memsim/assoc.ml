@@ -33,7 +33,9 @@ type t = {
   mutable fetches : int;
   mutable collector_fetches : int;
   mutable writebacks : int;
+  mutable collector_writebacks : int;
   mutable writes : int;
+  mutable collector_writes : int;
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -77,7 +79,9 @@ let create cfg =
     fetches = 0;
     collector_fetches = 0;
     writebacks = 0;
-    writes = 0
+    collector_writebacks = 0;
+    writes = 0;
+    collector_writes = 0
   }
 
 let geometry t = t.cfg
@@ -103,7 +107,10 @@ let access t addr kind phase =
     | Trace.Read -> false
     | Trace.Write | Trace.Alloc_write -> true
   in
-  if is_store then t.writes <- t.writes + 1;
+  if is_store then begin
+    t.writes <- t.writes + 1;
+    if not mutator then t.collector_writes <- t.collector_writes + 1
+  end;
   (* find the line holding this block, if any *)
   let line = ref (-1) in
   for w = base to base + t.cfg.ways - 1 do
@@ -154,8 +161,11 @@ let access t addr kind phase =
       then victim := w
     done;
     let w = !victim in
-    if t.tags.(w) >= 0 && Bytes.get t.dirty w = '\001' then
+    if t.tags.(w) >= 0 && Bytes.get t.dirty w = '\001' then begin
       t.writebacks <- t.writebacks + 1;
+      if not mutator then
+        t.collector_writebacks <- t.collector_writebacks + 1
+    end;
     Bytes.set t.dirty w '\000';
     t.tags.(w) <- mem_block;
     t.last_used.(w) <- t.tick;
@@ -192,5 +202,7 @@ let stats t : Cache.stats =
     fetches = t.fetches;
     collector_fetches = t.collector_fetches;
     writebacks = t.writebacks;
-    writes = t.writes
+    collector_writebacks = t.collector_writebacks;
+    writes = t.writes;
+    collector_writes = t.collector_writes
   }

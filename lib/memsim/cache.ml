@@ -42,7 +42,9 @@ type t = {
   mutable fetches : int;
   mutable collector_fetches : int;
   mutable writebacks : int;
+  mutable collector_writebacks : int;
   mutable writes : int;
+  mutable collector_writes : int;
   mutable miss_hook : (cache_block:int -> alloc:bool -> unit) option;
   mutable fetch_hook : (int -> Trace.phase -> unit) option;
   mutable writeback_hook : (int -> Trace.phase -> unit) option;
@@ -90,7 +92,9 @@ let create cfg =
     fetches = 0;
     collector_fetches = 0;
     writebacks = 0;
+    collector_writebacks = 0;
     writes = 0;
+    collector_writes = 0;
     miss_hook = None;
     fetch_hook = None;
     writeback_hook = None;
@@ -133,7 +137,10 @@ let access t addr kind phase =
     | Trace.Read -> false
     | Trace.Write | Trace.Alloc_write -> true
   in
-  if is_store then t.writes <- t.writes + 1;
+  if is_store then begin
+    t.writes <- t.writes + 1;
+    if not mutator then t.collector_writes <- t.collector_writes + 1
+  end;
   if t.tags.(idx) = mem_block then begin
     if valid.(idx) land wbit <> 0 then begin
       (* Full hit. *)
@@ -191,6 +198,8 @@ let access t addr kind phase =
     else t.collector_misses <- t.collector_misses + 1;
     if Bytes.unsafe_get t.dirty idx = '\001' then begin
       t.writebacks <- t.writebacks + 1;
+      if not mutator then
+        t.collector_writebacks <- t.collector_writebacks + 1;
       Bytes.unsafe_set t.dirty idx '\000';
       match t.writeback_hook with
       | None -> ()
@@ -237,11 +246,14 @@ let write_block_back t addr phase =
   in
   if mutator then t.refs <- t.refs + 1 else t.collector_refs <- t.collector_refs + 1;
   t.writes <- t.writes + 1;
+  if not mutator then t.collector_writes <- t.collector_writes + 1;
   if t.tags.(idx) <> mem_block then begin
     if mutator then t.misses <- t.misses + 1
     else t.collector_misses <- t.collector_misses + 1;
     if Bytes.unsafe_get t.dirty idx = '\001' then begin
       t.writebacks <- t.writebacks + 1;
+      if not mutator then
+        t.collector_writebacks <- t.collector_writebacks + 1;
       (match t.writeback_hook with
        | None -> ()
        | Some hook -> hook (t.tags.(idx) lsl t.block_shift) phase)
@@ -263,7 +275,9 @@ type stats = {
   fetches : int;
   collector_fetches : int;
   writebacks : int;
+  collector_writebacks : int;
   writes : int;
+  collector_writes : int;
 }
 
 let stats (t : t) : stats =
@@ -275,8 +289,13 @@ let stats (t : t) : stats =
     fetches = t.fetches;
     collector_fetches = t.collector_fetches;
     writebacks = t.writebacks;
-    writes = t.writes
+    collector_writebacks = t.collector_writebacks;
+    writes = t.writes;
+    collector_writes = t.collector_writes
   }
+
+let mutator_hits (s : stats) = s.refs - s.misses
+let collector_hits (s : stats) = s.collector_refs - s.collector_misses
 
 let require_block_stats t fname =
   if not t.cfg.record_block_stats then
@@ -303,7 +322,9 @@ let reset_stats (t : t) =
   t.fetches <- 0;
   t.collector_fetches <- 0;
   t.writebacks <- 0;
+  t.collector_writebacks <- 0;
   t.writes <- 0;
+  t.collector_writes <- 0;
   Array.fill t.blk_refs 0 (Array.length t.blk_refs) 0;
   Array.fill t.blk_misses 0 (Array.length t.blk_misses) 0;
   Array.fill t.blk_alloc_misses 0 (Array.length t.blk_alloc_misses) 0

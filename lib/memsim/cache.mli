@@ -84,10 +84,19 @@ type stats = {
   fetches : int;            (** mutator block fetches (penalized) *)
   collector_fetches : int;
   writebacks : int;         (** dirty blocks written back on eviction *)
+  collector_writebacks : int;
+      (** writebacks triggered by collector-phase evictions (included
+          in [writebacks]) *)
   writes : int;             (** all word stores (write-through traffic) *)
+  collector_writes : int;   (** collector-phase stores (included in [writes]) *)
 }
 
 val stats : t -> stats
+
+val mutator_hits : stats -> int
+(** [refs - misses]: mutator accesses that hit. *)
+
+val collector_hits : stats -> int
 
 val set_miss_hook : t -> (cache_block:int -> alloc:bool -> unit) -> unit
 (** Install a callback invoked on every miss (any phase), after the

@@ -36,6 +36,19 @@ let counting () =
   let n = ref 0 in
   ({ access = (fun _ _ _ -> incr n) }, fun () -> !n)
 
+let counting_by_phase () =
+  let mut = ref 0 in
+  let col = ref 0 in
+  let sink =
+    { access =
+        (fun _addr _kind phase ->
+          match (phase : phase) with
+          | Mutator -> incr mut
+          | Collector -> incr col)
+    }
+  in
+  (sink, fun () -> (!mut, !col))
+
 let pp_kind ppf k =
   Format.pp_print_string ppf
     (match k with

@@ -36,5 +36,11 @@ val counting : unit -> sink * (unit -> int)
 (** [counting ()] is a sink plus a function returning how many events
     it has received; useful in tests. *)
 
+val counting_by_phase : unit -> sink * (unit -> int * int)
+(** [counting_by_phase ()] is a sink plus a function returning
+    [(mutator, collector)] event counts — the mutator/collector
+    reference split every runner needs, without hand-rolling two
+    refs. *)
+
 val pp_kind : Format.formatter -> kind -> unit
 val pp_phase : Format.formatter -> phase -> unit

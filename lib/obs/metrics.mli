@@ -1,0 +1,72 @@
+(** Metrics registry: counters, gauges and fixed-bucket histograms.
+
+    A registry owns a single [enabled] cell that every instrument
+    created from it shares, so the disabled path of an update is one
+    boolean load and a branch — no allocation, no table lookup.  Hot
+    code keeps the instrument handle; the registry is only consulted at
+    registration and export time.
+
+    Registration is idempotent: asking for the same name returns the
+    existing instrument (so several collector modules can share
+    "gc.collections").  Asking for an existing name as a different
+    instrument type raises [Invalid_argument]. *)
+
+type registry
+
+val create : ?enabled:bool -> unit -> registry
+(** Fresh registry, enabled unless [~enabled:false]. *)
+
+val default : registry
+(** The process-wide registry the VM and collectors publish to. *)
+
+val set_enabled : registry -> bool -> unit
+val enabled : registry -> bool
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val set : t -> int -> unit
+  (** Unconditional overwrite, for publishing an externally-maintained
+      total (ignores the enabled flag). *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  val observe_int : t -> int -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val bucket_counts : t -> int array
+  (** One count per bound plus a final overflow bucket; copies. *)
+
+  val bounds : t -> float array
+end
+
+val counter : ?help:string -> registry -> string -> Counter.t
+val gauge : ?help:string -> registry -> string -> Gauge.t
+
+val histogram :
+  ?help:string -> registry -> string -> buckets:float array -> Histogram.t
+(** [buckets] are strictly increasing upper bounds; an implicit +inf
+    bucket is appended.  @raise Invalid_argument on empty or unsorted
+    bounds. *)
+
+val reset : registry -> unit
+(** Zero every instrument (registrations are kept). *)
+
+val to_json : registry -> Json.t
+(** One object keyed by instrument name, in registration order. *)

@@ -25,19 +25,30 @@ let collect inst ~requested_words =
   let from_lo = space_base inst inst.current in
   let from_hi = from_lo + inst.semi in
   let to_base = space_base inst (1 - inst.current) in
-  let st =
-    Gc_copy.make heap ~free:to_base ~in_from:(fun a ->
-        a >= from_lo && a < from_hi)
-  in
-  Gc_copy.forward_all_roots st;
-  Gc_copy.scan st to_base;
-  inst.current <- 1 - inst.current;
-  inst.collections <- inst.collections + 1;
-  inst.words_copied <- inst.words_copied + Gc_copy.words_copied st;
-  inst.objects_copied <- inst.objects_copied + Gc_copy.objects_copied st;
-  Heap.note_collection heap;
-  let free = Gc_copy.free_ptr st in
-  Heap.set_dynamic_window heap ~base:free ~limit:(to_base + inst.semi);
+  let occupied = Heap.alloc_ptr heap - from_lo in
+  Gc_obs.instrumented heap ~collector:"cheney" ~kind:"full"
+    ~occupancy_words:occupied (fun () ->
+      let st =
+        Gc_copy.make heap ~free:to_base ~in_from:(fun a ->
+            a >= from_lo && a < from_hi)
+      in
+      Gc_copy.forward_all_roots st;
+      Gc_copy.scan st to_base;
+      inst.current <- 1 - inst.current;
+      inst.collections <- inst.collections + 1;
+      inst.words_copied <- inst.words_copied + Gc_copy.words_copied st;
+      inst.objects_copied <- inst.objects_copied + Gc_copy.objects_copied st;
+      Heap.note_collection heap;
+      let free = Gc_copy.free_ptr st in
+      Heap.set_dynamic_window heap ~base:free ~limit:(to_base + inst.semi);
+      let copied = Gc_copy.words_copied st in
+      [ ("bytes_copied", Obs.Events.I (copied * Memsim.Trace.word_bytes));
+        ("objects_copied", Obs.Events.I (Gc_copy.objects_copied st));
+        ("survivor_ratio",
+         Obs.Events.F (float_of_int copied /. float_of_int (max 1 occupied)));
+        ("semispace_occupancy",
+         Obs.Events.F (float_of_int copied /. float_of_int inst.semi))
+      ]);
   ignore requested_words
 
 let required_dynamic_words ~semispace_words = 2 * semispace_words

@@ -41,6 +41,8 @@ let copy_object st addr =
     done;
     st.words_copied <- st.words_copied + words;
     st.objects_copied <- st.objects_copied + 1;
+    Obs.Metrics.Counter.add Gc_obs.words_copied words;
+    Obs.Metrics.Counter.incr Gc_obs.objects_copied;
     let v = Value.pointer dst in
     Heap.gc_write heap addr forward_header;
     Heap.gc_write heap (addr + 1) v;

@@ -94,36 +94,68 @@ let reset_after inst =
 
 let minor inst =
   let heap = inst.heap in
-  let promote_start = inst.old_free in
-  let st =
-    Gc_copy.make heap ~limit:(old_limit inst) ~free:promote_start
-      ~in_from:(in_nursery inst)
-  in
-  Gc_copy.forward_all_roots st;
-  drain_ssb inst st ~old_lo:(old_base inst) ~old_hi:promote_start;
-  Gc_copy.scan st promote_start;
-  inst.old_free <- Gc_copy.free_ptr st;
-  inst.minor_collections <- inst.minor_collections + 1;
-  inst.words_promoted <- inst.words_promoted + Gc_copy.words_copied st;
-  reset_after inst
+  let nursery_used = Heap.alloc_ptr heap - inst.n_base in
+  Gc_obs.instrumented heap ~collector:"generational" ~kind:"minor"
+    ~occupancy_words:nursery_used (fun () ->
+      let promote_start = inst.old_free in
+      let st =
+        Gc_copy.make heap ~limit:(old_limit inst) ~free:promote_start
+          ~in_from:(in_nursery inst)
+      in
+      Gc_copy.forward_all_roots st;
+      drain_ssb inst st ~old_lo:(old_base inst) ~old_hi:promote_start;
+      Gc_copy.scan st promote_start;
+      inst.old_free <- Gc_copy.free_ptr st;
+      inst.minor_collections <- inst.minor_collections + 1;
+      let promoted = Gc_copy.words_copied st in
+      inst.words_promoted <- inst.words_promoted + promoted;
+      reset_after inst;
+      Obs.Metrics.Counter.incr Gc_obs.minor_collections;
+      Obs.Metrics.Counter.add Gc_obs.words_promoted promoted;
+      [ ("bytes_promoted", Obs.Events.I (promoted * Memsim.Trace.word_bytes));
+        ("survivor_ratio",
+         Obs.Events.F
+           (float_of_int promoted /. float_of_int (max 1 nursery_used)));
+        ("old_occupancy",
+         Obs.Events.F
+           (float_of_int (inst.old_free - old_base inst)
+            /. float_of_int inst.cfg.old_words))
+      ])
 
 let major inst =
   let heap = inst.heap in
   let from_old_lo = old_base inst in
   let from_old_hi = inst.old_free in
-  let to_base = other_old inst in
-  let in_from a = in_nursery inst a || (a >= from_old_lo && a < from_old_hi) in
-  let st =
-    Gc_copy.make heap ~limit:(to_base + inst.cfg.old_words) ~free:to_base
-      ~in_from
+  let occupied =
+    (from_old_hi - from_old_lo) + (Heap.alloc_ptr heap - inst.n_base)
   in
-  Gc_copy.forward_all_roots st;
-  Gc_copy.scan st to_base;
-  inst.cur_old <- 1 - inst.cur_old;
-  inst.old_free <- Gc_copy.free_ptr st;
-  inst.major_collections <- inst.major_collections + 1;
-  inst.words_copied_major <- inst.words_copied_major + Gc_copy.words_copied st;
-  reset_after inst
+  Gc_obs.instrumented heap ~collector:"generational" ~kind:"major"
+    ~occupancy_words:occupied (fun () ->
+      let to_base = other_old inst in
+      let in_from a =
+        in_nursery inst a || (a >= from_old_lo && a < from_old_hi)
+      in
+      let st =
+        Gc_copy.make heap ~limit:(to_base + inst.cfg.old_words) ~free:to_base
+          ~in_from
+      in
+      Gc_copy.forward_all_roots st;
+      Gc_copy.scan st to_base;
+      inst.cur_old <- 1 - inst.cur_old;
+      inst.old_free <- Gc_copy.free_ptr st;
+      inst.major_collections <- inst.major_collections + 1;
+      let copied = Gc_copy.words_copied st in
+      inst.words_copied_major <- inst.words_copied_major + copied;
+      reset_after inst;
+      Obs.Metrics.Counter.incr Gc_obs.major_collections;
+      [ ("bytes_copied", Obs.Events.I (copied * Memsim.Trace.word_bytes));
+        ("survivor_ratio",
+         Obs.Events.F (float_of_int copied /. float_of_int (max 1 occupied)));
+        ("old_occupancy",
+         Obs.Events.F
+           (float_of_int (inst.old_free - old_base inst)
+            /. float_of_int inst.cfg.old_words))
+      ])
 
 let collect inst ~requested_words =
   if requested_words > inst.cfg.nursery_words then

@@ -180,6 +180,10 @@ let forward_minor inst worklist v =
 
 let minor inst =
   let heap = inst.heap in
+  let nursery_used = Heap.alloc_ptr heap - inst.n_base in
+  let promoted_before = inst.words_promoted in
+  Gc_obs.instrumented heap ~collector:"mark-sweep" ~kind:"minor"
+    ~occupancy_words:nursery_used (fun () ->
   let worklist = ref [] in
   let fwd v = forward_minor inst worklist v in
   (* roots *)
@@ -253,7 +257,15 @@ let minor inst =
   inst.ssb_count <- 0;
   inst.ssb_overflowed <- false;
   Heap.note_collection heap;
-  Heap.set_dynamic_window heap ~base:inst.n_base ~limit:inst.n_limit
+  Heap.set_dynamic_window heap ~base:inst.n_base ~limit:inst.n_limit;
+  let promoted = inst.words_promoted - promoted_before in
+  Obs.Metrics.Counter.incr Gc_obs.minor_collections;
+  Obs.Metrics.Counter.add Gc_obs.words_promoted promoted;
+  [ ("bytes_promoted", Obs.Events.I (promoted * Memsim.Trace.word_bytes));
+    ("survivor_ratio",
+     Obs.Events.F (float_of_int promoted /. float_of_int (max 1 nursery_used)));
+    ("free_bytes", Obs.Events.I (inst.free_total * Memsim.Trace.word_bytes))
+  ])
 
 (* --- Major collection: mark live old + nursery, sweep old ------------- *)
 
@@ -262,6 +274,11 @@ let set_mark inst addr v = Bytes.set inst.marks (addr - inst.old_base) v
 
 let major inst =
   let heap = inst.heap in
+  let occupied =
+    (inst.cfg.old_words - inst.free_total) + (Heap.alloc_ptr heap - inst.n_base)
+  in
+  Gc_obs.instrumented heap ~collector:"mark-sweep" ~kind:"major"
+    ~occupancy_words:occupied (fun () ->
   Bytes.fill inst.marks 0 (Bytes.length inst.marks) '\000';
   let nursery_seen = Hashtbl.create 1024 in
   let new_ssb = ref [] in
@@ -372,7 +389,12 @@ let major inst =
         inst.ssb_count <- inst.ssb_count + 1
       end)
     !new_ssb;
-  inst.major_collections <- inst.major_collections + 1
+  inst.major_collections <- inst.major_collections + 1;
+  Obs.Metrics.Counter.incr Gc_obs.major_collections;
+  Obs.Metrics.Counter.add Gc_obs.words_swept !swept;
+  [ ("bytes_swept", Obs.Events.I (!swept * Memsim.Trace.word_bytes));
+    ("free_bytes", Obs.Events.I (inst.free_total * Memsim.Trace.word_bytes))
+  ])
 
 let collect inst ~requested_words =
   if requested_words > inst.cfg.nursery_words then

@@ -1,0 +1,74 @@
+(* Shared telemetry for the collectors: process-wide metrics in the
+   default registry, plus the begin/end collection spans on the heap's
+   timeline.  Everything here is off the mutator's hot path — it runs
+   once per collection (or, for the copy-engine counters, once per
+   copied object, which is already dominated by traced memory
+   traffic). *)
+
+let registry = Obs.Metrics.default
+
+let collections =
+  Obs.Metrics.counter registry "gc.collections"
+    ~help:"completed collections, all collectors"
+
+let minor_collections =
+  Obs.Metrics.counter registry "gc.minor_collections"
+
+let major_collections =
+  Obs.Metrics.counter registry "gc.major_collections"
+
+let words_copied =
+  Obs.Metrics.counter registry "gc.words_copied"
+    ~help:"words moved by the copying engine (evacuation + promotion)"
+
+let objects_copied = Obs.Metrics.counter registry "gc.objects_copied"
+
+let words_promoted =
+  Obs.Metrics.counter registry "gc.words_promoted"
+    ~help:"words promoted out of a nursery"
+
+let words_swept =
+  Obs.Metrics.counter registry "gc.words_swept"
+    ~help:"free words recovered by mark-sweep major collections"
+
+let pause_insns =
+  Obs.Metrics.histogram registry "gc.pause_insns"
+    ~help:"collector instructions per collection"
+    ~buckets:[| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8 |]
+
+(* The common span name every exporter looks for: one "gc.collection"
+   Begin/End pair per collection, tagged with the collector and the
+   minor/major/full kind. *)
+let span_name = "gc.collection"
+
+let base_args ~collector ~kind =
+  [ ("collector", Obs.Events.S collector); ("kind", Obs.Events.S kind) ]
+
+let instrumented heap ~collector ~kind ~occupancy_words f =
+  let t0 = Heap.collector_insns heap in
+  (match Heap.telemetry heap with
+   | None -> ()
+   | Some tl ->
+     Obs.Events.span_begin tl ~cat:"gc" span_name
+       ~args:
+         (base_args ~collector ~kind
+          @ [ ("occupancy_bytes",
+               Obs.Events.I (occupancy_words * Memsim.Trace.word_bytes))
+            ]));
+  let finish extra =
+    Obs.Metrics.Counter.incr collections;
+    Obs.Metrics.Histogram.observe_int pause_insns
+      (Heap.collector_insns heap - t0);
+    match Heap.telemetry heap with
+    | None -> ()
+    | Some tl ->
+      Obs.Events.span_end tl ~cat:"gc" span_name
+        ~args:(base_args ~collector ~kind @ extra)
+  in
+  match f () with
+  | end_args ->
+    finish end_args;
+    ()
+  | exception e ->
+    finish [ ("error", Obs.Events.S (Printexc.to_string e)) ];
+    raise e

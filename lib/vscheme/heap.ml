@@ -30,6 +30,7 @@ type t = {
   mutable collect : t -> requested_words:int -> unit;
   mutable collector_name : string;
   mutable barrier : (field_addr:int -> value:Value.t -> unit) option;
+  mutable telemetry : Obs.Events.timeline option;
   symbols : (string, Value.t) Hashtbl.t;
 }
 
@@ -64,6 +65,7 @@ let create ~mem ~static_words ~stack_words =
     collect = no_collector;
     collector_name = "none";
     barrier = None;
+    telemetry = None;
     symbols = Hashtbl.create 512
   }
 
@@ -87,6 +89,16 @@ let charge_mutator t n = t.mutator_insns <- t.mutator_insns + n
 let collector_insns t = t.collector_insns
 let charge_collector t n = t.collector_insns <- t.collector_insns + n
 let collections t = t.collections
+
+let logical_time t = t.mutator_insns + t.collector_insns
+let telemetry t = t.telemetry
+
+let set_telemetry t tl =
+  t.telemetry <- tl;
+  match tl with
+  | None -> ()
+  | Some timeline ->
+    Obs.Events.set_clock timeline (fun () -> logical_time t)
 
 (* --- Allocation --- *)
 

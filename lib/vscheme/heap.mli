@@ -84,6 +84,22 @@ val collections : t -> int
 (** Number of completed collections; doubles as the stamp that
     invalidates address-based hash tables (§6's rehashing cost). *)
 
+(** {1 Telemetry} *)
+
+val logical_time : t -> int
+(** Simulated instructions executed so far (mutator + collector); the
+    timeline clock, so event timestamps line up with the paper's
+    instruction-based cost model. *)
+
+val telemetry : t -> Obs.Events.timeline option
+(** The event timeline instrumentation publishes to, if any.
+    Instrumentation sites match on this option, so disabled telemetry
+    costs one branch and allocates nothing. *)
+
+val set_telemetry : t -> Obs.Events.timeline option -> unit
+(** Attach (or detach) a timeline; attaching points the timeline's
+    clock at {!logical_time}. *)
+
 (** {1 Allocation and object access} *)
 
 val ensure : t -> int -> unit

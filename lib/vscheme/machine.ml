@@ -14,6 +14,7 @@ type config = {
   load_prelude : bool;
   seed : int;
   pathological_layout : bool;
+  telemetry : Obs.Events.timeline option;
 }
 
 let default_config =
@@ -25,7 +26,8 @@ let default_config =
     max_globals = 4096;
     load_prelude = true;
     seed = 0x5eed;
-    pathological_layout = false
+    pathological_layout = false;
+    telemetry = None
   }
 
 type t = {
@@ -194,6 +196,7 @@ let create cfg =
   let total_words = static_words + stack_words + dynamic_words cfg in
   let mem = Mem.create ~sink:cfg.sink ~words:total_words in
   let heap = Heap.create ~mem ~static_words ~stack_words in
+  Heap.set_telemetry heap cfg.telemetry;
   let ctx =
     { Primitives.heap;
       out = Buffer.create 1024;
@@ -254,7 +257,26 @@ let create cfg =
       register_code = register_code heap vm
     }
   in
+  (match cfg.telemetry with
+   | None -> ()
+   | Some tl ->
+     Obs.Events.instant tl ~cat:"machine" "machine.create"
+       ~args:
+         [ ("collector", Obs.Events.S (Heap.collector_name heap));
+           ("dynamic_bytes",
+            Obs.Events.I (dynamic_words cfg * Memsim.Trace.word_bytes));
+           ("static_bytes", Obs.Events.I cfg.static_bytes);
+           ("stack_bytes", Obs.Events.I cfg.stack_bytes)
+         ]);
   let t = { cfg; mem; heap; ctx; vm; linkage; constant_memo } in
   install_primitive_globals heap vm;
-  if cfg.load_prelude then ignore (eval_string t Prelude.source);
+  if cfg.load_prelude then begin
+    (match cfg.telemetry with
+     | None -> ()
+     | Some tl -> Obs.Events.span_begin tl ~cat:"phase" "phase.prelude");
+    ignore (eval_string t Prelude.source);
+    match cfg.telemetry with
+    | None -> ()
+    | Some tl -> Obs.Events.span_end tl ~cat:"phase" "phase.prelude"
+  end;
   t

@@ -36,6 +36,10 @@ type config = {
           vector and global cells alias the stack base in every
           power-of-two cache — the manufactured worst case of
           experiment A2 (see DESIGN.md) *)
+  telemetry : Obs.Events.timeline option;
+      (** event timeline the machine and its collector publish GC
+          lifecycle events to; [None] (the default) disables event
+          telemetry at the cost of one branch per emission site *)
 }
 
 val default_config : config

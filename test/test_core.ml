@@ -44,6 +44,31 @@ let test_layout () =
   Alcotest.(check int) "matches config prediction" dyn
     (Vscheme.Machine.dynamic_base_bytes Vscheme.Machine.default_config)
 
+let test_parse_size () =
+  List.iter
+    (fun (input, expect) ->
+      match Core.Units.parse_size input with
+      | Ok n -> Alcotest.(check int) input expect n
+      | Error msg -> Alcotest.fail (input ^ ": " ^ msg))
+    [ ("1", 1);
+      ("4096", 4096);
+      ("64k", 64 * 1024);
+      ("64K", 64 * 1024);
+      ("2m", 2 * 1024 * 1024);
+      ("16M", 16 * 1024 * 1024);
+      ("1g", 1024 * 1024 * 1024);
+      ("2G", 2 * 1024 * 1024 * 1024);
+      (" 8k ", 8 * 1024)
+    ];
+  List.iter
+    (fun input ->
+      match Core.Units.parse_size input with
+      | Ok n -> Alcotest.fail (Printf.sprintf "%S accepted as %d" input n)
+      | Error _ -> ())
+    [ ""; "k"; "0"; "0k"; "-1"; "-4k"; "1.5m"; "12q"; "1kk"; "0x10";
+      (* overflow: the raw digits fit max_int, the multiply does not *)
+      "9223372036854775807k"; "9007199254740993g" ]
+
 let test_report_table () =
   let buf = Buffer.create 128 in
   let ppf = Format.formatter_of_buffer buf in
@@ -130,6 +155,8 @@ let () =
           Alcotest.test_case "base scales" `Quick test_base_scales;
           Alcotest.test_case "layout" `Quick test_layout
         ] );
+      ( "units",
+        [ Alcotest.test_case "parse_size" `Quick test_parse_size ] );
       ( "report",
         [ Alcotest.test_case "table" `Quick test_report_table;
           Alcotest.test_case "helpers" `Quick test_report_helpers

@@ -136,6 +136,56 @@ let test_writebacks () =
   Alcotest.(check int) "still one" 1 (stats c).Memsim.Cache.writebacks;
   Alcotest.(check int) "write count" 1 (stats c).Memsim.Cache.writes
 
+let test_per_phase_counters () =
+  let c = mk ~size:1024 ~block:64 () in
+  (* a mutator store dirties block 0; the collector then evicts it, so
+     the writeback is charged to the collector phase *)
+  Memsim.Cache.access c 0 Memsim.Trace.Write mutator;
+  Memsim.Cache.access c 1024 Memsim.Trace.Read collector;
+  let s = stats c in
+  Alcotest.(check int) "one writeback" 1 s.Memsim.Cache.writebacks;
+  Alcotest.(check int) "charged to collector" 1
+    s.Memsim.Cache.collector_writebacks;
+  Alcotest.(check int) "mutator store only" 0 s.Memsim.Cache.collector_writes;
+  (* collector stores are counted within the write total *)
+  Memsim.Cache.access c 2048 Memsim.Trace.Write collector;
+  Memsim.Cache.access c 2048 Memsim.Trace.Read collector;
+  let s = stats c in
+  Alcotest.(check int) "collector write" 1 s.Memsim.Cache.collector_writes;
+  Alcotest.(check int) "writes include both phases" 2 s.Memsim.Cache.writes;
+  (* hit decompositions *)
+  Alcotest.(check int) "mutator hits" 0 (Memsim.Cache.mutator_hits s);
+  Alcotest.(check int) "collector hits" 1 (Memsim.Cache.collector_hits s);
+  Alcotest.(check int) "phases partition refs" 4
+    (s.Memsim.Cache.refs + s.Memsim.Cache.collector_refs)
+
+let test_per_phase_mutator_writeback () =
+  let c = mk ~size:1024 ~block:64 () in
+  Memsim.Cache.access c 0 Memsim.Trace.Write mutator;
+  Memsim.Cache.access c 1024 Memsim.Trace.Read mutator;
+  let s = stats c in
+  Alcotest.(check int) "mutator eviction writes back" 1
+    s.Memsim.Cache.writebacks;
+  Alcotest.(check int) "not charged to collector" 0
+    s.Memsim.Cache.collector_writebacks
+
+let test_assoc_per_phase () =
+  let a =
+    Memsim.Assoc.create
+      (Memsim.Assoc.config ~size_bytes:1024 ~block_bytes:64 ~ways:2 ())
+  in
+  (* fill both ways of set 0 with dirty collector stores, then force an
+     LRU eviction from the mutator *)
+  Memsim.Assoc.access a 0 Memsim.Trace.Write collector;
+  Memsim.Assoc.access a 512 Memsim.Trace.Write collector;
+  Memsim.Assoc.access a 1024 Memsim.Trace.Write mutator;
+  let s = Memsim.Assoc.stats a in
+  Alcotest.(check int) "collector writes" 2 s.Memsim.Cache.collector_writes;
+  Alcotest.(check int) "writes total" 3 s.Memsim.Cache.writes;
+  Alcotest.(check int) "mutator eviction" 1 s.Memsim.Cache.writebacks;
+  Alcotest.(check int) "writeback charged to mutator" 0
+    s.Memsim.Cache.collector_writebacks
+
 let test_alloc_miss_classification () =
   let c = mk () in
   Memsim.Cache.access c 0 Memsim.Trace.Alloc_write mutator;
@@ -526,6 +576,9 @@ let () =
           Alcotest.test_case "fetch-on-write" `Quick test_fetch_on_write;
           Alcotest.test_case "collector phase" `Quick test_collector_phase;
           Alcotest.test_case "write-backs" `Quick test_writebacks;
+          Alcotest.test_case "per-phase counters" `Quick test_per_phase_counters;
+          Alcotest.test_case "mutator-phase writeback" `Quick
+            test_per_phase_mutator_writeback;
           Alcotest.test_case "alloc-miss classification" `Quick test_alloc_miss_classification;
           Alcotest.test_case "per-block stats" `Quick test_block_stats;
           Alcotest.test_case "per-block stats guard" `Quick test_block_stats_guard;
@@ -542,6 +595,7 @@ let () =
         [ Alcotest.test_case "LRU replacement" `Quick test_assoc_lru;
           Alcotest.test_case "conflict elimination" `Quick
             test_assoc_removes_conflicts;
+          Alcotest.test_case "per-phase counters" `Quick test_assoc_per_phase;
           Alcotest.test_case "validation" `Quick test_assoc_validation
         ] );
       ( "hierarchy",
