@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all build test bench check untracked-build clean
+.PHONY: all build test test-parallel bench check untracked-build clean
 
 all: build
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	dune runtest
+
+# The serial-vs-parallel differential suite again with worker domains
+# forced on, so CI exercises the Runner --jobs path end to end.
+test-parallel:
+	REPRO_JOBS=2 dune exec test/test_parallel.exe
 
 bench:
 	dune exec bench/main.exe
@@ -20,7 +25,7 @@ untracked-build:
 	  echo "error: $$n file(s) under _build/ are tracked by git"; exit 1; \
 	fi
 
-check: build test untracked-build
+check: build test test-parallel untracked-build
 	@echo "check: ok"
 
 clean:

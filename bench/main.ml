@@ -39,6 +39,29 @@ let cache_bench =
          done;
          counter := !counter + 7919))
 
+(* The same access pattern as cache-access-1k, delivered pre-packed
+   through the batched consumer: the difference is the cost of
+   per-event closure dispatch and decode. *)
+let cache_chunk_bench =
+  let cache =
+    Memsim.Cache.create
+      (Memsim.Cache.config ~size_bytes:(64 * 1024) ~block_bytes:64 ())
+  in
+  let chunks =
+    Array.init 8 (fun c ->
+        Array.init 1000 (fun i ->
+            let addr = ((c * 7919) + (i * 24)) land 0xfffffc in
+            Memsim.Chunk.pack addr
+              (if i land 3 = 0 then Memsim.Trace.Alloc_write
+               else Memsim.Trace.Read)
+              Memsim.Trace.Mutator))
+  in
+  let counter = ref 0 in
+  Bechamel.Test.make ~name:"cache-access-chunk-1k"
+    (Bechamel.Staged.stage (fun () ->
+         Memsim.Cache.access_chunk cache chunks.(!counter land 7) 0 1000;
+         incr counter))
+
 let vm_bench =
   let machine =
     Vscheme.Machine.create
@@ -125,7 +148,7 @@ let run_perf () =
     "@.==== simulator microbenchmarks (host performance, Bechamel) ====@.";
   let grouped =
     Test.make_grouped ~name:"perf" ~fmt:"%s %s"
-      [ cache_bench; vm_bench; gc_bench; analyzer_bench;
+      [ cache_bench; cache_chunk_bench; vm_bench; gc_bench; analyzer_bench;
         obs_counter_disabled_bench; obs_counter_enabled_bench;
         obs_histogram_bench ]
   in
@@ -150,17 +173,98 @@ let run_perf () =
         None)
     (List.sort compare rows)
 
-let write_bench_metrics results =
+(* --- Sweep engine: per-event vs chunked vs domain-parallel ------------- *)
+
+(* One recorded trace, the full 40-configuration paper grid, three
+   delivery mechanisms.  Parallel statistics are checked against the
+   serial oracle before the timings are reported. *)
+let measure_sweep () =
+  let w = Workloads.Workload.nbody in
+  let _, recording = Core.Runner.record ~scale:1 w in
+  let events = Memsim.Recording.length recording in
+  let grid () =
+    Memsim.Sweep.create
+      (Memsim.Sweep.grid ~cache_sizes:Memsim.Sweep.paper_cache_sizes
+         ~block_sizes:Memsim.Sweep.paper_block_sizes ())
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let per_event_sw = grid () in
+  let per_event_s =
+    time (fun () ->
+        Memsim.Recording.replay recording (Memsim.Sweep.sink per_event_sw))
+  in
+  let serial_sw = grid () in
+  let serial_s = time (fun () -> Memsim.Sweep.run_serial serial_sw recording) in
+  let jobs = if Core.Runner.jobs () > 1 then Core.Runner.jobs () else 4 in
+  let parallel_sw = grid () in
+  let parallel_s =
+    time (fun () -> Memsim.Sweep.run_parallel ~jobs parallel_sw recording)
+  in
+  let identical =
+    Memsim.Sweep.results serial_sw = Memsim.Sweep.results parallel_sw
+    && Memsim.Sweep.results serial_sw = Memsim.Sweep.results per_event_sw
+  in
+  if not identical then
+    failwith "sweep-serial-vs-parallel: statistics diverged across engines";
+  let caches = Array.length (Memsim.Sweep.caches serial_sw) in
+  let throughput dt = float_of_int (events * caches) /. dt in
+  Format.fprintf ppf
+    "@.==== sweep-serial-vs-parallel (%s, %d events, %d caches) ====@."
+    w.Workloads.Workload.name events caches;
+  Format.fprintf ppf
+    "per-event %.3fs   chunked %.3fs (%.2fx)   parallel --jobs %d %.3fs \
+     (%.2fx vs chunked)   stats identical@."
+    per_event_s serial_s (per_event_s /. serial_s) jobs parallel_s
+    (serial_s /. parallel_s);
+  ( "sweep-serial-vs-parallel",
+    Obs.Json.Obj
+      [ ("workload", Obs.Json.Str w.Workloads.Workload.name);
+        ("events", Obs.Json.Int events);
+        ("caches", Obs.Json.Int caches);
+        ("jobs", Obs.Json.Int jobs);
+        ("per_event_s", Obs.Json.Float per_event_s);
+        ("serial_s", Obs.Json.Float serial_s);
+        ("parallel_s", Obs.Json.Float parallel_s);
+        ("serial_events_per_s", Obs.Json.Float (throughput serial_s));
+        ("parallel_events_per_s", Obs.Json.Float (throughput parallel_s));
+        ("speedup_chunk_vs_per_event",
+         Obs.Json.Float (per_event_s /. serial_s));
+        ("speedup_parallel_vs_serial", Obs.Json.Float (serial_s /. parallel_s));
+        ("host_domains",
+         Obs.Json.Int (Domain.recommended_domain_count ()));
+        ("identical_stats", Obs.Json.Bool identical)
+      ] )
+
+(* The sweep.* gauges Runner.sweep_recording published while the
+   experiments ran: wall time, jobs and throughput of every grid
+   replay, keyed by experiment. *)
+let sweep_gauges () =
+  match Obs.Metrics.to_json Obs.Metrics.default with
+  | Obs.Json.Obj fields ->
+    let sweeps =
+      List.filter
+        (fun (name, _) ->
+          String.length name > 6 && String.sub name 0 6 = "sweep.")
+        fields
+    in
+    if sweeps = [] then [] else [ ("sweeps", Obs.Json.Obj sweeps) ]
+  | _ -> []
+
+let write_bench_metrics results extra =
   let json =
     Obs.Json.Obj
-      [ ("scale_factor", Obs.Json.Int (Core.Runner.scale_factor ()));
-        ("benchmarks",
-         Obs.Json.Obj
-           (List.map
-              (fun (name, est) ->
-                (name, Obs.Json.Obj [ ("ns_per_run", Obs.Json.Float est) ]))
-              results))
-      ]
+      (("scale_factor", Obs.Json.Int (Core.Runner.scale_factor ()))
+       :: ("benchmarks",
+           Obs.Json.Obj
+             (List.map
+                (fun (name, est) ->
+                  (name, Obs.Json.Obj [ ("ns_per_run", Obs.Json.Float est) ]))
+                results))
+       :: extra)
   in
   let oc = open_out "BENCH_metrics.json" in
   output_string oc (Obs.Json.to_pretty_string json);
@@ -171,10 +275,8 @@ let write_bench_metrics results =
 
 let () =
   run_experiments ();
-  let results =
-    match Sys.getenv_opt "REPRO_SKIP_PERF" with
-    | Some "1" -> []
-    | Some _ | None -> run_perf ()
-  in
-  write_bench_metrics results;
+  let skip_perf = Sys.getenv_opt "REPRO_SKIP_PERF" = Some "1" in
+  let results = if skip_perf then [] else run_perf () in
+  let extra = if skip_perf then [] else [ measure_sweep () ] in
+  write_bench_metrics results (sweep_gauges () @ extra);
   Format.pp_print_flush ppf ()

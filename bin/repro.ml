@@ -245,7 +245,8 @@ let simulate name cache_bytes block_bytes policy gc scale metrics trace_events =
 (* [repro run] targets are experiment ids or workload names; workloads
    go through the simulated cache with the telemetry flags. *)
 let run_targets targets cache_bytes block_bytes policy gc scale metrics
-    trace_events =
+    trace_events jobs =
+  Option.iter Core.Runner.set_jobs jobs;
   match targets with
   | [] ->
     Core.Experiments.run_all ppf;
@@ -320,7 +321,8 @@ let replay path cache_bytes block_bytes policy =
         (Memsim.Cache.config ~write_miss_policy:policy ~size_bytes:cache_bytes
            ~block_bytes ())
     in
-    Memsim.Recording.replay recording (Memsim.Cache.sink cache);
+    Memsim.Recording.iter_chunks recording (fun buf len ->
+        Memsim.Cache.access_chunk cache buf 0 len);
     let s = Memsim.Cache.stats cache in
     Core.Report.table ppf ~headers:[ "metric"; "value" ]
       ~rows:
@@ -408,6 +410,14 @@ let trace_events_arg =
            ~doc:"Write the event timeline in Chrome trace-event format to \
                  $(docv) (load in chrome://tracing or Perfetto)")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the experiments' cache-grid sweeps \
+                 (default: \\$(b,REPRO_JOBS), else 1).  Results are \
+                 parallelism-invariant: per-cache statistics are \
+                 bit-identical to a serial sweep")
+
 let experiments_cmd =
   Cmd.v (Cmd.info "experiments" ~doc:"List the paper's experiments")
     Term.(const list_experiments $ const ())
@@ -424,7 +434,7 @@ let run_cmd =
        ~doc:"Run experiments (print their tables/figures) or workloads \
              through the simulated cache; REPRO_SCALE lengthens the runs")
     Term.(const run_targets $ ids $ cache_arg $ block_arg $ policy_arg
-          $ gc_arg $ scale_arg $ metrics_arg $ trace_events_arg)
+          $ gc_arg $ scale_arg $ metrics_arg $ trace_events_arg $ jobs_arg)
 
 let scheme_cmd =
   let file =

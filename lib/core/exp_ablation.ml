@@ -13,7 +13,8 @@ let table_collector_families ppf =
   in
   let measure gc =
     let sw = sweep () in
-    let r = Runner.run ~gc ~sinks:[ Memsim.Sweep.sink sw ] w in
+    let r, recording = Runner.record ~gc w in
+    Runner.sweep_recording ~label:"sweep.a1" sw recording;
     (r, sw)
   in
   let baseline, base_sw = measure Vscheme.Machine.No_gc in

@@ -4,28 +4,30 @@ type pass = {
   fow : (Memsim.Cache.config * Memsim.Cache.stats) list list;
 }
 
+(* Trace once, sweep many: each workload is interpreted a single time
+   to capture its reference trace, then both write-policy grids (2 x 40
+   caches) replay the recording chunk-batched, parallel across domains
+   when [Runner.jobs () > 1]. *)
 let run_pass () =
   let results =
     List.map
       (fun w ->
-        let wv =
-          Memsim.Sweep.create
-            (Memsim.Sweep.grid ~write_miss_policy:Memsim.Cache.Write_validate
-               ~cache_sizes:Memsim.Sweep.paper_cache_sizes
-               ~block_sizes:Memsim.Sweep.paper_block_sizes ())
-        in
-        let fow =
-          Memsim.Sweep.create
-            (Memsim.Sweep.grid ~write_miss_policy:Memsim.Cache.Fetch_on_write
-               ~cache_sizes:Memsim.Sweep.paper_cache_sizes
-               ~block_sizes:Memsim.Sweep.paper_block_sizes ())
-        in
-        let r =
-          Runner.run ~sinks:[ Memsim.Sweep.sink wv; Memsim.Sweep.sink fow ] w
+        let r, recording = Runner.record w in
+        let sweep_policy tag policy =
+          let sw =
+            Memsim.Sweep.create
+              (Memsim.Sweep.grid ~write_miss_policy:policy
+                 ~cache_sizes:Memsim.Sweep.paper_cache_sizes
+                 ~block_sizes:Memsim.Sweep.paper_block_sizes ())
+          in
+          Runner.sweep_recording
+            ~label:("sweep." ^ w.Workloads.Workload.name ^ "." ^ tag)
+            sw recording;
+          Memsim.Sweep.results sw
         in
         ( r.Runner.stats.Vscheme.Machine.mutator_insns,
-          Memsim.Sweep.results wv,
-          Memsim.Sweep.results fow ))
+          sweep_policy "wv" Memsim.Cache.Write_validate,
+          sweep_policy "fow" Memsim.Cache.Fetch_on_write ))
       Workloads.Workload.all
   in
   { insns = List.map (fun (i, _, _) -> i) results;

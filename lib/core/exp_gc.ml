@@ -16,7 +16,10 @@ type measured = {
 
 let measure ?gc ?scale w =
   let sweep = sweep_64b () in
-  let r = Runner.run ?gc ?scale ~sinks:[ Memsim.Sweep.sink sweep ] w in
+  let r, recording = Runner.record ?gc ?scale w in
+  Runner.sweep_recording
+    ~label:("sweep." ^ w.Workloads.Workload.name ^ ".gc64b")
+    sweep recording;
   { insns = r.Runner.stats.Vscheme.Machine.mutator_insns;
     collector_insns = r.Runner.stats.Vscheme.Machine.collector_insns;
     collections = r.Runner.stats.Vscheme.Machine.collections;

@@ -25,6 +25,21 @@ let scale_factor () =
     | Some n when n >= 1 -> n
     | Some _ | None -> 1)
 
+let jobs_override = ref None
+
+let set_jobs n = jobs_override := Some (max 1 n)
+
+let jobs () =
+  match !jobs_override with
+  | Some n -> n
+  | None -> (
+    match Sys.getenv_opt "REPRO_JOBS" with
+    | None -> 1
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> 1))
+
 let layout machine ~dynamic_base =
   let heap = Vscheme.Machine.heap machine in
   let words =
@@ -76,3 +91,35 @@ let run ?(gc = Vscheme.Machine.No_gc) ?heap_bytes ?(pathological_layout = false)
     stats = Vscheme.Machine.stats machine;
     machine
   }
+
+let record ?gc ?heap_bytes ?pathological_layout ?(sinks = []) ?events ?scale w
+    =
+  let recording = Memsim.Recording.create () in
+  let r =
+    run ?gc ?heap_bytes ?pathological_layout
+      ~sinks:(Memsim.Recording.sink recording :: sinks)
+      ?events ?scale w
+  in
+  (r, recording)
+
+(* Trace-once-sweep-many: replay a recording into a sweep grid with
+   the configured job count, publishing wall time and throughput to the
+   default metrics registry so telemetry exports track the sweep
+   engine's trajectory. *)
+let sweep_recording ?(label = "sweep") sweep recording =
+  let jobs = jobs () in
+  let events = Memsim.Recording.length recording in
+  let t0 = Unix.gettimeofday () in
+  if jobs > 1 then Memsim.Sweep.run_parallel ~jobs sweep recording
+  else Memsim.Sweep.run_serial sweep recording;
+  let dt = Unix.gettimeofday () -. t0 in
+  let reg = Obs.Metrics.default in
+  let set name v = Obs.Metrics.Gauge.set (Obs.Metrics.gauge reg name) v in
+  set (label ^ ".wall_s") dt;
+  set (label ^ ".jobs") (float_of_int jobs);
+  set (label ^ ".events") (float_of_int events);
+  let caches = Array.length (Memsim.Sweep.caches sweep) in
+  if dt > 0.0 then
+    set
+      (label ^ ".events_per_s")
+      (float_of_int (events * caches) /. dt)

@@ -26,6 +26,14 @@ val scale_factor : unit -> int
 (** The harness-wide multiplier, from the [REPRO_SCALE] environment
     variable (default 1). *)
 
+val jobs : unit -> int
+(** Worker domains for parallel sweeps: the last {!set_jobs} value,
+    else the [REPRO_JOBS] environment variable, else 1 (serial — the
+    oracle). *)
+
+val set_jobs : int -> unit
+(** Override {!jobs} (clamped to at least 1); the CLI's [--jobs]. *)
+
 val layout : Vscheme.Machine.t -> dynamic_base:bool -> int
 (** Byte address of an area boundary of the machine: with
     [dynamic_base] true, the start of the dynamic area, else the
@@ -46,3 +54,26 @@ val run :
     given, becomes the machine's telemetry timeline (GC lifecycle
     events) and additionally receives [phase.load] / [phase.run]
     markers around workload loading and execution. *)
+
+val record :
+  ?gc:Vscheme.Machine.gc_spec ->
+  ?heap_bytes:int ->
+  ?pathological_layout:bool ->
+  ?sinks:Memsim.Trace.sink list ->
+  ?events:Obs.Events.timeline ->
+  ?scale:int ->
+  Workloads.Workload.t ->
+  result * Memsim.Recording.t
+(** Like {!run} with a {!Memsim.Recording} sink prepended: run the
+    workload once and capture its full reference trace, the
+    trace-once-sweep-many workflow.  The recording costs 8 host bytes
+    per reference. *)
+
+val sweep_recording :
+  ?label:string -> Memsim.Sweep.t -> Memsim.Recording.t -> unit
+(** Replay a recording into a sweep grid, using
+    {!Memsim.Sweep.run_parallel} when {!jobs}[ () > 1] and the serial
+    oracle otherwise.  Publishes [<label>.{wall_s,jobs,events,
+    events_per_s}] gauges ([label] defaults to ["sweep"]) to
+    {!Obs.Metrics.default} so exported telemetry tracks sweep wall time
+    and throughput. *)

@@ -236,6 +236,135 @@ let access t addr kind phase =
      | Some hook -> hook ~cache_block:idx ~alloc)
   end
 
+(* Batched access: decode packed events (Chunk codec) in a tight loop.
+   When no hooks and no per-block stats are installed — every cache in
+   a sweep grid — a specialized loop keeps the geometry in locals,
+   accumulates counters in registers and commits them once, with no
+   per-event closure or hook checks.  Otherwise fall back to [access]
+   per event, which preserves hook ordering exactly. *)
+let access_chunk t buf off len =
+  if off < 0 || len < 0 || off + len > Array.length buf then
+    invalid_arg "Cache.access_chunk";
+  let needs_slow_path =
+    t.cfg.record_block_stats
+    || t.miss_hook <> None
+    || t.fetch_hook <> None
+    || t.writeback_hook <> None
+  in
+  if needs_slow_path then
+    for i = off to off + len - 1 do
+      let w = Array.unsafe_get buf i in
+      let addr, kind, phase = Chunk.unpack w in
+      access t addr kind phase
+    done
+  else begin
+    let tags = t.tags
+    and valid_lo = t.valid_lo
+    and valid_hi = t.valid_hi
+    and dirty = t.dirty in
+    let block_shift = t.block_shift
+    and index_mask = t.index_mask
+    and word_mask = t.word_mask
+    and full_lo = t.full_lo
+    and full_hi = t.full_hi in
+    let write_validate = t.cfg.write_miss_policy = Write_validate in
+    let collector_fow = t.cfg.collector_fetch_on_write in
+    let refs = ref 0
+    and collector_refs = ref 0
+    and misses = ref 0
+    and collector_misses = ref 0
+    and alloc_misses = ref 0
+    and fetches = ref 0
+    and collector_fetches = ref 0
+    and writebacks = ref 0
+    and collector_writebacks = ref 0
+    and writes = ref 0
+    and collector_writes = ref 0 in
+    for i = off to off + len - 1 do
+      let w = Array.unsafe_get buf i in
+      let addr = w lsr 3 in
+      let kcode = (w lsr 1) land 3 in
+      let mutator = w land 1 = 0 in
+      let mem_block = addr lsr block_shift in
+      let idx = mem_block land index_mask in
+      let word = (addr lsr 2) land word_mask in
+      let high = word >= 32 in
+      let wbit = 1 lsl (word land 31) in
+      let is_store = kcode <> 0 in
+      if mutator then incr refs else incr collector_refs;
+      if is_store then begin
+        incr writes;
+        if not mutator then incr collector_writes
+      end;
+      if Array.unsafe_get tags idx = mem_block then begin
+        let valid = if high then valid_hi else valid_lo in
+        if Array.unsafe_get valid idx land wbit <> 0 then begin
+          if is_store then Bytes.unsafe_set dirty idx '\001'
+        end
+        else if is_store then begin
+          Array.unsafe_set valid idx (Array.unsafe_get valid idx lor wbit);
+          Bytes.unsafe_set dirty idx '\001'
+        end
+        else begin
+          if mutator then begin
+            incr misses;
+            incr fetches
+          end
+          else begin
+            incr collector_misses;
+            incr collector_fetches
+          end;
+          Array.unsafe_set valid_lo idx full_lo;
+          Array.unsafe_set valid_hi idx full_hi
+        end
+      end
+      else begin
+        if mutator then begin
+          incr misses;
+          if kcode = 2 then incr alloc_misses
+        end
+        else incr collector_misses;
+        if Bytes.unsafe_get dirty idx = '\001' then begin
+          incr writebacks;
+          if not mutator then incr collector_writebacks;
+          Bytes.unsafe_set dirty idx '\000'
+        end;
+        Array.unsafe_set tags idx mem_block;
+        if
+          is_store && write_validate
+          && not ((not mutator) && collector_fow)
+        then begin
+          if high then begin
+            Array.unsafe_set valid_lo idx 0;
+            Array.unsafe_set valid_hi idx wbit
+          end
+          else begin
+            Array.unsafe_set valid_lo idx wbit;
+            Array.unsafe_set valid_hi idx 0
+          end;
+          Bytes.unsafe_set dirty idx '\001'
+        end
+        else begin
+          if mutator then incr fetches else incr collector_fetches;
+          Array.unsafe_set valid_lo idx full_lo;
+          Array.unsafe_set valid_hi idx full_hi;
+          if is_store then Bytes.unsafe_set dirty idx '\001'
+        end
+      end
+    done;
+    t.refs <- t.refs + !refs;
+    t.collector_refs <- t.collector_refs + !collector_refs;
+    t.misses <- t.misses + !misses;
+    t.collector_misses <- t.collector_misses + !collector_misses;
+    t.alloc_misses <- t.alloc_misses + !alloc_misses;
+    t.fetches <- t.fetches + !fetches;
+    t.collector_fetches <- t.collector_fetches + !collector_fetches;
+    t.writebacks <- t.writebacks + !writebacks;
+    t.collector_writebacks <- t.collector_writebacks + !collector_writebacks;
+    t.writes <- t.writes + !writes;
+    t.collector_writes <- t.collector_writes + !collector_writes
+  end
+
 let write_block_back t addr phase =
   let mem_block = addr lsr t.block_shift in
   let idx = mem_block land t.index_mask in

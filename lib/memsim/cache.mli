@@ -66,6 +66,15 @@ val num_blocks : t -> int
 val access : t -> int -> Trace.kind -> Trace.phase -> unit
 (** Simulate one word access at the given byte address. *)
 
+val access_chunk : t -> Chunk.buf -> int -> int -> unit
+(** [access_chunk t buf off len] simulates the [len] packed events
+    at [buf.(off..off+len-1)] (the {!Chunk} codec), equivalent to
+    decoding each and calling {!access} in order.  When the cache has
+    no hooks and no per-block statistics the inner loop skips hook
+    checks and per-event closure dispatch entirely — the fast path of
+    the sweep engine.
+    @raise Invalid_argument when the range is out of bounds. *)
+
 val write_block_back : t -> int -> Trace.phase -> unit
 (** Receive a whole dirty block written back from the level above:
     installs the block's tag if needed (a write miss that fetches

@@ -1,0 +1,133 @@
+(* Flat batches of packed trace events.
+
+   The codec is the historical Recording encoding: one native int per
+   event, bits [63:3] byte address, [2:1] kind, [0] phase.  Recording
+   slabs and live chunking producers share it, so a recording's internal
+   buffers can be consumed by [Cache.access_chunk] without copying. *)
+
+type buf = int array
+
+let default_chunk_events = 1 lsl 16
+
+(* --- Codec ------------------------------------------------------------ *)
+
+let kind_code = function
+  | Trace.Read -> 0
+  | Trace.Write -> 1
+  | Trace.Alloc_write -> 2
+
+let kind_of_code = function
+  | 0 -> Trace.Read
+  | 1 -> Trace.Write
+  | 2 -> Trace.Alloc_write
+  | n -> failwith (Printf.sprintf "Chunk: bad kind code %d" n)
+
+let pack addr kind phase =
+  (addr lsl 3)
+  lor (kind_code kind lsl 1)
+  lor
+  match (phase : Trace.phase) with
+  | Trace.Mutator -> 0
+  | Trace.Collector -> 1
+
+let addr word = word lsr 3
+let is_mutator word = word land 1 = 0
+
+let unpack word =
+  ( word lsr 3,
+    kind_of_code ((word lsr 1) land 3),
+    if word land 1 = 0 then Trace.Mutator else Trace.Collector )
+
+(* --- Chunking producer ------------------------------------------------- *)
+
+let producer ?(chunk_events = default_chunk_events) emit =
+  if chunk_events <= 0 then invalid_arg "Chunk.producer: chunk_events <= 0";
+  let buf = Array.make chunk_events 0 in
+  let len = ref 0 in
+  let flush () =
+    if !len > 0 then begin
+      let n = !len in
+      len := 0;
+      emit buf n
+    end
+  in
+  let access a kind phase =
+    Array.unsafe_set buf !len (pack a kind phase);
+    incr len;
+    if !len = chunk_events then flush ()
+  in
+  ({ Trace.access }, flush)
+
+(* --- Bounded broadcast queue ------------------------------------------- *)
+
+module Fanout = struct
+  type t = {
+    mutex : Mutex.t;
+    not_full : Condition.t;
+    not_empty : Condition.t;
+    queues : (int array * int) Queue.t array;
+    capacity : int;
+    mutable closed : bool;
+  }
+
+  let create ~consumers ~capacity =
+    if consumers <= 0 then invalid_arg "Chunk.Fanout.create: consumers <= 0";
+    if capacity <= 0 then invalid_arg "Chunk.Fanout.create: capacity <= 0";
+    { mutex = Mutex.create ();
+      not_full = Condition.create ();
+      not_empty = Condition.create ();
+      queues = Array.init consumers (fun _ -> Queue.create ());
+      capacity;
+      closed = false
+    }
+
+  let consumers t = Array.length t.queues
+
+  let push t buf len =
+    (* One shared copy per broadcast: consumers only read it. *)
+    let copy = Array.sub buf 0 len in
+    Mutex.lock t.mutex;
+    let rec wait_for_room () =
+      if t.closed then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Chunk.Fanout.push: closed"
+      end
+      else if Array.exists (fun q -> Queue.length q >= t.capacity) t.queues
+      then begin
+        Condition.wait t.not_full t.mutex;
+        wait_for_room ()
+      end
+    in
+    wait_for_room ();
+    Array.iter (fun q -> Queue.add (copy, len) q) t.queues;
+    Condition.broadcast t.not_empty;
+    Mutex.unlock t.mutex
+
+  let pop t i =
+    Mutex.lock t.mutex;
+    let q = t.queues.(i) in
+    let rec wait () =
+      if not (Queue.is_empty q) then begin
+        let item = Queue.take q in
+        Condition.broadcast t.not_full;
+        Mutex.unlock t.mutex;
+        Some item
+      end
+      else if t.closed then begin
+        Mutex.unlock t.mutex;
+        None
+      end
+      else begin
+        Condition.wait t.not_empty t.mutex;
+        wait ()
+      end
+    in
+    wait ()
+
+  let close t =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full;
+    Mutex.unlock t.mutex
+end

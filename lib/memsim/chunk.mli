@@ -1,0 +1,79 @@
+(** Flat batches of packed trace events.
+
+    Per-event sinks ({!Trace.sink}) cost a closure dispatch per
+    reference per consumer — the dominant host-time cost of fanning one
+    trace out to a 40-configuration sweep.  A chunk is a flat [int
+    array] of packed events (the {!Recording} encoding: bits [63:3]
+    byte address, [2:1] kind, [0] phase) that batched consumers such as
+    {!Cache.access_chunk} iterate with a tight decode loop instead.
+
+    The module provides the codec, a {!producer} that turns a live
+    event stream into chunks, and a bounded broadcast queue
+    ({!Fanout}) for handing chunks to parallel consumer domains. *)
+
+type buf = int array
+(** Packed events; only a prefix may be meaningful (paired with a
+    length). *)
+
+val default_chunk_events : int
+(** Default events per chunk (65536; 512 KB per chunk). *)
+
+(** {1 Codec} *)
+
+val pack : int -> Trace.kind -> Trace.phase -> int
+(** [pack addr kind phase] packs one event into a native int.
+    Addresses up to 60 bits are preserved. *)
+
+val unpack : int -> int * Trace.kind * Trace.phase
+(** Inverse of {!pack}.  @raise Failure on a corrupt kind code. *)
+
+val addr : int -> int
+(** Byte address of a packed event. *)
+
+val is_mutator : int -> bool
+(** Phase bit of a packed event. *)
+
+val kind_code : Trace.kind -> int
+(** 0 = read, 1 = write, 2 = alloc-write. *)
+
+val kind_of_code : int -> Trace.kind
+(** @raise Failure on codes outside 0–2. *)
+
+(** {1 Chunking producer} *)
+
+val producer :
+  ?chunk_events:int -> (buf -> int -> unit) -> Trace.sink * (unit -> unit)
+(** [producer emit] is a sink that packs events into an internal buffer
+    and calls [emit buf len] each time it fills, plus a [flush] for the
+    final partial chunk.  The buffer is reused across emissions: [emit]
+    must finish with it (or copy it) before returning.
+    @raise Invalid_argument when [chunk_events <= 0]. *)
+
+(** {1 Bounded broadcast queue}
+
+    One producer, N consumers; every consumer sees every chunk, in
+    order.  Used by {!Sweep.live_parallel} to feed worker domains while
+    the trace is still being produced.  [push] blocks while any
+    consumer's queue holds [capacity] chunks, bounding memory. *)
+
+module Fanout : sig
+  type t
+
+  val create : consumers:int -> capacity:int -> t
+  (** @raise Invalid_argument when either bound is non-positive. *)
+
+  val consumers : t -> int
+
+  val push : t -> buf -> int -> unit
+  (** [push t buf len] copies the chunk prefix once and enqueues the
+      copy for every consumer; blocks while any queue is full.
+      @raise Invalid_argument after {!close}. *)
+
+  val pop : t -> int -> (buf * int) option
+  (** [pop t i] dequeues the next chunk for consumer [i], blocking
+      while empty; [None] once the queue is closed and drained.  The
+      returned buffer is shared with the other consumers — read only. *)
+
+  val close : t -> unit
+  (** Wake all consumers; subsequent [pop]s drain and return [None]. *)
+end

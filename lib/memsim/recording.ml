@@ -1,96 +1,120 @@
-(* Packed event: bits [63:3] byte address, [2:1] kind, [0] phase. *)
+(* Events are stored packed (see Chunk) in fixed-size slabs rather
+   than one growable array: appending never copies existing events, a
+   long run has no transient 1.5x memory spike, and the slabs double as
+   ready-made chunks for batched and domain-parallel consumers. *)
 
 type t = {
-  mutable events : int array;
-  mutable len : int;
+  chunk_events : int;              (* capacity of every full slab *)
+  mutable slabs : int array array; (* slabs.(0..nslabs-1) are full *)
+  mutable nslabs : int;
+  mutable cur : int array;
+  mutable cur_len : int;
 }
 
 let magic = 0x5243545243414345L (* "RCTRCACE", arbitrary tag *)
 
-let create ?(initial_capacity = 4096) () =
-  { events = Array.make (max 16 initial_capacity) 0; len = 0 }
+let create ?(initial_capacity = Chunk.default_chunk_events) () =
+  let chunk_events = max 16 initial_capacity in
+  { chunk_events;
+    slabs = Array.make 8 [||];
+    nslabs = 0;
+    cur = Array.make chunk_events 0;
+    cur_len = 0
+  }
 
-let kind_code = function
-  | Trace.Read -> 0
-  | Trace.Write -> 1
-  | Trace.Alloc_write -> 2
+let chunk_events t = t.chunk_events
 
-let kind_of_code = function
-  | 0 -> Trace.Read
-  | 1 -> Trace.Write
-  | 2 -> Trace.Alloc_write
-  | n -> failwith (Printf.sprintf "Recording: bad kind code %d" n)
-
-let pack addr kind phase =
-  (addr lsl 3)
-  lor (kind_code kind lsl 1)
-  lor
-  match (phase : Trace.phase) with
-  | Trace.Mutator -> 0
-  | Trace.Collector -> 1
-
-let unpack word =
-  ( word lsr 3,
-    kind_of_code ((word lsr 1) land 3),
-    if word land 1 = 0 then Trace.Mutator else Trace.Collector )
+let seal_current t =
+  if t.nslabs = Array.length t.slabs then begin
+    let bigger = Array.make (2 * t.nslabs) [||] in
+    Array.blit t.slabs 0 bigger 0 t.nslabs;
+    t.slabs <- bigger
+  end;
+  t.slabs.(t.nslabs) <- t.cur;
+  t.nslabs <- t.nslabs + 1;
+  t.cur <- Array.make t.chunk_events 0;
+  t.cur_len <- 0
 
 let append t word =
-  if t.len = Array.length t.events then begin
-    let bigger = Array.make (2 * t.len) 0 in
-    Array.blit t.events 0 bigger 0 t.len;
-    t.events <- bigger
-  end;
-  t.events.(t.len) <- word;
-  t.len <- t.len + 1
+  Array.unsafe_set t.cur t.cur_len word;
+  t.cur_len <- t.cur_len + 1;
+  if t.cur_len = t.chunk_events then seal_current t
 
 let sink t =
-  { Trace.access = (fun addr kind phase -> append t (pack addr kind phase)) }
+  { Trace.access = (fun addr kind phase -> append t (Chunk.pack addr kind phase)) }
 
-let length t = t.len
+let length t = (t.nslabs * t.chunk_events) + t.cur_len
+
+let iter_chunks t f =
+  for i = 0 to t.nslabs - 1 do
+    f t.slabs.(i) t.chunk_events
+  done;
+  if t.cur_len > 0 then f t.cur t.cur_len
 
 let replay t sink =
-  for i = 0 to t.len - 1 do
-    let addr, kind, phase = unpack t.events.(i) in
-    sink.Trace.access addr kind phase
-  done
+  iter_chunks t (fun buf len ->
+      for i = 0 to len - 1 do
+        let addr, kind, phase = Chunk.unpack (Array.unsafe_get buf i) in
+        sink.Trace.access addr kind phase
+      done)
 
 let event t i =
-  if i < 0 || i >= t.len then invalid_arg "Recording.event";
-  unpack t.events.(i)
+  if i < 0 || i >= length t then invalid_arg "Recording.event";
+  let slab = i / t.chunk_events in
+  let off = i mod t.chunk_events in
+  if slab < t.nslabs then Chunk.unpack t.slabs.(slab).(off)
+  else Chunk.unpack t.cur.(off)
 
 let save t path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      let buf = Bytes.create 8 in
-      Bytes.set_int64_le buf 0 magic;
-      output_bytes oc buf;
-      Bytes.set_int64_le buf 0 (Int64.of_int t.len);
-      output_bytes oc buf;
-      for i = 0 to t.len - 1 do
-        Bytes.set_int64_le buf 0 (Int64.of_int t.events.(i));
-        output_bytes oc buf
-      done)
+      let hdr = Bytes.create 16 in
+      Bytes.set_int64_le hdr 0 magic;
+      Bytes.set_int64_le hdr 8 (Int64.of_int (length t));
+      output_bytes oc hdr;
+      iter_chunks t (fun buf len ->
+          let bytes = Bytes.create (8 * len) in
+          for i = 0 to len - 1 do
+            Bytes.set_int64_le bytes (8 * i) (Int64.of_int buf.(i))
+          done;
+          output_bytes oc bytes))
 
 let load path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let buf = Bytes.create 8 in
-      really_input ic buf 0 8;
-      if Bytes.get_int64_le buf 0 <> magic then
+      let file_bytes = in_channel_length ic in
+      if file_bytes < 16 then
+        failwith "Recording.load: truncated file (missing header)";
+      let hdr = Bytes.create 16 in
+      really_input ic hdr 0 16;
+      if Bytes.get_int64_le hdr 0 <> magic then
         failwith "Recording.load: not a trace recording";
-      really_input ic buf 0 8;
-      let len = Int64.to_int (Bytes.get_int64_le buf 0) in
+      let len = Int64.to_int (Bytes.get_int64_le hdr 8) in
       if len < 0 then failwith "Recording.load: corrupt length";
-      let t = { events = Array.make (max 16 len) 0; len } in
-      (try
-         for i = 0 to len - 1 do
-           really_input ic buf 0 8;
-           t.events.(i) <- Int64.to_int (Bytes.get_int64_le buf 0)
-         done
-       with
-       | End_of_file -> failwith "Recording.load: truncated file");
+      (* Validate the declared count against what the file actually
+         holds before trusting it: a truncated or padded file fails
+         cleanly instead of producing a garbage tail. *)
+      let payload = file_bytes - 16 in
+      if payload mod 8 <> 0 || payload / 8 <> len then
+        failwith
+          (Printf.sprintf
+             "Recording.load: header declares %d events but the file holds \
+              %d%s"
+             len (payload / 8)
+             (if payload mod 8 = 0 then "" else " and a partial word"));
+      let t = create ~initial_capacity:Chunk.default_chunk_events () in
+      let buf = Bytes.create (8 * t.chunk_events) in
+      let remaining = ref len in
+      while !remaining > 0 do
+        let n = min !remaining t.chunk_events in
+        really_input ic buf 0 (8 * n);
+        for i = 0 to n - 1 do
+          append t (Int64.to_int (Bytes.get_int64_le buf (8 * i)))
+        done;
+        remaining := !remaining - n
+      done;
       t)

@@ -8,20 +8,38 @@
     simulator).
 
     Events are packed one per native int (61-bit byte address, 2-bit
-    kind, 1-bit phase), so a recording costs 8 host bytes per
-    reference.  Recordings can be saved to disk in a little-endian
-    binary format and loaded back. *)
+    kind, 1-bit phase — the {!Chunk} codec), so a recording costs 8
+    host bytes per reference.  Storage is a list of fixed-size slabs:
+    appending never copies already-recorded events, and the slabs are
+    exposed as ready-made chunks ({!iter_chunks}) for
+    {!Cache.access_chunk} and the domain-parallel sweep, which share a
+    completed recording across domains without copying.  Recordings can
+    be saved to disk in a little-endian binary format and loaded
+    back. *)
 
 type t
 
 val create : ?initial_capacity:int -> unit -> t
-(** An empty recording. *)
+(** An empty recording.  [initial_capacity] (clamped to at least 16,
+    default {!Chunk.default_chunk_events}) is the event capacity of
+    each internal slab and hence the granularity of {!iter_chunks}. *)
 
 val sink : t -> Trace.sink
 (** Append every event to the recording. *)
 
 val length : t -> int
 (** Number of recorded events. *)
+
+val chunk_events : t -> int
+(** Slab capacity: every chunk {!iter_chunks} yields is this long
+    except the last. *)
+
+val iter_chunks : t -> (Chunk.buf -> int -> unit) -> unit
+(** [iter_chunks t f] calls [f buf len] for each internal slab in
+    event order; only [buf.(0..len-1)] is meaningful.  The buffers are
+    the recording's own storage — do not mutate them.  On a recording
+    that is no longer being appended to, concurrent iteration from
+    several domains is safe. *)
 
 val replay : t -> Trace.sink -> unit
 (** Deliver the recorded events, in order, to a consumer. *)
@@ -35,5 +53,7 @@ val save : t -> string -> unit
     events. *)
 
 val load : string -> t
-(** Read a recording written by {!save}.
+(** Read a recording written by {!save}.  The declared event count is
+    validated against the file's actual size, so truncated or padded
+    files are rejected cleanly.
     @raise Failure on a malformed file. *)

@@ -7,9 +7,12 @@ let paper_cache_sizes =
 let paper_block_sizes = [ 16; 32; 64; 128; 256 ]
 
 let pp_size ppf n =
-  if n >= 1024 * 1024 && n mod (1024 * 1024) = 0 then
-    Format.fprintf ppf "%dm" (n / (1024 * 1024))
-  else if n >= 1024 && n mod 1024 = 0 then Format.fprintf ppf "%dk" (n / 1024)
+  let k = 1024 in
+  let m = 1024 * 1024 in
+  if n >= m && n mod (m / 4) = 0 then
+    if n mod m = 0 then Format.fprintf ppf "%dm" (n / m)
+    else Format.fprintf ppf "%gm" (float_of_int n /. float_of_int m)
+  else if n >= k && n mod k = 0 then Format.fprintf ppf "%dk" (n / k)
   else Format.fprintf ppf "%db" n
 
 type t = { caches : Cache.t array }
@@ -44,7 +47,12 @@ let find t ~size_bytes ~block_bytes =
     g.Cache.size_bytes = size_bytes && g.Cache.block_bytes = block_bytes
   in
   let rec loop i =
-    if i >= Array.length t.caches then raise Not_found
+    if i >= Array.length t.caches then
+      failwith
+        (Format.asprintf
+           "Sweep.find: no %a cache with %db blocks among the %d configured"
+           pp_size size_bytes block_bytes
+           (Array.length t.caches))
     else if matches t.caches.(i) then t.caches.(i)
     else loop (i + 1)
   in
@@ -52,3 +60,93 @@ let find t ~size_bytes ~block_bytes =
 
 let results t =
   Array.to_list (Array.map (fun c -> (Cache.geometry c, Cache.stats c)) t.caches)
+
+(* --- Chunk-batched delivery ------------------------------------------- *)
+
+let access_chunk t buf off len =
+  let caches = t.caches in
+  for i = 0 to Array.length caches - 1 do
+    Cache.access_chunk (Array.unsafe_get caches i) buf off len
+  done
+
+let chunked_sink ?chunk_events t =
+  Chunk.producer ?chunk_events (fun buf len -> access_chunk t buf 0 len)
+
+(* --- Replaying a recording, serially or across domains ----------------- *)
+
+(* Each domain replays the whole recording into a dynamically-claimed
+   subset of the caches: caches are independent simulators and the
+   recording's slabs are read-only once complete, so there is no shared
+   mutable state and the result is bit-identical to a serial run. *)
+let run_into ~jobs t recording =
+  let caches = t.caches in
+  let n = Array.length caches in
+  let jobs = max 1 (min jobs n) in
+  let replay_cache i =
+    let c = caches.(i) in
+    Recording.iter_chunks recording (fun buf len ->
+        Cache.access_chunk c buf 0 len)
+  in
+  if jobs = 1 then
+    for i = 0 to n - 1 do
+      replay_cache i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          replay_cache i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      Array.init (jobs - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join domains
+  end
+
+let run_serial t recording = run_into ~jobs:1 t recording
+let run_parallel ~jobs t recording = run_into ~jobs t recording
+
+(* --- Live production with parallel consumption ------------------------- *)
+
+let live_parallel ~jobs ?chunk_events ?(capacity = 8) t =
+  let caches = t.caches in
+  let n = Array.length caches in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then chunked_sink ?chunk_events t
+  else begin
+    let fanout = Chunk.Fanout.create ~consumers:jobs ~capacity in
+    (* Worker [j] owns caches j, j+jobs, j+2*jobs, ...: a static strided
+       partition, so every cache sees the full stream in order. *)
+    let worker j () =
+      let rec drain () =
+        match Chunk.Fanout.pop fanout j with
+        | None -> ()
+        | Some (buf, len) ->
+          let i = ref j in
+          while !i < n do
+            Cache.access_chunk caches.(!i) buf 0 len;
+            i := !i + jobs
+          done;
+          drain ()
+      in
+      drain ()
+    in
+    let domains = Array.init jobs (fun j -> Domain.spawn (worker j)) in
+    let sink, flush =
+      Chunk.producer ?chunk_events (fun buf len ->
+          Chunk.Fanout.push fanout buf len)
+    in
+    let finish () =
+      flush ();
+      Chunk.Fanout.close fanout;
+      Array.iter Domain.join domains
+    in
+    (sink, finish)
+  end

@@ -2,7 +2,17 @@
 
     Trace-driven simulation is dominated by producing the trace, so a
     single program run is shared by every cache configuration under
-    study: each event is delivered to every cache in the grid. *)
+    study.  Three delivery mechanisms, fastest last:
+
+    - {!sink}: per-event fan-out (one closure call per cache per
+      event).  The oracle the others are tested against.
+    - {!chunked_sink}: events are batched into {!Chunk} buffers and
+      each full chunk is delivered cache-major through
+      {!Cache.access_chunk}'s tight decode loop.
+    - {!run_parallel}: replay a completed {!Recording} with the cache
+      grid partitioned across [jobs] domains.  Caches are independent
+      and the recording is read-only, so the per-cache statistics are
+      bit-identical to {!run_serial}. *)
 
 val paper_cache_sizes : int list
 (** The §4 cache sizes: 32 KB to 4 MB in powers of two. *)
@@ -17,7 +27,10 @@ val mb : int -> int
 (** [mb n] is [n * 1024 * 1024]. *)
 
 val pp_size : Format.formatter -> int -> unit
-(** Print a byte count the way the paper labels axes: ["64k"], ["2m"]. *)
+(** Print a byte count the way the paper labels axes: ["64k"], ["2m"].
+    Quarter-megabyte multiples print fractionally (["1.5m"]); byte
+    counts that are not multiples of 1024 print exactly (["1536b"])
+    rather than under a misleading unit. *)
 
 type t
 
@@ -34,13 +47,53 @@ val grid :
     paper's defaults. *)
 
 val sink : t -> Trace.sink
-(** Deliver each event to every cache. *)
+(** Deliver each event to every cache, one event at a time. *)
 
 val caches : t -> Cache.t array
 (** The underlying caches, in configuration order. *)
 
 val find : t -> size_bytes:int -> block_bytes:int -> Cache.t
 (** The first cache with the given geometry.
-    @raise Not_found when absent. *)
+    @raise Failure naming the requested geometry when absent. *)
 
 val results : t -> (Cache.config * Cache.stats) list
+
+(** {1 Chunk-batched delivery} *)
+
+val access_chunk : t -> Chunk.buf -> int -> int -> unit
+(** Deliver a chunk of packed events to every cache, cache-major:
+    each cache consumes the whole chunk before the next cache starts.
+    Equivalent to per-event delivery for every cache. *)
+
+val chunked_sink : ?chunk_events:int -> t -> Trace.sink * (unit -> unit)
+(** A sink that batches live events into chunks and delivers each full
+    chunk via {!access_chunk}, plus a [flush] that must be called after
+    the last event to deliver the final partial chunk. *)
+
+(** {1 Replaying a recording} *)
+
+val run_serial : t -> Recording.t -> unit
+(** Replay every recorded event into every cache (chunk-batched, one
+    domain).  The oracle for {!run_parallel}. *)
+
+val run_parallel : jobs:int -> t -> Recording.t -> unit
+(** Like {!run_serial} with the cache grid partitioned across [jobs]
+    domains ([jobs] is clamped to [1 .. Array.length (caches t)]).
+    Each domain replays the shared recording into the caches it claims,
+    so per-cache statistics are bit-identical to the serial run.  Do
+    not install hooks on swept caches when [jobs > 1]: they would fire
+    on worker domains. *)
+
+val live_parallel :
+  jobs:int ->
+  ?chunk_events:int ->
+  ?capacity:int ->
+  t ->
+  Trace.sink * (unit -> unit)
+(** Consume a {e live} trace on [jobs] worker domains: the returned
+    sink chunks events and broadcasts each chunk through a bounded
+    queue ({!Chunk.Fanout}, [capacity] chunks per worker) to workers
+    that own a static partition of the caches.  Call the returned
+    [finish] after the last event: it flushes the partial chunk, closes
+    the queue and joins the workers.  Statistics are bit-identical to
+    serial delivery.  With [jobs = 1] this is {!chunked_sink}. *)

@@ -265,15 +265,33 @@ let test_sweep () =
   Alcotest.(check int) "find locates" 2048
     (Memsim.Cache.geometry c).Memsim.Cache.size_bytes;
   (match Memsim.Sweep.find sw ~size_bytes:4096 ~block_bytes:32 with
-   | exception Not_found -> ()
-   | _ -> Alcotest.fail "expected Not_found")
+   | exception Failure msg ->
+     (* the error names the requested geometry *)
+     List.iter
+       (fun needle ->
+         Alcotest.(check bool)
+           (Printf.sprintf "error %S mentions %s" msg needle)
+           true
+           (let n = String.length needle in
+            let rec scan i =
+              i + n <= String.length msg
+              && (String.sub msg i n = needle || scan (i + 1))
+            in
+            scan 0))
+       [ "4k"; "32b" ]
+   | _ -> Alcotest.fail "expected Failure")
 
 let test_size_labels () =
-  Alcotest.(check string) "kb" "64k"
-    (Format.asprintf "%a" Memsim.Sweep.pp_size (64 * 1024));
-  Alcotest.(check string) "mb" "2m"
-    (Format.asprintf "%a" Memsim.Sweep.pp_size (2 * 1024 * 1024));
-  Alcotest.(check string) "bytes" "48b" (Format.asprintf "%a" Memsim.Sweep.pp_size 48)
+  let label n = Format.asprintf "%a" Memsim.Sweep.pp_size n in
+  Alcotest.(check string) "kb" "64k" (label (64 * 1024));
+  Alcotest.(check string) "mb" "2m" (label (2 * 1024 * 1024));
+  Alcotest.(check string) "bytes" "48b" (label 48);
+  (* non-power-of-two counts are not mislabeled *)
+  Alcotest.(check string) "1.5m, not 1536k" "1.5m" (label (3 * 512 * 1024));
+  Alcotest.(check string) "2.25m" "2.25m" (label (9 * 256 * 1024));
+  Alcotest.(check string) "odd kilobytes stay in k" "1025k" (label (1025 * 1024));
+  Alcotest.(check string) "non-multiples stay exact" "1536b" (label 1536);
+  Alcotest.(check string) "zero" "0b" (label 0)
 
 let test_tee_and_counting () =
   let s1, n1 = Memsim.Trace.counting () in
@@ -447,6 +465,204 @@ let test_recording_bad_file () =
       | exception Failure _ -> ()
       | _ -> Alcotest.fail "expected Failure")
 
+let test_recording_truncated_file () =
+  let rec_ = Memsim.Recording.create () in
+  let sink = Memsim.Recording.sink rec_ in
+  for i = 0 to 99 do
+    sink.Memsim.Trace.access (i * 4) Memsim.Trace.Read mutator
+  done;
+  let path = Filename.temp_file "repro" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Memsim.Recording.save rec_ path;
+      (* cut the file mid-payload: the header still declares 100 events *)
+      let ic = open_in_bin path in
+      let keep = really_input_string ic (16 + (8 * 50)) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc keep;
+      close_out oc;
+      (match Memsim.Recording.load path with
+       | exception Failure msg ->
+         Alcotest.(check bool)
+           ("truncation reported: " ^ msg)
+           true
+           (String.length msg > 0)
+       | _ -> Alcotest.fail "truncated file must be rejected");
+      (* trailing garbage is rejected too *)
+      let oc = open_out_bin path in
+      output_string oc keep;
+      output_string oc (String.make (8 * 51) 'x');
+      close_out oc;
+      (match Memsim.Recording.load path with
+       | exception Failure _ -> ()
+       | _ -> Alcotest.fail "padded file must be rejected");
+      (* a file shorter than the header is rejected cleanly *)
+      let oc = open_out_bin path in
+      output_string oc (String.sub keep 0 10);
+      close_out oc;
+      match Memsim.Recording.load path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "header-less file must be rejected")
+
+(* --- Chunks ------------------------------------------------------------- *)
+
+let all_kinds = [ Memsim.Trace.Read; Memsim.Trace.Write; Memsim.Trace.Alloc_write ]
+
+let test_chunk_codec () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun phase ->
+          List.iter
+            (fun addr ->
+              let a, k, p =
+                Memsim.Chunk.unpack (Memsim.Chunk.pack addr kind phase)
+              in
+              Alcotest.(check int) "addr survives" addr a;
+              Alcotest.(check bool) "kind survives" true (k = kind);
+              Alcotest.(check bool) "phase survives" true (p = phase))
+            [ 0; 4; 0xfffffc; 1 lsl 40 ])
+        [ mutator; collector ])
+    all_kinds;
+  (match Memsim.Chunk.kind_of_code 3 with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "bad kind code must be rejected")
+
+let test_chunk_producer () =
+  let emitted = ref [] in
+  let sink, flush =
+    Memsim.Chunk.producer ~chunk_events:8 (fun buf len ->
+        emitted := Array.to_list (Array.sub buf 0 len) :: !emitted)
+  in
+  for i = 0 to 19 do
+    sink.Memsim.Trace.access (i * 4) Memsim.Trace.Read mutator
+  done;
+  Alcotest.(check int) "two full chunks" 2 (List.length !emitted);
+  flush ();
+  Alcotest.(check (list int)) "chunk sizes" [ 4; 8; 8 ]
+    (List.map List.length !emitted);
+  let events = List.concat (List.rev !emitted) in
+  Alcotest.(check int) "no event lost" 20 (List.length events);
+  List.iteri
+    (fun i w ->
+      Alcotest.(check int) "in order" (i * 4) (Memsim.Chunk.addr w))
+    events;
+  flush ();
+  Alcotest.(check int) "flush is idempotent" 3 (List.length !emitted)
+
+let test_fanout () =
+  let fan = Memsim.Chunk.Fanout.create ~consumers:2 ~capacity:4 in
+  let chunk = [| 1; 2; 3 |] in
+  Memsim.Chunk.Fanout.push fan chunk 3;
+  Memsim.Chunk.Fanout.push fan chunk 2;
+  Memsim.Chunk.Fanout.close fan;
+  let drain i =
+    let rec loop acc =
+      match Memsim.Chunk.Fanout.pop fan i with
+      | None -> List.rev acc
+      | Some (_, len) -> loop (len :: acc)
+    in
+    loop []
+  in
+  Alcotest.(check (list int)) "consumer 0 sees all chunks" [ 3; 2 ] (drain 0);
+  Alcotest.(check (list int)) "consumer 1 sees all chunks" [ 3; 2 ] (drain 1);
+  match Memsim.Chunk.Fanout.push fan chunk 1 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "push after close must fail"
+
+(* A deterministic pseudo-random trace long enough to exercise every
+   cache path: reads, stores, allocation, both phases, evictions. *)
+let synth_trace n =
+  let state = ref 0x2545F4914F6CDD1D in
+  let next () =
+    (* xorshift *)
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x;
+    x land max_int
+  in
+  List.init n (fun _ ->
+      let r = next () in
+      let addr = (r lsr 8) land 0xffffc in
+      let kind =
+        match r land 3 with
+        | 0 | 1 -> Memsim.Trace.Read
+        | 2 -> Memsim.Trace.Write
+        | _ -> Memsim.Trace.Alloc_write
+      in
+      let phase = if (r lsr 2) land 7 = 0 then collector else mutator in
+      (addr, kind, phase))
+
+let record_trace events =
+  let rec_ = Memsim.Recording.create ~initial_capacity:256 () in
+  let sink = Memsim.Recording.sink rec_ in
+  List.iter (fun (a, k, p) -> sink.Memsim.Trace.access a k p) events;
+  rec_
+
+let small_grid () =
+  Memsim.Sweep.create
+    (Memsim.Sweep.grid ~cache_sizes:[ 1024; 4096; 16384 ]
+       ~block_sizes:[ 16; 64; 256 ] ())
+
+let test_run_parallel_matches_serial () =
+  let events = synth_trace 50_000 in
+  let recording = record_trace events in
+  let serial = small_grid () in
+  Memsim.Sweep.run_serial serial recording;
+  (* the serial chunked engine matches the per-event oracle *)
+  let oracle = small_grid () in
+  List.iter
+    (fun (a, k, p) -> (Memsim.Sweep.sink oracle).Memsim.Trace.access a k p)
+    events;
+  Alcotest.(check bool) "chunked = per-event" true
+    (Memsim.Sweep.results oracle = Memsim.Sweep.results serial);
+  List.iter
+    (fun jobs ->
+      let parallel = small_grid () in
+      Memsim.Sweep.run_parallel ~jobs parallel recording;
+      Alcotest.(check bool)
+        (Printf.sprintf "parallel jobs=%d = serial" jobs)
+        true
+        (Memsim.Sweep.results serial = Memsim.Sweep.results parallel))
+    [ 2; 4; 64 (* clamped to the cache count *) ]
+
+let test_live_parallel_matches_serial () =
+  let events = synth_trace 20_000 in
+  let serial = small_grid () in
+  List.iter
+    (fun (a, k, p) -> (Memsim.Sweep.sink serial).Memsim.Trace.access a k p)
+    events;
+  List.iter
+    (fun jobs ->
+      let live = small_grid () in
+      let sink, finish =
+        Memsim.Sweep.live_parallel ~jobs ~chunk_events:512 ~capacity:2 live
+      in
+      List.iter (fun (a, k, p) -> sink.Memsim.Trace.access a k p) events;
+      finish ();
+      Alcotest.(check bool)
+        (Printf.sprintf "live jobs=%d = serial" jobs)
+        true
+        (Memsim.Sweep.results serial = Memsim.Sweep.results live))
+    [ 1; 3 ]
+
+let test_chunked_sink_flush () =
+  let events = synth_trace 1000 in
+  let serial = small_grid () in
+  List.iter
+    (fun (a, k, p) -> (Memsim.Sweep.sink serial).Memsim.Trace.access a k p)
+    events;
+  let chunked = small_grid () in
+  let sink, flush = Memsim.Sweep.chunked_sink ~chunk_events:300 chunked in
+  List.iter (fun (a, k, p) -> sink.Memsim.Trace.access a k p) events;
+  flush ();
+  Alcotest.(check bool) "chunked sink = per-event" true
+    (Memsim.Sweep.results serial = Memsim.Sweep.results chunked)
+
 (* --- Properties -------------------------------------------------------- *)
 
 (* The reference model: an address is a hit iff the last access mapping
@@ -561,6 +777,58 @@ let fow_equals_misses_prop =
       let s = stats c in
       s.Memsim.Cache.fetches = s.Memsim.Cache.misses)
 
+let trace_gen_phased =
+  QCheck.Gen.(
+    list_size (int_bound 400)
+      (triple (int_bound 4096) (int_bound 2) bool))
+
+let chunk_equivalence_prop =
+  (* The batched consumer must be observationally identical to the
+     per-event entry point for every policy, phase, and both the
+     fast path and the block-stats fallback path, even when the
+     chunk is delivered in arbitrary (off, len) slices. *)
+  QCheck.Test.make ~count:200 ~name:"access_chunk = per-event access"
+    (QCheck.make trace_gen_phased)
+    (fun events ->
+      let decode (addr, k, coll) =
+        let addr = addr land lnot 3 in
+        let kind =
+          match k with
+          | 0 -> Memsim.Trace.Read
+          | 1 -> Memsim.Trace.Write
+          | _ -> Memsim.Trace.Alloc_write
+        in
+        (addr, kind, if coll then collector else mutator)
+      in
+      let events = List.map decode events in
+      let packed =
+        Array.of_list
+          (List.map (fun (a, k, p) -> Memsim.Chunk.pack a k p) events)
+      in
+      let n = Array.length packed in
+      List.for_all
+        (fun (policy, block_stats) ->
+          let reference = mk ~policy ~block_stats ~size:512 ~block:32 () in
+          List.iter
+            (fun (a, k, p) -> Memsim.Cache.access reference a k p)
+            events;
+          let batched = mk ~policy ~block_stats ~size:512 ~block:32 () in
+          let third = n / 3 in
+          Memsim.Cache.access_chunk batched packed 0 third;
+          Memsim.Cache.access_chunk batched packed third (n - third);
+          stats reference = stats batched
+          && (not block_stats
+              || (Memsim.Cache.block_refs reference
+                    = Memsim.Cache.block_refs batched
+                 && Memsim.Cache.block_misses reference
+                    = Memsim.Cache.block_misses batched
+                 && Memsim.Cache.block_alloc_misses reference
+                    = Memsim.Cache.block_alloc_misses batched)))
+        [ (Memsim.Cache.Write_validate, false);
+          (Memsim.Cache.Write_validate, true);
+          (Memsim.Cache.Fetch_on_write, false)
+        ])
+
 let () =
   Alcotest.run "memsim"
     [ ( "timing",
@@ -589,7 +857,18 @@ let () =
       ( "sweep",
         [ Alcotest.test_case "fan-out" `Quick test_sweep;
           Alcotest.test_case "size labels" `Quick test_size_labels;
-          Alcotest.test_case "tee and counting" `Quick test_tee_and_counting
+          Alcotest.test_case "tee and counting" `Quick test_tee_and_counting;
+          Alcotest.test_case "run_parallel = serial" `Quick
+            test_run_parallel_matches_serial;
+          Alcotest.test_case "live_parallel = serial" `Quick
+            test_live_parallel_matches_serial;
+          Alcotest.test_case "chunked sink and flush" `Quick
+            test_chunked_sink_flush
+        ] );
+      ( "chunks",
+        [ Alcotest.test_case "codec roundtrip" `Quick test_chunk_codec;
+          Alcotest.test_case "producer batching" `Quick test_chunk_producer;
+          Alcotest.test_case "fan-out queue" `Quick test_fanout
         ] );
       ( "assoc",
         [ Alcotest.test_case "LRU replacement" `Quick test_assoc_lru;
@@ -609,13 +888,16 @@ let () =
         [ Alcotest.test_case "record and replay" `Quick test_recording_replay;
           Alcotest.test_case "file roundtrip" `Quick
             test_recording_file_roundtrip;
-          Alcotest.test_case "bad file rejected" `Quick test_recording_bad_file
+          Alcotest.test_case "bad file rejected" `Quick test_recording_bad_file;
+          Alcotest.test_case "truncated file rejected" `Quick
+            test_recording_truncated_file
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest invariants_prop;
           QCheck_alcotest.to_alcotest policy_dominance_prop;
           QCheck_alcotest.to_alcotest fow_equals_misses_prop;
           QCheck_alcotest.to_alcotest assoc_one_way_equals_direct_prop;
-          QCheck_alcotest.to_alcotest assoc_inclusion_prop
+          QCheck_alcotest.to_alcotest assoc_inclusion_prop;
+          QCheck_alcotest.to_alcotest chunk_equivalence_prop
         ] )
     ]
