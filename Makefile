@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all build test test-parallel bench check untracked-build clean
+.PHONY: all build test test-parallel test-fastpath bench check untracked-build clean
 
 all: build
 
@@ -15,6 +15,12 @@ test:
 test-parallel:
 	REPRO_JOBS=2 dune exec test/test_parallel.exe
 
+# The trace fast-path differential suite (direct writer vs closure
+# sink, record-while-sweep vs per-event oracle, v1 -> v2 round trip)
+# with worker domains forced on.
+test-fastpath:
+	REPRO_JOBS=2 dune exec test/test_fastpath.exe
+
 bench:
 	dune exec bench/main.exe
 
@@ -25,7 +31,7 @@ untracked-build:
 	  echo "error: $$n file(s) under _build/ are tracked by git"; exit 1; \
 	fi
 
-check: build test test-parallel untracked-build
+check: build test test-parallel test-fastpath untracked-build
 	@echo "check: ok"
 
 clean:

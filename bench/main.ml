@@ -108,6 +108,52 @@ let analyzer_bench =
          done;
          t := !t + 4096))
 
+(* Trace generation: the same 1k loads through Vscheme.Mem, delivered
+   to a Recording through the generic closure sink vs. appended by the
+   fast path (record_into).  The recording is drained periodically so
+   the loop measures append cost, not allocation of an ever-growing
+   slab list. *)
+let trace_batches_before_reset = 1024
+
+let trace_append_sink_bench =
+  let recording = Memsim.Recording.create () in
+  let mem =
+    Vscheme.Mem.create ~sink:(Memsim.Recording.sink recording) ~words:65536
+  in
+  let t = ref 0 in
+  let batches = ref 0 in
+  Bechamel.Test.make ~name:"trace-append-sink-1k"
+    (Bechamel.Staged.stage (fun () ->
+         for i = 0 to 999 do
+           ignore (Vscheme.Mem.read mem ((!t + (i * 7)) land 0xffff))
+         done;
+         t := !t + 4096;
+         incr batches;
+         if !batches >= trace_batches_before_reset then begin
+           batches := 0;
+           Memsim.Recording.clear recording
+         end))
+
+let trace_append_direct_bench =
+  let recording = Memsim.Recording.create () in
+  let mem = Vscheme.Mem.create ~sink:Memsim.Trace.null ~words:65536 in
+  Vscheme.Mem.record_into mem recording;
+  let t = ref 0 in
+  let batches = ref 0 in
+  Bechamel.Test.make ~name:"trace-append-direct-1k"
+    (Bechamel.Staged.stage (fun () ->
+         for i = 0 to 999 do
+           ignore (Vscheme.Mem.read mem ((!t + (i * 7)) land 0xffff))
+         done;
+         t := !t + 4096;
+         incr batches;
+         if !batches >= trace_batches_before_reset then begin
+           batches := 0;
+           Vscheme.Mem.sync_recording mem;
+           Memsim.Recording.clear recording;
+           Vscheme.Mem.record_into mem recording
+         end))
+
 (* Telemetry hot paths: a counter update against a disabled registry
    (the cost every instrumentation site pays when telemetry is off)
    vs. an enabled one, and histogram observation. *)
@@ -149,6 +195,7 @@ let run_perf () =
   let grouped =
     Test.make_grouped ~name:"perf" ~fmt:"%s %s"
       [ cache_bench; cache_chunk_bench; vm_bench; gc_bench; analyzer_bench;
+        trace_append_sink_bench; trace_append_direct_bench;
         obs_counter_disabled_bench; obs_counter_enabled_bench;
         obs_histogram_bench ]
   in
@@ -239,6 +286,74 @@ let measure_sweep () =
         ("identical_stats", Obs.Json.Bool identical)
       ] )
 
+(* On-disk formats: save/load one real trace in fixed-width v1 and
+   varint+delta v2, verifying both round trips, and report sizes,
+   wall times, and the v1/v2 compression ratio. *)
+let measure_recording_formats () =
+  let w = Workloads.Workload.nbody in
+  let _, recording = Core.Runner.record ~scale:1 w in
+  let events = Memsim.Recording.length recording in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let measure format name =
+    let path = Filename.temp_file "repro-bench" (".trace-" ^ name) in
+    let (), save_s =
+      time (fun () -> Memsim.Recording.save ~format recording path)
+    in
+    let bytes = (Unix.stat path).Unix.st_size in
+    let loaded, load_s = time (fun () -> Memsim.Recording.load path) in
+    if not (Memsim.Recording.equal recording loaded) then begin
+      Sys.remove path;
+      failwith ("recording-save-load: " ^ name ^ " round trip diverged")
+    end;
+    Sys.remove path;
+    (bytes, save_s, load_s)
+  in
+  let v1_bytes, v1_save_s, v1_load_s = measure Memsim.Recording.V1 "v1" in
+  let v2_bytes, v2_save_s, v2_load_s = measure Memsim.Recording.V2 "v2" in
+  let ratio = float_of_int v1_bytes /. float_of_int (max 1 v2_bytes) in
+  let per_event b = float_of_int b /. float_of_int (max 1 events) in
+  Format.fprintf ppf
+    "@.==== recording-save-load (%s, %d events) ====@." w.Workloads.Workload.name
+    events;
+  Format.fprintf ppf
+    "v1 %d bytes (%.2f b/event, save %.3fs, load %.3fs)   v2 %d bytes \
+     (%.2f b/event, save %.3fs, load %.3fs)   v1/v2 = %.2fx@."
+    v1_bytes (per_event v1_bytes) v1_save_s v1_load_s v2_bytes
+    (per_event v2_bytes) v2_save_s v2_load_s ratio;
+  ( "recording-save-load",
+    Obs.Json.Obj
+      [ ("workload", Obs.Json.Str w.Workloads.Workload.name);
+        ("events", Obs.Json.Int events);
+        ("v1_bytes", Obs.Json.Int v1_bytes);
+        ("v2_bytes", Obs.Json.Int v2_bytes);
+        ("v1_bytes_per_event", Obs.Json.Float (per_event v1_bytes));
+        ("v2_bytes_per_event", Obs.Json.Float (per_event v2_bytes));
+        ("v1_save_s", Obs.Json.Float v1_save_s);
+        ("v1_load_s", Obs.Json.Float v1_load_s);
+        ("v2_save_s", Obs.Json.Float v2_save_s);
+        ("v2_load_s", Obs.Json.Float v2_load_s);
+        ("compression_v1_over_v2", Obs.Json.Float ratio)
+      ] )
+
+(* Fold the two trace-append estimates into one summary entry so
+   BENCH_metrics.json records the fast-path speedup directly. *)
+let trace_append_entry results =
+  let find name = List.assoc_opt ("perf " ^ name) results in
+  match (find "trace-append-sink-1k", find "trace-append-direct-1k") with
+  | Some sink_ns, Some direct_ns ->
+    [ ( "trace-append",
+        Obs.Json.Obj
+          [ ("sink_ns_per_1k", Obs.Json.Float sink_ns);
+            ("direct_ns_per_1k", Obs.Json.Float direct_ns);
+            ("speedup_direct_vs_sink", Obs.Json.Float (sink_ns /. direct_ns))
+          ] )
+    ]
+  | _ -> []
+
 (* The sweep.* gauges Runner.sweep_recording published while the
    experiments ran: wall time, jobs and throughput of every grid
    replay, keyed by experiment. *)
@@ -277,6 +392,11 @@ let () =
   run_experiments ();
   let skip_perf = Sys.getenv_opt "REPRO_SKIP_PERF" = Some "1" in
   let results = if skip_perf then [] else run_perf () in
-  let extra = if skip_perf then [] else [ measure_sweep () ] in
+  let extra =
+    if skip_perf then []
+    else
+      trace_append_entry results
+      @ [ measure_sweep (); measure_recording_formats () ]
+  in
   write_bench_metrics results (sweep_gauges () @ extra);
   Format.pp_print_flush ppf ()

@@ -294,20 +294,26 @@ let run_targets targets cache_bytes block_bytes policy gc scale metrics
 
 (* --- record / replay ----------------------------------------------------- *)
 
-let record name out_path scale =
+let record name out_path scale format =
   match Workloads.Workload.find name with
   | None ->
     Format.eprintf "unknown workload %S (try `repro workloads')@." name;
     1
   | Some w ->
-    let recording = Memsim.Recording.create ~initial_capacity:(1 lsl 20) () in
-    let r =
-      Core.Runner.run ?scale ~sinks:[ Memsim.Recording.sink recording ] w
-    in
-    Memsim.Recording.save recording out_path;
-    Format.fprintf ppf "recorded %d references of %s (scale %d) to %s@."
+    (* Fast path: the memory appends packed events straight into the
+       recording, no per-event closure. *)
+    let r, recording = Core.Runner.record ?scale w in
+    Memsim.Recording.save ~format recording out_path;
+    let bytes = (Unix.stat out_path).Unix.st_size in
+    Format.fprintf ppf
+      "recorded %d references of %s (scale %d) to %s (%s, %.2f bytes/event)@."
       (Memsim.Recording.length recording)
-      w.Workloads.Workload.name r.Core.Runner.scale out_path;
+      w.Workloads.Workload.name r.Core.Runner.scale out_path
+      (match format with
+       | Memsim.Recording.V1 -> "v1"
+       | Memsim.Recording.V2 -> "v2")
+      (float_of_int bytes
+       /. float_of_int (max 1 (Memsim.Recording.length recording)));
     0
 
 let replay path cache_bytes block_bytes policy =
@@ -481,9 +487,20 @@ let record_cmd =
   let scale =
     Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N" ~doc:"Workload scale")
   in
+  let format =
+    let format_conv =
+      Arg.enum
+        [ ("v1", Memsim.Recording.V1); ("v2", Memsim.Recording.V2) ]
+    in
+    Arg.(value & opt format_conv Memsim.Recording.V2
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"On-disk format: v2 (delta+varint, default) or v1 \
+                   (fixed 8 bytes/event); `repro replay' and `repro \
+                   stats' load either")
+  in
   Cmd.v
     (Cmd.info "record" ~doc:"Record a workload's reference trace to a file")
-    Term.(const record $ workload_arg $ out $ scale)
+    Term.(const record $ workload_arg $ out $ scale $ format)
 
 let replay_cmd =
   let path =

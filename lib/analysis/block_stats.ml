@@ -62,13 +62,23 @@ let create cfg =
     time = 0
   }
 
+(* Smallest power of two strictly greater than [needed], computed by
+   bit smearing rather than a doubling loop.  [needed] is a block
+   index, so it is far below 2^62 and the smear cannot overflow. *)
+let next_pow2_above needed =
+  let n = ref needed in
+  n := !n lor (!n lsr 1);
+  n := !n lor (!n lsr 2);
+  n := !n lor (!n lsr 4);
+  n := !n lor (!n lsr 8);
+  n := !n lor (!n lsr 16);
+  n := !n lor (!n lsr 32);
+  !n + 1
+
 let grow_dyn d needed =
-  let cap = ref d.capacity in
-  while needed >= !cap do
-    cap := !cap * 2
-  done;
+  let cap = max (next_pow2_above needed) d.capacity in
   let extend a fill =
-    let b = Array.make !cap fill in
+    let b = Array.make cap fill in
     Array.blit a 0 b 0 d.capacity;
     b
   in
@@ -77,7 +87,7 @@ let grow_dyn d needed =
   d.refs <- extend d.refs 0;
   d.last_cycle <- extend d.last_cycle (-1);
   d.ncycles <- extend d.ncycles 0;
-  d.capacity <- !cap
+  d.capacity <- cap
 
 let on_event t addr kind phase =
   match (phase : Memsim.Trace.phase) with
@@ -145,12 +155,19 @@ let dynamic_summary t =
 
 let lifetimes t =
   let d = t.dyn in
-  let out = ref [] in
-  for i = d.used - 1 downto 0 do
-    if d.first_time.(i) >= 0 then
-      out := (d.last_time.(i) - d.first_time.(i)) :: !out
+  let live = ref 0 in
+  for i = 0 to d.used - 1 do
+    if d.first_time.(i) >= 0 then incr live
   done;
-  Array.of_list !out
+  let out = Array.make !live 0 in
+  let j = ref 0 in
+  for i = 0 to d.used - 1 do
+    if d.first_time.(i) >= 0 then begin
+      out.(!j) <- d.last_time.(i) - d.first_time.(i);
+      incr j
+    end
+  done;
+  out
 
 let lifetime_cdf t ~points =
   let ls = lifetimes t in

@@ -13,8 +13,7 @@ let table_collector_families ppf =
   in
   let measure gc =
     let sw = sweep () in
-    let r, recording = Runner.record ~gc w in
-    Runner.sweep_recording ~label:"sweep.a1" sw recording;
+    let r, _recording = Runner.record_sweep ~label:"sweep.a1" ~gc sw w in
     (r, sw)
   in
   let baseline, base_sw = measure Vscheme.Machine.No_gc in

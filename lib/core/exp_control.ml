@@ -5,29 +5,28 @@ type pass = {
 }
 
 (* Trace once, sweep many: each workload is interpreted a single time
-   to capture its reference trace, then both write-policy grids (2 x 40
-   caches) replay the recording chunk-batched, parallel across domains
-   when [Runner.jobs () > 1]. *)
+   to capture its reference trace.  The write-validate grid (40 caches)
+   consumes the trace while it is produced (record-while-sweep); the
+   fetch-on-write grid then replays the completed recording,
+   chunk-batched and parallel across domains when [Runner.jobs () > 1]. *)
 let run_pass () =
   let results =
     List.map
       (fun w ->
-        let r, recording = Runner.record w in
-        let sweep_policy tag policy =
-          let sw =
-            Memsim.Sweep.create
-              (Memsim.Sweep.grid ~write_miss_policy:policy
-                 ~cache_sizes:Memsim.Sweep.paper_cache_sizes
-                 ~block_sizes:Memsim.Sweep.paper_block_sizes ())
-          in
-          Runner.sweep_recording
-            ~label:("sweep." ^ w.Workloads.Workload.name ^ "." ^ tag)
-            sw recording;
-          Memsim.Sweep.results sw
+        let grid policy =
+          Memsim.Sweep.create
+            (Memsim.Sweep.grid ~write_miss_policy:policy
+               ~cache_sizes:Memsim.Sweep.paper_cache_sizes
+               ~block_sizes:Memsim.Sweep.paper_block_sizes ())
         in
+        let label tag = "sweep." ^ w.Workloads.Workload.name ^ "." ^ tag in
+        let sw_wv = grid Memsim.Cache.Write_validate in
+        let r, recording = Runner.record_sweep ~label:(label "wv") sw_wv w in
+        let sw_fow = grid Memsim.Cache.Fetch_on_write in
+        Runner.sweep_recording ~label:(label "fow") sw_fow recording;
         ( r.Runner.stats.Vscheme.Machine.mutator_insns,
-          sweep_policy "wv" Memsim.Cache.Write_validate,
-          sweep_policy "fow" Memsim.Cache.Fetch_on_write ))
+          Memsim.Sweep.results sw_wv,
+          Memsim.Sweep.results sw_fow ))
       Workloads.Workload.all
   in
   { insns = List.map (fun (i, _, _) -> i) results;

@@ -16,10 +16,12 @@ type measured = {
 
 let measure ?gc ?scale w =
   let sweep = sweep_64b () in
-  let r, recording = Runner.record ?gc ?scale w in
-  Runner.sweep_recording
-    ~label:("sweep." ^ w.Workloads.Workload.name ^ ".gc64b")
-    sweep recording;
+  (* Record-while-sweep: the grid consumes the trace as it is produced. *)
+  let r, _recording =
+    Runner.record_sweep
+      ~label:("sweep." ^ w.Workloads.Workload.name ^ ".gc64b")
+      ?gc ?scale sweep w
+  in
   { insns = r.Runner.stats.Vscheme.Machine.mutator_insns;
     collector_insns = r.Runner.stats.Vscheme.Machine.collector_insns;
     collections = r.Runner.stats.Vscheme.Machine.collections;

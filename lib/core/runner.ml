@@ -49,7 +49,7 @@ let layout machine ~dynamic_base =
   words * Memsim.Trace.word_bytes
 
 let run ?(gc = Vscheme.Machine.No_gc) ?heap_bytes ?(pathological_layout = false)
-    ?(sinks = []) ?events ?scale w =
+    ?(sinks = []) ?events ?scale ?record ?(direct = true) w =
   let heap_bytes =
     match heap_bytes with
     | Some b -> b
@@ -60,14 +60,33 @@ let run ?(gc = Vscheme.Machine.No_gc) ?heap_bytes ?(pathological_layout = false)
     | Some s -> s
     | None -> base_scale w * scale_factor ()
   in
-  let counter, counts = Memsim.Trace.counting_by_phase () in
+  (* Fast path: no extra sinks means nothing needs a per-event closure
+     — the memory appends straight into the recording and the
+     mutator/collector split comes from its phase-flip counters.  Any
+     sink (or ~direct:false) falls back to the generic tee. *)
+  let use_direct = direct && sinks = [] && record <> None in
+  let counter =
+    if use_direct then None else Some (Memsim.Trace.counting_by_phase ())
+  in
+  let sink =
+    match counter with
+    | None -> Memsim.Trace.null
+    | Some (c, _) ->
+      let sinks =
+        match record with
+        | Some r -> Memsim.Recording.sink r :: sinks
+        | None -> sinks
+      in
+      Memsim.Trace.tee (c :: sinks)
+  in
   let cfg =
     { Vscheme.Machine.default_config with
       gc;
       heap_bytes;
       pathological_layout;
-      sink = Memsim.Trace.tee (counter :: sinks);
-      telemetry = events
+      sink;
+      telemetry = events;
+      record = (if use_direct then record else None)
     }
   in
   let mark kind name =
@@ -82,7 +101,14 @@ let run ?(gc = Vscheme.Machine.No_gc) ?heap_bytes ?(pathological_layout = false)
   mark Obs.Events.Begin "phase.run";
   let value = Workloads.Workload.run machine w ~scale in
   mark Obs.Events.End "phase.run";
-  let mut, col = counts () in
+  let mut, col =
+    match counter with
+    | Some (_, counts) -> counts ()
+    | None ->
+      let mem = Vscheme.Machine.mem machine in
+      Vscheme.Mem.sync_recording mem;
+      Vscheme.Mem.recorded_counts mem
+  in
   { workload = w;
     scale;
     value = Vscheme.Machine.value_to_string machine value;
@@ -92,13 +118,12 @@ let run ?(gc = Vscheme.Machine.No_gc) ?heap_bytes ?(pathological_layout = false)
     machine
   }
 
-let record ?gc ?heap_bytes ?pathological_layout ?(sinks = []) ?events ?scale w
-    =
+let record ?gc ?heap_bytes ?pathological_layout ?(sinks = []) ?events ?scale
+    ?(direct = true) w =
   let recording = Memsim.Recording.create () in
   let r =
-    run ?gc ?heap_bytes ?pathological_layout
-      ~sinks:(Memsim.Recording.sink recording :: sinks)
-      ?events ?scale w
+    run ?gc ?heap_bytes ?pathological_layout ~sinks ?events ?scale
+      ~record:recording ~direct w
   in
   (r, recording)
 
@@ -123,3 +148,46 @@ let sweep_recording ?(label = "sweep") sweep recording =
     set
       (label ^ ".events_per_s")
       (float_of_int (events * caches) /. dt)
+
+(* Record-while-sweep: the mutator domain runs the workload with the
+   fast-path recorder, every recording slab that seals is broadcast
+   (by reference, no copy) to sweep worker domains, and the final
+   partial slab is delivered after the run — so trace generation and
+   the grid sweep overlap end to end instead of running back to back.
+   The recording is still complete afterwards for further replays. *)
+let record_sweep ?(label = "sweep") ?gc ?heap_bytes ?pathological_layout
+    ?events ?scale sweep w =
+  let jobs = jobs () in
+  let t0 = Unix.gettimeofday () in
+  let deliver, finish = Memsim.Sweep.pipelined ~jobs sweep in
+  let recording = Memsim.Recording.create ~on_seal:deliver () in
+  let r =
+    run ?gc ?heap_bytes ?pathological_layout ?events ?scale ~record:recording w
+  in
+  let t_produced = Unix.gettimeofday () in
+  (* [run] synced the recording, so the tail length is current. *)
+  let buf, len = Memsim.Recording.tail recording in
+  if len > 0 then deliver buf len;
+  finish ();
+  let t1 = Unix.gettimeofday () in
+  let events = Memsim.Recording.length recording in
+  let caches = Array.length (Memsim.Sweep.caches sweep) in
+  let produce_s = t_produced -. t0 in
+  let drain_s = t1 -. t_produced in
+  let wall_s = t1 -. t0 in
+  let reg = Obs.Metrics.default in
+  let set name v = Obs.Metrics.Gauge.set (Obs.Metrics.gauge reg name) v in
+  set (label ^ ".wall_s") wall_s;
+  set (label ^ ".produce_wall_s") produce_s;
+  set (label ^ ".drain_wall_s") drain_s;
+  set (label ^ ".jobs") (float_of_int jobs);
+  set (label ^ ".events") (float_of_int events);
+  if produce_s > 0.0 then
+    set
+      (label ^ ".producer_events_per_s")
+      (float_of_int events /. produce_s);
+  if wall_s > 0.0 then
+    set
+      (label ^ ".consumer_events_per_s")
+      (float_of_int (events * caches) /. wall_s);
+  (r, recording)

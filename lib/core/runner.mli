@@ -46,6 +46,8 @@ val run :
   ?sinks:Memsim.Trace.sink list ->
   ?events:Obs.Events.timeline ->
   ?scale:int ->
+  ?record:Memsim.Recording.t ->
+  ?direct:bool ->
   Workloads.Workload.t ->
   result
 (** Run a workload to completion.  [scale] defaults to
@@ -53,7 +55,15 @@ val run :
     the stack-aliasing static layout of experiment A2.  [events], when
     given, becomes the machine's telemetry timeline (GC lifecycle
     events) and additionally receives [phase.load] / [phase.run]
-    markers around workload loading and execution. *)
+    markers around workload loading and execution.
+
+    [record], when given, captures the full reference trace into the
+    recording.  With no [sinks] and [direct] true (the default) it
+    uses the fast path — the memory appends packed events straight
+    into recording slabs, no per-event closure, and the
+    mutator/collector reference split comes from phase-flip counters;
+    otherwise the recording is one more sink on the generic tee.
+    Both paths yield bit-identical recordings and counts. *)
 
 val record :
   ?gc:Vscheme.Machine.gc_spec ->
@@ -62,12 +72,15 @@ val record :
   ?sinks:Memsim.Trace.sink list ->
   ?events:Obs.Events.timeline ->
   ?scale:int ->
+  ?direct:bool ->
   Workloads.Workload.t ->
   result * Memsim.Recording.t
-(** Like {!run} with a {!Memsim.Recording} sink prepended: run the
-    workload once and capture its full reference trace, the
-    trace-once-sweep-many workflow.  The recording costs 8 host bytes
-    per reference. *)
+(** Like {!run} with a fresh [record]: run the workload once and
+    capture its full reference trace, the trace-once-sweep-many
+    workflow.  The recording costs 8 host bytes per reference in
+    memory (much less on disk with {!Memsim.Recording.save}'s default
+    v2 format).  [direct] as in {!run}; [~direct:false] forces the
+    closure-sink path (the differential-test oracle). *)
 
 val sweep_recording :
   ?label:string -> Memsim.Sweep.t -> Memsim.Recording.t -> unit
@@ -77,3 +90,26 @@ val sweep_recording :
     events_per_s}] gauges ([label] defaults to ["sweep"]) to
     {!Obs.Metrics.default} so exported telemetry tracks sweep wall time
     and throughput. *)
+
+val record_sweep :
+  ?label:string ->
+  ?gc:Vscheme.Machine.gc_spec ->
+  ?heap_bytes:int ->
+  ?pathological_layout:bool ->
+  ?events:Obs.Events.timeline ->
+  ?scale:int ->
+  Memsim.Sweep.t ->
+  Workloads.Workload.t ->
+  result * Memsim.Recording.t
+(** Record-while-sweep: run the workload with the fast-path recorder
+    and sweep the grid {e while the trace is being produced} — each
+    recording slab that seals is broadcast by reference
+    ({!Memsim.Sweep.pipelined}) to {!jobs}[ ()] worker domains, and
+    the final partial slab is delivered after the run.  With one job
+    the chunks are consumed inline on the producing domain.  Per-cache
+    statistics are bit-identical to {!record} followed by
+    {!sweep_recording}, and the returned recording is complete for
+    further replays.  Publishes
+    [<label>.{wall_s,produce_wall_s,drain_wall_s,jobs,events,
+    producer_events_per_s,consumer_events_per_s}] gauges to
+    {!Obs.Metrics.default}. *)

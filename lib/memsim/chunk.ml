@@ -83,9 +83,7 @@ module Fanout = struct
 
   let consumers t = Array.length t.queues
 
-  let push t buf len =
-    (* One shared copy per broadcast: consumers only read it. *)
-    let copy = Array.sub buf 0 len in
+  let push_item t buf len =
     Mutex.lock t.mutex;
     let rec wait_for_room () =
       if t.closed then begin
@@ -99,9 +97,17 @@ module Fanout = struct
       end
     in
     wait_for_room ();
-    Array.iter (fun q -> Queue.add (copy, len) q) t.queues;
+    Array.iter (fun q -> Queue.add (buf, len) q) t.queues;
     Condition.broadcast t.not_empty;
     Mutex.unlock t.mutex
+
+  let push t buf len =
+    (* One shared copy per broadcast: consumers only read it. *)
+    push_item t (Array.sub buf 0 len) len
+
+  (* No copy: only sound when the producer never writes [buf] again,
+     e.g. a sealed Recording slab. *)
+  let push_shared t buf len = push_item t buf len
 
   let pop t i =
     Mutex.lock t.mutex;

@@ -69,6 +69,12 @@ module Fanout : sig
       copy for every consumer; blocks while any queue is full.
       @raise Invalid_argument after {!close}. *)
 
+  val push_shared : t -> buf -> int -> unit
+  (** Like {!push} but enqueues [buf] itself, with no copy.  Only
+      sound when the producer will never write [buf] again — e.g. a
+      sealed {!Recording} slab, which is immutable once full.
+      @raise Invalid_argument after {!close}. *)
+
   val pop : t -> int -> (buf * int) option
   (** [pop t i] dequeues the next chunk for consumer [i], blocking
       while empty; [None] once the queue is closed and drained.  The

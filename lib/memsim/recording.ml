@@ -1,7 +1,14 @@
 (* Events are stored packed (see Chunk) in fixed-size slabs rather
    than one growable array: appending never copies existing events, a
    long run has no transient 1.5x memory spike, and the slabs double as
-   ready-made chunks for batched and domain-parallel consumers. *)
+   ready-made chunks for batched and domain-parallel consumers.
+
+   Two producers can fill a recording: the generic {!sink} (one closure
+   call per event) and a *direct writer* — a hot loop that checks out
+   the current slab and cursor ({!checkout}), appends with plain array
+   stores, and goes out of line only to seal a full slab
+   ({!seal_full}).  Vscheme.Mem's trace fast path is the direct writer;
+   the two produce bit-identical recordings. *)
 
 type t = {
   chunk_events : int;              (* capacity of every full slab *)
@@ -9,17 +16,26 @@ type t = {
   mutable nslabs : int;
   mutable cur : int array;
   mutable cur_len : int;
+  mutable direct : bool;           (* a direct writer owns [cur] *)
+  on_seal : (Chunk.buf -> int -> unit) option;
 }
 
-let magic = 0x5243545243414345L (* "RCTRCACE", arbitrary tag *)
+let magic = 0x5243545243414345L (* "RCTRCACE" v1, arbitrary tag *)
+let magic_v2 = 0x3256545243414345L (* same tag family, "…V2" high byte pair *)
 
-let create ?(initial_capacity = Chunk.default_chunk_events) () =
+type format =
+  | V1
+  | V2
+
+let create ?(initial_capacity = Chunk.default_chunk_events) ?on_seal () =
   let chunk_events = max 16 initial_capacity in
   { chunk_events;
     slabs = Array.make 8 [||];
     nslabs = 0;
     cur = Array.make chunk_events 0;
-    cur_len = 0
+    cur_len = 0;
+    direct = false;
+    on_seal
   }
 
 let chunk_events t = t.chunk_events
@@ -32,10 +48,16 @@ let seal_current t =
   end;
   t.slabs.(t.nslabs) <- t.cur;
   t.nslabs <- t.nslabs + 1;
+  let sealed = t.cur in
   t.cur <- Array.make t.chunk_events 0;
-  t.cur_len <- 0
+  t.cur_len <- 0;
+  match t.on_seal with
+  | None -> ()
+  | Some f -> f sealed t.chunk_events
 
 let append t word =
+  if t.direct then
+    invalid_arg "Recording.append: recording is checked out by a direct writer";
   Array.unsafe_set t.cur t.cur_len word;
   t.cur_len <- t.cur_len + 1;
   if t.cur_len = t.chunk_events then seal_current t
@@ -44,6 +66,32 @@ let sink t =
   { Trace.access = (fun addr kind phase -> append t (Chunk.pack addr kind phase)) }
 
 let length t = (t.nslabs * t.chunk_events) + t.cur_len
+
+let clear t =
+  for i = 0 to t.nslabs - 1 do
+    t.slabs.(i) <- [||]
+  done;
+  t.nslabs <- 0;
+  t.cur_len <- 0;
+  t.direct <- false
+
+(* --- Direct writer ------------------------------------------------------ *)
+
+let checkout t =
+  t.direct <- true;
+  (t.cur, t.cur_len)
+
+let seal_full t =
+  seal_current t;
+  t.cur
+
+let set_tail t n =
+  if n < 0 || n >= t.chunk_events then invalid_arg "Recording.set_tail";
+  t.cur_len <- n
+
+let tail t = (t.cur, t.cur_len)
+
+(* --- In-memory access --------------------------------------------------- *)
 
 let iter_chunks t f =
   for i = 0 to t.nslabs - 1 do
@@ -58,28 +106,217 @@ let replay t sink =
         sink.Trace.access addr kind phase
       done)
 
-let event t i =
-  if i < 0 || i >= length t then invalid_arg "Recording.event";
+let word t i =
   let slab = i / t.chunk_events in
   let off = i mod t.chunk_events in
-  if slab < t.nslabs then Chunk.unpack t.slabs.(slab).(off)
-  else Chunk.unpack t.cur.(off)
+  if slab < t.nslabs then t.slabs.(slab).(off) else t.cur.(off)
 
-let save t path =
+let event t i =
+  if i < 0 || i >= length t then invalid_arg "Recording.event";
+  Chunk.unpack (word t i)
+
+let equal a b =
+  length a = length b
+  &&
+  let n = length a in
+  let rec loop i = i >= n || (word a i = word b i && loop (i + 1)) in
+  loop 0
+
+(* --- v1 on-disk format: 8 fixed little-endian bytes per event ----------- *)
+
+let save_v1 t oc =
+  let hdr = Bytes.create 16 in
+  Bytes.set_int64_le hdr 0 magic;
+  Bytes.set_int64_le hdr 8 (Int64.of_int (length t));
+  output_bytes oc hdr;
+  (* One scratch buffer for the whole file, not a fresh Bytes per
+     chunk: a long recording is thousands of chunks. *)
+  let scratch = Bytes.create (8 * t.chunk_events) in
+  iter_chunks t (fun buf len ->
+      for i = 0 to len - 1 do
+        Bytes.set_int64_le scratch (8 * i) (Int64.of_int buf.(i))
+      done;
+      output oc scratch 0 (8 * len))
+
+let load_v1 ic ~file_bytes =
+  let hdr = Bytes.create 8 in
+  really_input ic hdr 0 8;
+  let len = Int64.to_int (Bytes.get_int64_le hdr 0) in
+  if len < 0 then failwith "Recording.load: corrupt length";
+  (* Validate the declared count against what the file actually
+     holds before trusting it: a truncated or padded file fails
+     cleanly instead of producing a garbage tail. *)
+  let payload = file_bytes - 16 in
+  if payload mod 8 <> 0 || payload / 8 <> len then
+    failwith
+      (Printf.sprintf
+         "Recording.load: header declares %d events but the file holds \
+          %d%s"
+         len (payload / 8)
+         (if payload mod 8 = 0 then "" else " and a partial word"));
+  let t = create ~initial_capacity:Chunk.default_chunk_events () in
+  let buf = Bytes.create (8 * t.chunk_events) in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let n = min !remaining t.chunk_events in
+    really_input ic buf 0 (8 * n);
+    for i = 0 to n - 1 do
+      let w64 = Bytes.get_int64_le buf (8 * i) in
+      let w = Int64.to_int w64 in
+      (* Each packed word must round-trip through the native int:
+         a file written on a platform with wider ints (or a corrupt
+         word using bit 63) would otherwise be silently truncated. *)
+      if Int64.of_int w <> w64 then
+        failwith
+          (Printf.sprintf
+             "Recording.load: event %d does not fit a native int \
+              (written on a wider platform, or corrupt)"
+             (length t));
+      if w land 6 = 6 then
+        failwith
+          (Printf.sprintf "Recording.load: event %d has corrupt kind bits"
+             (length t));
+      append t w
+    done;
+    remaining := !remaining - n
+  done;
+  t
+
+(* --- v2 on-disk format: delta + varint --------------------------------- *)
+
+(* Header: 8-byte magic, 1 version byte (2), 8-byte LE event count.
+   Per event: the byte-address delta from the previous event's address
+   (zigzag-coded) with kind and phase folded into the low bits.  First
+   byte: [7] continuation, [6:3] low 4 bits of the zigzag delta, [2:1]
+   kind, [0] phase; remaining zigzag bits follow as standard LEB128.
+   Allocation sweeps and re-references have tiny deltas, so most
+   events are 1 byte (|delta| <= 8 bytes) or 2 (|delta| <= 1 KB),
+   vs. v1's flat 8. *)
+
+let io_buf_bytes = 1 lsl 16
+
+let save_v2 t oc =
+  let hdr = Bytes.create 17 in
+  Bytes.set_int64_le hdr 0 magic_v2;
+  Bytes.set hdr 8 '\002';
+  Bytes.set_int64_le hdr 9 (Int64.of_int (length t));
+  output_bytes oc hdr;
+  let buf = Bytes.create io_buf_bytes in
+  let pos = ref 0 in
+  let flush () =
+    output oc buf 0 !pos;
+    pos := 0
+  in
+  let put b =
+    if !pos = io_buf_bytes then flush ();
+    Bytes.unsafe_set buf !pos (Char.unsafe_chr b);
+    incr pos
+  in
+  let prev = ref 0 in
+  iter_chunks t (fun slab len ->
+      for i = 0 to len - 1 do
+        let w = Array.unsafe_get slab i in
+        let addr = w lsr 3 in
+        let tag = w land 7 in
+        let delta = addr - !prev in
+        prev := addr;
+        let zz = (delta lsl 1) lxor (delta asr 62) in
+        let b0 = ((zz land 0xf) lsl 3) lor tag in
+        let rest = zz lsr 4 in
+        if rest = 0 then put b0
+        else begin
+          put (b0 lor 0x80);
+          let r = ref rest in
+          while !r >= 0x80 do
+            put ((!r land 0x7f) lor 0x80);
+            r := !r lsr 7
+          done;
+          put !r
+        end
+      done);
+  flush ()
+
+let max_addr = max_int lsr 3
+
+let load_v2 ic ~file_bytes =
+  if file_bytes < 17 then
+    failwith "Recording.load: truncated file (missing v2 header)";
+  let hdr = Bytes.create 9 in
+  really_input ic hdr 0 9;
+  let version = Char.code (Bytes.get hdr 0) in
+  if version <> 2 then
+    failwith
+      (Printf.sprintf "Recording.load: unsupported format version %d" version);
+  let len = Int64.to_int (Bytes.get_int64_le hdr 1) in
+  if len < 0 then failwith "Recording.load: corrupt length";
+  let t = create ~initial_capacity:Chunk.default_chunk_events () in
+  let buf = Bytes.create io_buf_bytes in
+  let avail = ref 0 in
+  let pos = ref 0 in
+  let byte () =
+    if !pos = !avail then begin
+      let n = input ic buf 0 io_buf_bytes in
+      if n = 0 then
+        failwith
+          (Printf.sprintf
+             "Recording.load: truncated file (%d of %d events)" (length t) len);
+      avail := n;
+      pos := 0
+    end;
+    let b = Char.code (Bytes.unsafe_get buf !pos) in
+    incr pos;
+    b
+  in
+  let prev = ref 0 in
+  for _ = 1 to len do
+    let b0 = byte () in
+    let tag = b0 land 7 in
+    if tag land 6 = 6 then
+      failwith
+        (Printf.sprintf "Recording.load: event %d has corrupt kind bits"
+           (length t));
+    let zz = ref ((b0 lsr 3) land 0xf) in
+    if b0 land 0x80 <> 0 then begin
+      let shift = ref 4 in
+      let continue = ref true in
+      while !continue do
+        let b = byte () in
+        if !shift > 62 then
+          failwith
+            (Printf.sprintf "Recording.load: event %d varint overflows"
+               (length t));
+        zz := !zz lor ((b land 0x7f) lsl !shift);
+        shift := !shift + 7;
+        continue := b land 0x80 <> 0
+      done
+    end;
+    let delta = (!zz lsr 1) lxor (- (!zz land 1)) in
+    let addr = !prev + delta in
+    if addr < 0 || addr > max_addr then
+      failwith
+        (Printf.sprintf "Recording.load: event %d has corrupt address"
+           (length t));
+    prev := addr;
+    append t ((addr lsl 3) lor tag)
+  done;
+  if !avail - !pos > 0 || pos_in ic < file_bytes then
+    failwith
+      (Printf.sprintf
+         "Recording.load: %d trailing bytes after the declared %d events"
+         ((!avail - !pos) + (file_bytes - pos_in ic))
+         len);
+  t
+
+(* --- Entry points ------------------------------------------------------- *)
+
+let save ?(format = V2) t path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      let hdr = Bytes.create 16 in
-      Bytes.set_int64_le hdr 0 magic;
-      Bytes.set_int64_le hdr 8 (Int64.of_int (length t));
-      output_bytes oc hdr;
-      iter_chunks t (fun buf len ->
-          let bytes = Bytes.create (8 * len) in
-          for i = 0 to len - 1 do
-            Bytes.set_int64_le bytes (8 * i) (Int64.of_int buf.(i))
-          done;
-          output_bytes oc bytes))
+      match format with
+      | V1 -> save_v1 t oc
+      | V2 -> save_v2 t oc)
 
 let load path =
   let ic = open_in_bin path in
@@ -89,32 +326,9 @@ let load path =
       let file_bytes = in_channel_length ic in
       if file_bytes < 16 then
         failwith "Recording.load: truncated file (missing header)";
-      let hdr = Bytes.create 16 in
-      really_input ic hdr 0 16;
-      if Bytes.get_int64_le hdr 0 <> magic then
-        failwith "Recording.load: not a trace recording";
-      let len = Int64.to_int (Bytes.get_int64_le hdr 8) in
-      if len < 0 then failwith "Recording.load: corrupt length";
-      (* Validate the declared count against what the file actually
-         holds before trusting it: a truncated or padded file fails
-         cleanly instead of producing a garbage tail. *)
-      let payload = file_bytes - 16 in
-      if payload mod 8 <> 0 || payload / 8 <> len then
-        failwith
-          (Printf.sprintf
-             "Recording.load: header declares %d events but the file holds \
-              %d%s"
-             len (payload / 8)
-             (if payload mod 8 = 0 then "" else " and a partial word"));
-      let t = create ~initial_capacity:Chunk.default_chunk_events () in
-      let buf = Bytes.create (8 * t.chunk_events) in
-      let remaining = ref len in
-      while !remaining > 0 do
-        let n = min !remaining t.chunk_events in
-        really_input ic buf 0 (8 * n);
-        for i = 0 to n - 1 do
-          append t (Int64.to_int (Bytes.get_int64_le buf (8 * i)))
-        done;
-        remaining := !remaining - n
-      done;
-      t)
+      let tag = Bytes.create 8 in
+      really_input ic tag 0 8;
+      let tag = Bytes.get_int64_le tag 0 in
+      if tag = magic then load_v1 ic ~file_bytes
+      else if tag = magic_v2 then load_v2 ic ~file_bytes
+      else failwith "Recording.load: not a trace recording")

@@ -9,30 +9,91 @@
 
     Events are packed one per native int (61-bit byte address, 2-bit
     kind, 1-bit phase — the {!Chunk} codec), so a recording costs 8
-    host bytes per reference.  Storage is a list of fixed-size slabs:
-    appending never copies already-recorded events, and the slabs are
-    exposed as ready-made chunks ({!iter_chunks}) for
-    {!Cache.access_chunk} and the domain-parallel sweep, which share a
-    completed recording across domains without copying.  Recordings can
-    be saved to disk in a little-endian binary format and loaded
-    back. *)
+    host bytes per reference in memory.  Storage is a list of
+    fixed-size slabs: appending never copies already-recorded events,
+    and the slabs are exposed as ready-made chunks ({!iter_chunks})
+    for {!Cache.access_chunk} and the domain-parallel sweep, which
+    share a completed recording across domains without copying.
+
+    Two producers can fill a recording: the generic {!sink}, and a
+    {e direct writer} ({!checkout}/{!seal_full}/{!set_tail}) — a hot
+    loop that owns the current slab and cursor and appends with plain
+    array stores, going out of line only when a slab fills.
+    [Vscheme.Mem]'s trace fast path is the direct writer; both
+    producers yield bit-identical recordings.
+
+    On disk, recordings are saved in format v2 by default — a
+    delta+varint encoding exploiting the sequential allocation sweeps
+    of §7, typically 3–6x smaller than the v1 fixed-8-byte format —
+    and {!load} reads either format transparently. *)
 
 type t
 
-val create : ?initial_capacity:int -> unit -> t
+type format =
+  | V1  (** 8 fixed little-endian bytes per event *)
+  | V2  (** zigzag address delta + kind/phase tag, LEB128 varint *)
+
+val create :
+  ?initial_capacity:int -> ?on_seal:(Chunk.buf -> int -> unit) -> unit -> t
 (** An empty recording.  [initial_capacity] (clamped to at least 16,
     default {!Chunk.default_chunk_events}) is the event capacity of
-    each internal slab and hence the granularity of {!iter_chunks}. *)
+    each internal slab and hence the granularity of {!iter_chunks}.
+    [on_seal], when given, is called with each slab the moment it
+    fills — the hook behind record-while-sweep pipelining: a sealed
+    slab is immutable, so it can be handed to concurrent consumers
+    (e.g. {!Chunk.Fanout.push_shared}) while the recording keeps it
+    for later replay.  The final partial slab never seals; fetch it
+    with {!tail} after production ends. *)
 
 val sink : t -> Trace.sink
-(** Append every event to the recording. *)
+(** Append every event to the recording.
+    @raise Invalid_argument while a direct writer has the recording
+    checked out. *)
 
 val length : t -> int
-(** Number of recorded events. *)
+(** Number of recorded events.  While a direct writer is active this
+    excludes its unsynced tail; see {!set_tail}. *)
 
 val chunk_events : t -> int
 (** Slab capacity: every chunk {!iter_chunks} yields is this long
     except the last. *)
+
+val clear : t -> unit
+(** Drop every recorded event (slab storage for sealed chunks is
+    released; the current slab is kept) and release any direct-writer
+    checkout.  The recording is reusable afterwards. *)
+
+(** {1 Direct writer}
+
+    The fast-path protocol: [checkout] hands the caller the current
+    slab and write cursor; the caller appends packed events (the
+    {!Chunk} codec) with plain stores and bumps its own cursor copy.
+    When the cursor reaches {!chunk_events}, call {!seal_full} and
+    continue at 0 in the fresh slab it returns.  Before anything reads
+    the recording, publish the cursor with {!set_tail}.  While checked
+    out, {!sink}/appends raise. *)
+
+val checkout : t -> Chunk.buf * int
+(** [checkout t] is the current slab and the cursor to continue at
+    (always < {!chunk_events}).  Marks the recording checked out. *)
+
+val seal_full : t -> Chunk.buf
+(** Seal the current slab — the caller asserts it wrote all
+    {!chunk_events} entries — fire [on_seal], and return the fresh
+    current slab (write it from index 0). *)
+
+val set_tail : t -> int -> unit
+(** Publish the direct writer's cursor as the current slab's length so
+    readers ({!length}, {!iter_chunks}, {!save}, …) see the tail.
+    Idempotent; call whenever the recording must be consistent.
+    @raise Invalid_argument outside [0, chunk_events). *)
+
+val tail : t -> Chunk.buf * int
+(** The current partial slab and its (synced) length — the chunk that
+    {!iter_chunks} would yield last.  Used to deliver the final chunk
+    of a pipelined run. *)
+
+(** {1 In-memory access} *)
 
 val iter_chunks : t -> (Chunk.buf -> int -> unit) -> unit
 (** [iter_chunks t f] calls [f buf len] for each internal slab in
@@ -48,12 +109,24 @@ val event : t -> int -> int * Trace.kind * Trace.phase
 (** Random access to event [i] as [(byte_address, kind, phase)].
     @raise Invalid_argument when out of range. *)
 
-val save : t -> string -> unit
-(** Write to a file: an 8-byte magic, an event count, then the packed
-    events. *)
+val equal : t -> t -> bool
+(** Event-stream equality: same length and the same packed event at
+    every position (slab granularity may differ). *)
+
+(** {1 Persistence} *)
+
+val save : ?format:format -> t -> string -> unit
+(** Write to a file; [format] defaults to {!V2}.  v2 layout: an 8-byte
+    magic, a version byte, an 8-byte event count, then one
+    varint-coded event each — the zigzag delta of the byte address
+    from the previous event with kind and phase folded into the low
+    bits of the first byte.  Sequential traces cost 1–2 bytes per
+    event.  {!V1} writes the legacy fixed 8-bytes-per-event layout. *)
 
 val load : string -> t
-(** Read a recording written by {!save}.  The declared event count is
-    validated against the file's actual size, so truncated or padded
-    files are rejected cleanly.
+(** Read a recording written by {!save}, either format (distinguished
+    by magic).  Malformed input — wrong magic, bad version, truncated
+    or padded payload, event counts that disagree with the payload,
+    corrupt kind bits, varint or address overflow, v1 words that do
+    not round-trip through the native int — fails cleanly.
     @raise Failure on a malformed file. *)

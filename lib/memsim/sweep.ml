@@ -115,6 +115,23 @@ let run_parallel ~jobs t recording = run_into ~jobs t recording
 
 (* --- Live production with parallel consumption ------------------------- *)
 
+(* Worker [j] owns caches j, j+jobs, j+2*jobs, ...: a static strided
+   partition, so every cache sees the full stream in order. *)
+let strided_worker caches ~jobs fanout j () =
+  let n = Array.length caches in
+  let rec drain () =
+    match Chunk.Fanout.pop fanout j with
+    | None -> ()
+    | Some (buf, len) ->
+      let i = ref j in
+      while !i < n do
+        Cache.access_chunk caches.(!i) buf 0 len;
+        i := !i + jobs
+      done;
+      drain ()
+  in
+  drain ()
+
 let live_parallel ~jobs ?chunk_events ?(capacity = 8) t =
   let caches = t.caches in
   let n = Array.length caches in
@@ -122,23 +139,9 @@ let live_parallel ~jobs ?chunk_events ?(capacity = 8) t =
   if jobs = 1 then chunked_sink ?chunk_events t
   else begin
     let fanout = Chunk.Fanout.create ~consumers:jobs ~capacity in
-    (* Worker [j] owns caches j, j+jobs, j+2*jobs, ...: a static strided
-       partition, so every cache sees the full stream in order. *)
-    let worker j () =
-      let rec drain () =
-        match Chunk.Fanout.pop fanout j with
-        | None -> ()
-        | Some (buf, len) ->
-          let i = ref j in
-          while !i < n do
-            Cache.access_chunk caches.(!i) buf 0 len;
-            i := !i + jobs
-          done;
-          drain ()
-      in
-      drain ()
+    let domains =
+      Array.init jobs (fun j -> Domain.spawn (strided_worker caches ~jobs fanout j))
     in
-    let domains = Array.init jobs (fun j -> Domain.spawn (worker j)) in
     let sink, flush =
       Chunk.producer ?chunk_events (fun buf len ->
           Chunk.Fanout.push fanout buf len)
@@ -149,4 +152,27 @@ let live_parallel ~jobs ?chunk_events ?(capacity = 8) t =
       Array.iter Domain.join domains
     in
     (sink, finish)
+  end
+
+(* Chunk-level variant of [live_parallel] for producers that already
+   have immutable chunks in hand — Recording slabs sealing while the
+   mutator runs.  No per-event sink, no copy: each delivered chunk is
+   broadcast by reference. *)
+let pipelined ~jobs ?(capacity = 8) t =
+  let caches = t.caches in
+  let n = Array.length caches in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then
+    ((fun buf len -> access_chunk t buf 0 len), fun () -> ())
+  else begin
+    let fanout = Chunk.Fanout.create ~consumers:jobs ~capacity in
+    let domains =
+      Array.init jobs (fun j -> Domain.spawn (strided_worker caches ~jobs fanout j))
+    in
+    let deliver buf len = Chunk.Fanout.push_shared fanout buf len in
+    let finish () =
+      Chunk.Fanout.close fanout;
+      Array.iter Domain.join domains
+    in
+    (deliver, finish)
   end

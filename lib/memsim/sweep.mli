@@ -97,3 +97,17 @@ val live_parallel :
     [finish] after the last event: it flushes the partial chunk, closes
     the queue and joins the workers.  Statistics are bit-identical to
     serial delivery.  With [jobs = 1] this is {!chunked_sink}. *)
+
+val pipelined :
+  jobs:int -> ?capacity:int -> t -> (Chunk.buf -> int -> unit) * (unit -> unit)
+(** [pipelined ~jobs t] is [(deliver, finish)]: the chunk-level
+    counterpart of {!live_parallel} for producers that already hold
+    immutable chunks — {!Recording} slabs sealing while the mutator
+    still runs (record-while-sweep).  [deliver buf len] broadcasts the
+    chunk {e by reference} (no copy; the buffer must never be written
+    again) to [jobs] worker domains owning a static partition of the
+    caches, blocking when [capacity] chunks are queued per worker; with
+    [jobs = 1] it is a plain {!access_chunk} on the calling domain.
+    Call [finish] after the last chunk to close the queue and join the
+    workers.  Statistics are bit-identical to a trace-then-sweep
+    replay. *)

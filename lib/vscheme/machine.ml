@@ -15,6 +15,7 @@ type config = {
   seed : int;
   pathological_layout : bool;
   telemetry : Obs.Events.timeline option;
+  record : Memsim.Recording.t option;
 }
 
 let default_config =
@@ -27,7 +28,8 @@ let default_config =
     load_prelude = true;
     seed = 0x5eed;
     pathological_layout = false;
-    telemetry = None
+    telemetry = None;
+    record = None
   }
 
 type t = {
@@ -151,6 +153,7 @@ let dynamic_base_bytes cfg =
 
 let heap t = t.heap
 let vm t = t.vm
+let mem t = t.mem
 
 let eval_datum t d =
   let forms = Expander.expand_program [ d ] in
@@ -195,6 +198,9 @@ let create cfg =
   let stack_words = words_of_bytes cfg.stack_bytes in
   let total_words = static_words + stack_words + dynamic_words cfg in
   let mem = Mem.create ~sink:cfg.sink ~words:total_words in
+  (* Direct recording starts before any heap structure is built, so
+     the fast path captures exactly the stream the sink would see. *)
+  Option.iter (Mem.record_into mem) cfg.record;
   let heap = Heap.create ~mem ~static_words ~stack_words in
   Heap.set_telemetry heap cfg.telemetry;
   let ctx =

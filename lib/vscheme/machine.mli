@@ -40,11 +40,18 @@ type config = {
       (** event timeline the machine and its collector publish GC
           lifecycle events to; [None] (the default) disables event
           telemetry at the cost of one branch per emission site *)
+  record : Memsim.Recording.t option;
+      (** when given, the machine's memory records every traced access
+          directly into this recording ({!Mem.record_into} — no
+          per-event closure call) and [sink] is {e not} called; use
+          the sink path instead when hooks or tees must observe the
+          stream.  Call {!Mem.sync_recording} on {!mem} before
+          reading the recording. *)
 }
 
 val default_config : config
 (** No GC, 64 MB dynamic area, 2 MB static, 256 KB stack, prelude
-    loaded, null sink. *)
+    loaded, null sink, no direct recording. *)
 
 type t
 
@@ -62,6 +69,9 @@ val dynamic_base_bytes : config -> int
 
 val heap : t -> Heap.t
 val vm : t -> Vm.t
+
+val mem : t -> Mem.t
+(** The simulated memory, for recording sync and tests. *)
 
 val eval_string : t -> string -> Value.t
 (** Read, expand, compile and run every form in the source text;

@@ -1,44 +1,146 @@
+(* Every traced access takes one of two paths:
+
+   - direct recording (the fast path): the current Recording slab and
+     its cursor live in this record, so an event is one packed-int
+     store plus a cursor bump; only a full slab goes out of line
+     ([refill]).  No closure is called per event.
+   - the generic sink: one closure call per event, for hooks, tees,
+     analyzers and telemetry.
+
+   [direct]/[sinked] are mutually exclusive; both false means
+   untraced, which costs two predictable branches and nothing else. *)
+
 type t = {
   words : int array;
   sink : Memsim.Trace.sink;
   mutable phase : Memsim.Trace.phase;
-  mutable traced : bool;
+  mutable phase_bit : int;         (* 0 mutator, 1 collector *)
+  mutable direct : bool;           (* append into [slab] *)
+  mutable sinked : bool;           (* call [sink] per event *)
+  mutable slab : int array;        (* current recording slab *)
+  mutable cursor : int;
+  mutable cap : int;
+  mutable recording : Memsim.Recording.t option;
+  mutable sealed_events : int;     (* events in slabs already sealed *)
+  mutable phase_start : int;       (* recorded position at last flip *)
+  mutable mut_events : int;
+  mutable col_events : int;
 }
 
 let create ~sink ~words =
   if words <= 0 then invalid_arg "Mem.create";
-  { words = Array.make words 0; sink; phase = Memsim.Trace.Mutator; traced = true }
+  { words = Array.make words 0;
+    sink;
+    phase = Memsim.Trace.Mutator;
+    phase_bit = 0;
+    direct = false;
+    sinked = not (sink == Memsim.Trace.null);
+    slab = [||];
+    cursor = 0;
+    cap = 0;
+    recording = None;
+    sealed_events = 0;
+    phase_start = 0;
+    mut_events = 0;
+    col_events = 0
+  }
 
 let size_words t = Array.length t.words
 
 let phase t = t.phase
-let set_phase t p = t.phase <- p
+
+let recorded_position t = t.sealed_events + t.cursor
+
+let flush_phase_counts t =
+  let pos = recorded_position t in
+  let d = pos - t.phase_start in
+  if d > 0 then begin
+    match t.phase with
+    | Memsim.Trace.Mutator -> t.mut_events <- t.mut_events + d
+    | Memsim.Trace.Collector -> t.col_events <- t.col_events + d
+  end;
+  t.phase_start <- pos
+
+let set_phase t p =
+  flush_phase_counts t;
+  t.phase <- p;
+  t.phase_bit <- (match p with
+    | Memsim.Trace.Mutator -> 0
+    | Memsim.Trace.Collector -> 1)
+
+let record_into t r =
+  flush_phase_counts t;
+  let slab, pos = Memsim.Recording.checkout r in
+  t.recording <- Some r;
+  t.slab <- slab;
+  t.cursor <- pos;
+  t.cap <- Memsim.Recording.chunk_events r;
+  t.sealed_events <- Memsim.Recording.length r - pos;
+  t.phase_start <- recorded_position t;
+  t.direct <- true;
+  t.sinked <- false
+
+let sync_recording t =
+  match t.recording with
+  | None -> ()
+  | Some r ->
+    Memsim.Recording.set_tail r t.cursor;
+    flush_phase_counts t
+
+let recorded_counts t = (t.mut_events, t.col_events)
+
+(* Out of line on purpose: the per-event path stays small enough to
+   inline, and a seal happens once per chunk_events events. *)
+let refill t =
+  match t.recording with
+  | None -> assert false
+  | Some r ->
+    t.sealed_events <- t.sealed_events + t.cap;
+    t.slab <- Memsim.Recording.seal_full r;
+    t.cursor <- 0
+
+let[@inline] emit t packed =
+  let cur = t.cursor in
+  Array.unsafe_set t.slab cur packed;
+  let cur = cur + 1 in
+  t.cursor <- cur;
+  if cur = t.cap then refill t
+
+(* Packed word: Chunk.pack (a lsl 2) kind phase = (a lsl 5) lor
+   (kind_code lsl 1) lor phase_bit; kind codes 0/1/2. *)
 
 let read t a =
-  if t.traced then
-    t.sink.Memsim.Trace.access (a lsl 2) Memsim.Trace.Read t.phase;
+  (if t.direct then emit t ((a lsl 5) lor t.phase_bit)
+   else if t.sinked then
+     t.sink.Memsim.Trace.access (a lsl 2) Memsim.Trace.Read t.phase);
   t.words.(a)
 
 let write t a v =
-  if t.traced then
-    t.sink.Memsim.Trace.access (a lsl 2) Memsim.Trace.Write t.phase;
+  (if t.direct then emit t ((a lsl 5) lor 2 lor t.phase_bit)
+   else if t.sinked then
+     t.sink.Memsim.Trace.access (a lsl 2) Memsim.Trace.Write t.phase);
   t.words.(a) <- v
 
 let write_alloc t a v =
-  if t.traced then
-    t.sink.Memsim.Trace.access (a lsl 2) Memsim.Trace.Alloc_write t.phase;
+  (if t.direct then emit t ((a lsl 5) lor 4 lor t.phase_bit)
+   else if t.sinked then
+     t.sink.Memsim.Trace.access (a lsl 2) Memsim.Trace.Alloc_write t.phase);
   t.words.(a) <- v
 
 let peek t a = t.words.(a)
 let poke t a v = t.words.(a) <- v
 
 let with_untraced t f =
-  let saved = t.traced in
-  t.traced <- false;
+  let direct = t.direct in
+  let sinked = t.sinked in
+  t.direct <- false;
+  t.sinked <- false;
   match f () with
   | result ->
-    t.traced <- saved;
+    t.direct <- direct;
+    t.sinked <- sinked;
     result
   | exception e ->
-    t.traced <- saved;
+    t.direct <- direct;
+    t.sinked <- sinked;
     raise e

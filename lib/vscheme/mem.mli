@@ -1,24 +1,53 @@
 (** Simulated flat memory.
 
     One word-addressed array of simulated 4-byte words backs the whole
-    vscheme address space.  Every traced access is reported to the
-    configured {!Memsim.Trace.sink} with the current execution phase;
-    the machine flips the phase to [Collector] around collections.
+    vscheme address space.  Every traced access is reported with the
+    current execution phase; the machine flips the phase to
+    [Collector] around collections.
+
+    Two trace paths exist.  The generic path delivers each event to
+    the configured {!Memsim.Trace.sink} — one closure call per event,
+    composable with tees, hooks and analyzers.  The {e fast path}
+    ({!record_into}) appends the packed event straight into a
+    {!Memsim.Recording} slab whose buffer and cursor are hoisted into
+    this record: one array store per event, out of line only when a
+    slab seals.  Both paths produce bit-identical traces; an untraced
+    run (null sink, no recording) pays two predictable branches per
+    access and makes no closure call.
 
     Addresses used throughout the runtime are {e word} addresses; the
-    sink receives byte addresses ([word_addr * 4]) so that cache block
+    trace carries byte addresses ([word_addr * 4]) so that cache block
     arithmetic matches the paper's. *)
 
 type t
 
 val create : sink:Memsim.Trace.sink -> words:int -> t
 (** [create ~sink ~words] is a zeroed memory of [words] simulated
-    words. *)
+    words.  Passing {!Memsim.Trace.null} (physically) marks the memory
+    untraced. *)
 
 val size_words : t -> int
 
 val phase : t -> Memsim.Trace.phase
 val set_phase : t -> Memsim.Trace.phase -> unit
+
+val record_into : t -> Memsim.Recording.t -> unit
+(** Switch to direct recording: every subsequent traced access is
+    appended to the recording through the checked-out slab, and the
+    configured sink is no longer called.  The recording's existing
+    tail is continued.  Call {!sync_recording} before reading the
+    recording. *)
+
+val sync_recording : t -> unit
+(** Publish the direct writer's cursor (and the per-phase event
+    counts) into the recording so that [length]/[iter_chunks]/[save]
+    see every appended event.  No-op when not direct recording. *)
+
+val recorded_counts : t -> int * int
+(** [(mutator, collector)] events appended by the fast path, valid
+    after {!sync_recording} — the same split
+    {!Memsim.Trace.counting_by_phase} gives on the sink path, tracked
+    here at phase flips instead of per event. *)
 
 val read : t -> int -> int
 (** Traced load of one word. *)
@@ -38,5 +67,6 @@ val poke : t -> int -> int -> unit
 
 val with_untraced : t -> (unit -> 'a) -> 'a
 (** Run a computation with tracing suspended: accesses made inside it
-    touch memory but emit no events.  Used for diagnostic printing so
-    that debugging output does not perturb the experiment. *)
+    touch memory but emit no events (on either path).  Used for
+    diagnostic printing so that debugging output does not perturb the
+    experiment. *)

@@ -1,0 +1,98 @@
+(* Differential tests for the trace fast path and record-while-sweep.
+
+   For every workload, the direct writer (Mem.record_into) must
+   produce a recording bit-identical to the generic closure sink, with
+   the same result value and per-phase reference counts; and
+   Runner.record_sweep — which sweeps the grid while the trace is
+   produced — must yield per-cache statistics bit-identical to the
+   per-event oracle over the sink-path recording, with one job and
+   with several.  `make check` runs this binary under REPRO_JOBS=2 as
+   well, exercising the jobs selection inside record_sweep. *)
+
+let grid () =
+  Memsim.Sweep.create
+    (Memsim.Sweep.grid
+       ~cache_sizes:[ Memsim.Sweep.kb 32; Memsim.Sweep.kb 256 ]
+       ~block_sizes:[ 32; 128 ] ())
+
+let check_identical name reference candidate =
+  List.iter2
+    (fun (_, (a : Memsim.Cache.stats)) (_, (b : Memsim.Cache.stats)) ->
+      Alcotest.(check bool) (name ^ ": stats bit-identical") true (a = b))
+    (Memsim.Sweep.results reference)
+    (Memsim.Sweep.results candidate)
+
+let test_fast_path w () =
+  let oracle_r, oracle_rec = Core.Runner.record ~direct:false ~scale:1 w in
+  let fast_r, fast_rec = Core.Runner.record ~scale:1 w in
+  Alcotest.(check bool)
+    "recordings bit-identical" true
+    (Memsim.Recording.equal oracle_rec fast_rec);
+  Alcotest.(check string)
+    "result value" oracle_r.Core.Runner.value fast_r.Core.Runner.value;
+  Alcotest.(check int) "mutator refs" oracle_r.Core.Runner.refs
+    fast_r.Core.Runner.refs;
+  Alcotest.(check int) "collector refs" oracle_r.Core.Runner.collector_refs
+    fast_r.Core.Runner.collector_refs;
+  Alcotest.(check int) "recording length"
+    (Memsim.Recording.length oracle_rec)
+    (oracle_r.Core.Runner.refs + oracle_r.Core.Runner.collector_refs)
+
+let test_record_sweep w () =
+  let _, recording = Core.Runner.record ~direct:false ~scale:1 w in
+  let oracle = grid () in
+  Memsim.Recording.replay recording (Memsim.Sweep.sink oracle);
+  let saved = Core.Runner.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Core.Runner.set_jobs saved)
+    (fun () ->
+      List.iter
+        (fun jobs ->
+          Core.Runner.set_jobs jobs;
+          let sw = grid () in
+          let _, pipelined =
+            Core.Runner.record_sweep ~label:"test.fastpath" ~scale:1 sw w
+          in
+          check_identical
+            (Printf.sprintf "record_sweep jobs=%d" jobs)
+            oracle sw;
+          Alcotest.(check bool)
+            (Printf.sprintf "recording complete after pipelining jobs=%d" jobs)
+            true
+            (Memsim.Recording.equal recording pipelined))
+        [ 1; 3 ])
+
+let test_format_roundtrip () =
+  (* a real trace survives v1 -> load -> v2 -> load unchanged *)
+  let _, recording = Core.Runner.record ~scale:1 Workloads.Workload.nbody in
+  let path = Filename.temp_file "repro" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Memsim.Recording.save ~format:Memsim.Recording.V1 recording path;
+      let as_v1 = Memsim.Recording.load path in
+      Memsim.Recording.save ~format:Memsim.Recording.V2 as_v1 path;
+      let as_v2 = Memsim.Recording.load path in
+      Alcotest.(check bool)
+        "v1 -> v2 round trip" true
+        (Memsim.Recording.equal recording as_v2))
+
+let () =
+  Alcotest.run "trace fast path"
+    [ ( "direct = sink",
+        List.map
+          (fun w ->
+            Alcotest.test_case w.Workloads.Workload.name `Slow
+              (test_fast_path w))
+          Workloads.Workload.all );
+      ( "record-while-sweep",
+        List.map
+          (fun w ->
+            Alcotest.test_case w.Workloads.Workload.name `Slow
+              (test_record_sweep w))
+          Workloads.Workload.all );
+      ( "formats",
+        [ Alcotest.test_case "v1 -> v2 round trip on a real trace" `Slow
+            test_format_roundtrip
+        ] )
+    ]

@@ -475,7 +475,7 @@ let test_recording_truncated_file () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Memsim.Recording.save rec_ path;
+      Memsim.Recording.save ~format:Memsim.Recording.V1 rec_ path;
       (* cut the file mid-payload: the header still declares 100 events *)
       let ic = open_in_bin path in
       let keep = really_input_string ic (16 + (8 * 50)) in
@@ -505,6 +505,133 @@ let test_recording_truncated_file () =
       match Memsim.Recording.load path with
       | exception Failure _ -> ()
       | _ -> Alcotest.fail "header-less file must be rejected")
+
+(* The on-disk magic numbers and layouts, spelled out independently of
+   the implementation: these tests pin the formats so that a future
+   change that silently breaks old files fails here. *)
+let v1_magic = 0x5243545243414345L
+let v2_magic = 0x3256545243414345L
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc
+
+let expect_failure path what =
+  match Memsim.Recording.load path with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail (what ^ " must be rejected")
+
+let test_recording_v1_legacy_load () =
+  let rec_ = Memsim.Recording.create ~initial_capacity:16 () in
+  let sink = Memsim.Recording.sink rec_ in
+  for i = 0 to 99 do
+    sink.Memsim.Trace.access (i * 16)
+      (match i mod 3 with
+       | 0 -> Memsim.Trace.Read
+       | 1 -> Memsim.Trace.Write
+       | _ -> Memsim.Trace.Alloc_write)
+      (if i land 1 = 0 then mutator else collector)
+  done;
+  let path = Filename.temp_file "repro" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* a file saved in the legacy format still loads *)
+      Memsim.Recording.save ~format:Memsim.Recording.V1 rec_ path;
+      let back = Memsim.Recording.load path in
+      Alcotest.(check bool)
+        "v1 load = original" true
+        (Memsim.Recording.equal rec_ back);
+      (* and so does a v1 file built byte by byte from the spec:
+         16-byte header (magic, count), then 8 LE bytes per event of
+         [byte_addr lsl 3 | kind lsl 1 | phase] *)
+      let b = Bytes.create (16 + 16) in
+      Bytes.set_int64_le b 0 v1_magic;
+      Bytes.set_int64_le b 8 2L;
+      Bytes.set_int64_le b 16 (Int64.of_int (64 lsl 3));
+      Bytes.set_int64_le b 24 (Int64.of_int ((68 lsl 3) lor 2 lor 1));
+      write_file path b;
+      let crafted = Memsim.Recording.load path in
+      Alcotest.(check int) "crafted length" 2 (Memsim.Recording.length crafted);
+      Alcotest.(check bool)
+        "crafted event 0" true
+        (Memsim.Recording.event crafted 0
+         = (64, Memsim.Trace.Read, Memsim.Trace.Mutator));
+      Alcotest.(check bool)
+        "crafted event 1" true
+        (Memsim.Recording.event crafted 1
+         = (68, Memsim.Trace.Write, Memsim.Trace.Collector)))
+
+let test_recording_v1_corrupt_word () =
+  let path = Filename.temp_file "repro" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let base word =
+        let b = Bytes.create 24 in
+        Bytes.set_int64_le b 0 v1_magic;
+        Bytes.set_int64_le b 8 1L;
+        Bytes.set_int64_le b 16 word;
+        b
+      in
+      (* bit 62 set: the word does not round-trip through the 63-bit
+         native int, so it must be rejected, not silently truncated *)
+      write_file path (base 0x4000000000000000L);
+      expect_failure path "word wider than a native int";
+      (* kind code 3 does not exist *)
+      write_file path (base (Int64.of_int ((64 lsl 3) lor 6)));
+      expect_failure path "corrupt kind bits (v1)")
+
+let v2_file ~count payload =
+  let n = Bytes.length payload in
+  let b = Bytes.create (17 + n) in
+  Bytes.set_int64_le b 0 v2_magic;
+  Bytes.set b 8 '\002';
+  Bytes.set_int64_le b 9 (Int64.of_int count);
+  Bytes.blit payload 0 b 17 n;
+  b
+
+let test_recording_v2_corrupt () =
+  let rec_ = Memsim.Recording.create () in
+  let sink = Memsim.Recording.sink rec_ in
+  for i = 0 to 99 do
+    sink.Memsim.Trace.access (i * 4) Memsim.Trace.Read mutator
+  done;
+  let path = Filename.temp_file "repro" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Memsim.Recording.save ~format:Memsim.Recording.V2 rec_ path;
+      let ic = open_in_bin path in
+      let full = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (* cut mid-payload: the header still declares 100 events *)
+      write_file path
+        (Bytes.of_string (String.sub full 0 (String.length full - 20)));
+      expect_failure path "truncated v2 payload";
+      (* trailing garbage after the declared events *)
+      write_file path (Bytes.of_string (full ^ "xxxx"));
+      expect_failure path "v2 trailing bytes";
+      (* unknown version byte *)
+      let bad_version = Bytes.of_string full in
+      Bytes.set bad_version 8 '\003';
+      write_file path bad_version;
+      expect_failure path "unsupported v2 version";
+      (* kind code 3 in an event tag *)
+      write_file path (v2_file ~count:1 (Bytes.make 1 '\006'));
+      expect_failure path "corrupt kind bits (v2)";
+      (* a varint running past 63 bits: a valid first byte with the
+         continuation bit, then continuation bytes without end *)
+      write_file path
+        (v2_file ~count:1
+           (Bytes.init 12 (fun i ->
+                if i = 0 then '\x80' else if i < 11 then '\xff' else '\x01')));
+      expect_failure path "varint overflow";
+      (* a delta stepping below address zero *)
+      let neg = (1 lsl 3) lor 0 in
+      write_file path (v2_file ~count:1 (Bytes.make 1 (Char.chr neg)));
+      expect_failure path "negative address")
 
 (* --- Chunks ------------------------------------------------------------- *)
 
@@ -829,6 +956,37 @@ let chunk_equivalence_prop =
           (Memsim.Cache.Fetch_on_write, false)
         ])
 
+let recording_roundtrip_prop =
+  (* Both on-disk formats round-trip arbitrary traces exactly.  The
+     address stride is large so the v2 deltas span one to four varint
+     bytes, and slabs are small so chunk boundaries land mid-file. *)
+  QCheck.Test.make ~count:50 ~name:"v1/v2 file roundtrip = in-memory recording"
+    (QCheck.make trace_gen_phased)
+    (fun events ->
+      let rec_ = Memsim.Recording.create ~initial_capacity:32 () in
+      let sink = Memsim.Recording.sink rec_ in
+      List.iter
+        (fun (addr, k, coll) ->
+          let addr = addr * 4092 in
+          let kind =
+            match k with
+            | 0 -> Memsim.Trace.Read
+            | 1 -> Memsim.Trace.Write
+            | _ -> Memsim.Trace.Alloc_write
+          in
+          sink.Memsim.Trace.access addr kind
+            (if coll then collector else mutator))
+        events;
+      let path = Filename.temp_file "repro" ".trace" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Memsim.Recording.save ~format:Memsim.Recording.V2 rec_ path;
+          let v2 = Memsim.Recording.load path in
+          Memsim.Recording.save ~format:Memsim.Recording.V1 rec_ path;
+          let v1 = Memsim.Recording.load path in
+          Memsim.Recording.equal rec_ v2 && Memsim.Recording.equal rec_ v1))
+
 let () =
   Alcotest.run "memsim"
     [ ( "timing",
@@ -890,7 +1048,13 @@ let () =
             test_recording_file_roundtrip;
           Alcotest.test_case "bad file rejected" `Quick test_recording_bad_file;
           Alcotest.test_case "truncated file rejected" `Quick
-            test_recording_truncated_file
+            test_recording_truncated_file;
+          Alcotest.test_case "v1 legacy load" `Quick
+            test_recording_v1_legacy_load;
+          Alcotest.test_case "v1 corrupt word rejected" `Quick
+            test_recording_v1_corrupt_word;
+          Alcotest.test_case "v2 corrupt file rejected" `Quick
+            test_recording_v2_corrupt
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest invariants_prop;
@@ -898,6 +1062,7 @@ let () =
           QCheck_alcotest.to_alcotest fow_equals_misses_prop;
           QCheck_alcotest.to_alcotest assoc_one_way_equals_direct_prop;
           QCheck_alcotest.to_alcotest assoc_inclusion_prop;
-          QCheck_alcotest.to_alcotest chunk_equivalence_prop
+          QCheck_alcotest.to_alcotest chunk_equivalence_prop;
+          QCheck_alcotest.to_alcotest recording_roundtrip_prop
         ] )
     ]
