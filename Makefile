@@ -1,6 +1,7 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all build test test-parallel test-fastpath bench check untracked-build clean
+.PHONY: all build test test-parallel test-fastpath bench lint check-recordings \
+  check untracked-build clean
 
 all: build
 
@@ -24,6 +25,31 @@ test-fastpath:
 bench:
 	dune exec bench/main.exe
 
+# Source lint: Parsetree rules plus Typedtree rules (poly-compare,
+# domain-race audit) over the .cmt files, so @check must build first.
+# Fails on any finding not allowlisted (with justification) in
+# lint.allow.
+lint:
+	dune build @check
+	dune exec tools/lint/lint.exe
+
+# Record every workload (both on-disk formats, plus one run under the
+# Cheney collector) and statically verify the traces: format
+# well-formedness, heap-geometry address ranges, allocation-pointer
+# monotonicity, semispace discipline, phase structure.
+check-recordings:
+	dune build
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	set -e; \
+	for w in selfcomp prover lred nbody mexpr; do \
+	  dune exec bin/repro.exe -- record $$w --scale 1 -o "$$tmp/$$w.v2"; \
+	  dune exec bin/repro.exe -- record $$w --scale 1 --format v1 -o "$$tmp/$$w.v1"; \
+	  dune exec bin/repro.exe -- check "$$tmp/$$w.v2" "$$tmp/$$w.v1"; \
+	done; \
+	dune exec bin/repro.exe -- record lred --scale 1 --gc cheney:1m -o "$$tmp/lred-gc.v2"; \
+	dune exec bin/repro.exe -- check --gc cheney:1m "$$tmp/lred-gc.v2"
+	@echo "check-recordings: ok"
+
 # Fail if the _build tree ever sneaks back into the index.
 untracked-build:
 	@n=$$(git ls-files _build | wc -l); \
@@ -31,7 +57,7 @@ untracked-build:
 	  echo "error: $$n file(s) under _build/ are tracked by git"; exit 1; \
 	fi
 
-check: build test test-parallel test-fastpath untracked-build
+check: build test lint test-parallel test-fastpath check-recordings untracked-build
 	@echo "check: ok"
 
 clean:

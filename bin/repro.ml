@@ -294,7 +294,7 @@ let run_targets targets cache_bytes block_bytes policy gc scale metrics
 
 (* --- record / replay ----------------------------------------------------- *)
 
-let record name out_path scale format =
+let record name out_path scale format gc heap_bytes =
   match Workloads.Workload.find name with
   | None ->
     Format.eprintf "unknown workload %S (try `repro workloads')@." name;
@@ -302,7 +302,7 @@ let record name out_path scale format =
   | Some w ->
     (* Fast path: the memory appends packed events straight into the
        recording, no per-event closure. *)
-    let r, recording = Core.Runner.record ?scale w in
+    let r, recording = Core.Runner.record ~gc ?heap_bytes ?scale w in
     Memsim.Recording.save ~format recording out_path;
     let bytes = (Unix.stat out_path).Unix.st_size in
     Format.fprintf ppf
@@ -376,6 +376,180 @@ let stats_of_trace path cache_bytes block_bytes policy metrics trace_events =
        print_newline ()
      | Some _ -> ());
     write_telemetry (Some t) ~metrics ~trace_events
+
+(* --- check: static trace / telemetry-document verification --------------- *)
+
+(* Geometry mirrors what Runner.run builds for these flags, so a trace
+   from `repro record` verifies with the same defaults it was recorded
+   under (48 MB dynamic area scaled by REPRO_SCALE, Machine's static
+   and stack reservations). *)
+let check_geometry gc heap_bytes static_bytes stack_bytes =
+  let heap_bytes =
+    match heap_bytes with
+    | Some b -> b
+    | None -> 48 * 1024 * 1024 * Core.Runner.scale_factor ()
+  in
+  let cfg =
+    { Vscheme.Machine.default_config with
+      gc;
+      heap_bytes;
+      static_bytes;
+      stack_bytes
+    }
+  in
+  { Check.Stream_check.static_base = 0;
+    stack_base = Vscheme.Machine.stack_base_bytes cfg;
+    dynamic_base = Vscheme.Machine.dynamic_base_bytes cfg;
+    dynamic_limit = Vscheme.Machine.dynamic_limit_bytes cfg;
+    semispace_bytes =
+      (match gc with
+       | Vscheme.Machine.Cheney { semispace_bytes } ->
+         (* The machine rounds the semispace up to whole words. *)
+         let words =
+           (semispace_bytes + Memsim.Trace.word_bytes - 1)
+           / Memsim.Trace.word_bytes
+         in
+         Some (words * Memsim.Trace.word_bytes)
+       | Vscheme.Machine.No_gc | Vscheme.Machine.Generational _
+       | Vscheme.Machine.Mark_sweep _ -> None)
+  }
+
+let summary_json (s : Check.Stream_check.summary) =
+  Obs.Json.Obj
+    [ ("events", Obs.Json.Int s.Check.Stream_check.events);
+      ("mutator_events", Obs.Json.Int s.Check.Stream_check.mutator_events);
+      ("collector_events", Obs.Json.Int s.Check.Stream_check.collector_events);
+      ("collector_runs", Obs.Json.Int s.Check.Stream_check.collector_runs)
+    ]
+
+let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
+  if files = [] then begin
+    Format.eprintf "check: no files given (traces and/or telemetry .json)@.";
+    1
+  end
+  else begin
+    (* With the JSON document on stdout, keep stdout pure JSON. *)
+    let ppf =
+      if json_out = Some "-" then Format.err_formatter else ppf
+    in
+    let geometry =
+      if raw then None
+      else Some (check_geometry gc heap_bytes static_bytes stack_bytes)
+    in
+    let is_doc f = Filename.check_suffix f ".json" in
+    let traces = List.filter (fun f -> not (is_doc f)) files in
+    let docs = List.filter is_doc files in
+    (* Expectations from a telemetry document cross-check the trace's
+       phase tallies — but only when exactly one trace is given. *)
+    let doc_results =
+      List.map (fun f -> (f, Check.Doc_check.check_file ~file:f)) docs
+    in
+    let expect =
+      match (doc_results, traces) with
+      | [ (_, (e, _)) ], [ _ ] ->
+        { Check.Stream_check.mutator_refs = e.Check.Doc_check.mutator_refs;
+          collector_refs = e.Check.Doc_check.collector_refs;
+          collections = e.Check.Doc_check.collections
+        }
+      | _ -> Check.Stream_check.no_expect
+    in
+    let trace_results =
+      List.map
+        (fun f ->
+          let scan = Check.Trace_file.scan f in
+          let summary, stream_findings =
+            match scan.Check.Trace_file.recording with
+            | Some recording
+              when not (Check.Finding.has_errors scan.Check.Trace_file.findings)
+              ->
+              let s, fs =
+                Check.Stream_check.check ?geometry ~expect ~file:f recording
+              in
+              (Some s, fs)
+            | Some _ | None -> (None, [])
+          in
+          (f, scan, summary, stream_findings))
+        traces
+    in
+    let all_findings =
+      List.concat_map (fun (_, (_, fs)) -> fs) doc_results
+      @ List.concat_map
+          (fun (_, scan, _, fs) -> scan.Check.Trace_file.findings @ fs)
+          trace_results
+    in
+    List.iter (fun f -> Format.fprintf ppf "%a@." Check.Finding.pp f)
+      all_findings;
+    List.iter
+      (fun (f, scan, summary, fs) ->
+        if
+          not
+            (Check.Finding.has_errors (scan.Check.Trace_file.findings @ fs))
+        then
+          match summary with
+          | Some s ->
+            Format.fprintf ppf
+              "%s: ok: %s, %d events (%d mutator / %d collector, %d \
+               collection run%s)@."
+              f
+              (match scan.Check.Trace_file.format with
+               | Some fmt -> Check.Trace_file.format_string fmt
+               | None -> "?")
+              s.Check.Stream_check.events s.Check.Stream_check.mutator_events
+              s.Check.Stream_check.collector_events
+              s.Check.Stream_check.collector_runs
+              (if s.Check.Stream_check.collector_runs = 1 then "" else "s")
+          | None -> Format.fprintf ppf "%s: ok@." f)
+      trace_results;
+    List.iter
+      (fun (f, (_, fs)) ->
+        if not (Check.Finding.has_errors fs) then
+          Format.fprintf ppf "%s: ok: telemetry document@." f)
+      doc_results;
+    (match json_out with
+     | None -> ()
+     | Some path ->
+       let file_json (f, scan, summary, fs) =
+         Obs.Json.Obj
+           ([ ("file", Obs.Json.Str f) ]
+            @ (match scan.Check.Trace_file.format with
+               | Some fmt ->
+                 [ ("format",
+                    Obs.Json.Str (Check.Trace_file.format_string fmt)) ]
+               | None -> [])
+            @ (match summary with
+               | Some s -> [ ("summary", summary_json s) ]
+               | None -> [])
+            @ [ ("findings",
+                 Check.Finding.list_to_json
+                   (scan.Check.Trace_file.findings @ fs)) ])
+       in
+       let doc_json (f, (_, fs)) =
+         Obs.Json.Obj
+           [ ("file", Obs.Json.Str f);
+             ("findings", Check.Finding.list_to_json fs)
+           ]
+       in
+       let doc =
+         Obs.Json.Obj
+           [ ("files",
+              Obs.Json.List
+                (List.map file_json trace_results
+                 @ List.map doc_json doc_results))
+           ]
+       in
+       let out = Obs.Json.to_pretty_string doc in
+       if path = "-" then (print_string out; print_newline ())
+       else begin
+         let oc = open_out path in
+         Fun.protect
+           ~finally:(fun () -> close_out oc)
+           (fun () ->
+             output_string oc out;
+             output_char oc '\n');
+         Format.fprintf ppf "wrote findings to %s@." path
+       end);
+    if Check.Finding.has_errors all_findings then 1 else 0
+  end
 
 (* --- Command definitions ------------------------------------------------ *)
 
@@ -498,9 +672,15 @@ let record_cmd =
                    (fixed 8 bytes/event); `repro replay' and `repro \
                    stats' load either")
   in
+  let heap =
+    Arg.(value & opt (some size_conv) None
+         & info [ "heap" ] ~docv:"SIZE"
+             ~doc:"Dynamic-area capacity (default 48M times \
+                   \\$(b,REPRO_SCALE))")
+  in
   Cmd.v
     (Cmd.info "record" ~doc:"Record a workload's reference trace to a file")
-    Term.(const record $ workload_arg $ out $ scale $ format)
+    Term.(const record $ workload_arg $ out $ scale $ format $ gc_arg $ heap)
 
 let replay_cmd =
   let path =
@@ -523,12 +703,60 @@ let stats_cmd =
     Term.(const stats_of_trace $ path $ cache_arg $ block_arg $ policy_arg
           $ metrics_arg $ trace_events_arg)
 
+let check_cmd =
+  let files =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"FILE"
+             ~doc:"Trace recordings from `repro record' and/or telemetry \
+                   documents (*.json) from --metrics")
+  in
+  let heap =
+    Arg.(value & opt (some size_conv) None
+         & info [ "heap" ] ~docv:"SIZE"
+             ~doc:"Dynamic-area capacity the trace was recorded under \
+                   (default 48M times \\$(b,REPRO_SCALE), matching `repro \
+                   record')")
+  in
+  let static =
+    Arg.(value & opt size_conv Vscheme.Machine.default_config.Vscheme.Machine.static_bytes
+         & info [ "static" ] ~docv:"SIZE" ~doc:"Static-area reservation")
+  in
+  let stack =
+    Arg.(value & opt size_conv Vscheme.Machine.default_config.Vscheme.Machine.stack_bytes
+         & info [ "stack" ] ~docv:"SIZE" ~doc:"Stack-area reservation")
+  in
+  let raw =
+    Arg.(value & flag
+         & info [ "raw" ]
+             ~doc:"Skip the geometry-dependent stream rules (address range, \
+                   allocation monotonicity, semispace discipline); only \
+                   file well-formedness, alignment and phase structure are \
+                   checked")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write machine-readable findings to $(docv) (`-' for \
+                   stdout)")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statically verify recordings and telemetry documents without \
+             sweeping: format well-formedness, addresses within the \
+             declared heap geometry, allocation-pointer monotonicity, \
+             Cheney semispace discipline, phase structure, and \
+             span-nesting of telemetry events.  With one trace and one \
+             document, the document's run.* counters are cross-checked \
+             against the stream.  Exits 1 on any error finding")
+    Term.(const check_files $ files $ gc_arg $ heap $ static $ stack $ raw
+          $ json_out)
+
 let main =
   Cmd.group
     (Cmd.info "repro" ~version:"1.0.0"
        ~doc:"Cache Performance of Garbage-Collected Programs (PLDI 1994), \
              reproduced")
     [ experiments_cmd; run_cmd; scheme_cmd; workloads_cmd; simulate_cmd;
-      record_cmd; replay_cmd; stats_cmd ]
+      record_cmd; replay_cmd; stats_cmd; check_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,69 @@
+type severity =
+  | Error
+  | Warning
+
+type where =
+  | Whole
+  | Byte of int
+  | Event of int
+  | Line of int
+  | Pos of { line : int; col : int }
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  where : where;
+  message : string;
+}
+
+let v ?(severity = Error) ?(where = Whole) ~rule ~file message =
+  { rule; severity; file; where; message }
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+
+let pp ppf f =
+  let sev = severity_string f.severity in
+  match f.where with
+  | Whole ->
+    Format.fprintf ppf "%s: %s: [%s] %s" f.file sev f.rule f.message
+  | Byte n ->
+    Format.fprintf ppf "%s: %s: [%s] byte %d: %s" f.file sev f.rule n f.message
+  | Event n ->
+    Format.fprintf ppf "%s: %s: [%s] event %d: %s" f.file sev f.rule n
+      f.message
+  | Line n ->
+    Format.fprintf ppf "%s:%d: %s: [%s] %s" f.file n sev f.rule f.message
+  | Pos { line; col } ->
+    Format.fprintf ppf "%s:%d:%d: %s: [%s] %s" f.file line col sev f.rule
+      f.message
+
+let to_json f =
+  let where =
+    match f.where with
+    | Whole -> []
+    | Byte n -> [ ("byte", Obs.Json.Int n) ]
+    | Event n -> [ ("event", Obs.Json.Int n) ]
+    | Line n -> [ ("line", Obs.Json.Int n) ]
+    | Pos { line; col } ->
+      [ ("line", Obs.Json.Int line); ("col", Obs.Json.Int col) ]
+  in
+  Obs.Json.Obj
+    ([ ("rule", Obs.Json.Str f.rule);
+       ("severity", Obs.Json.Str (severity_string f.severity));
+       ("file", Obs.Json.Str f.file)
+     ]
+     @ where
+     @ [ ("message", Obs.Json.Str f.message) ])
+
+let list_to_json fs = Obs.Json.List (List.map to_json fs)
+
+let is_error f =
+  match f.severity with
+  | Error -> true
+  | Warning -> false
+
+let errors fs = List.filter is_error fs
+let has_errors fs = List.exists is_error fs

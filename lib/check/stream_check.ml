@@ -1,0 +1,198 @@
+(* Structural invariants over a decoded reference stream.
+
+   These are the heap-discipline properties every trace produced by
+   the vscheme machine must satisfy, checkable without running a cache
+   simulation:
+
+   - every address is word-aligned and inside the declared memory;
+   - the phase bit partitions the stream into mutator runs separated
+     by collection runs, and the trace does not end mid-collection;
+   - within one mutator run, allocation writes into the dynamic area
+     either advance the allocation frontier or re-initialize a word
+     first written earlier in the same run (linear bump allocation
+     with in-object re-initialization — the VM fills closure captures
+     over the [undefined] words the allocator just wrote; only a
+     collection may move the frontier backwards);
+   - under a semispace (Cheney) geometry, the active semispace flips
+     at each collection and the mutator never references from-space.
+
+   Addresses below [dynamic_base] (static area, stack) are exempt from
+   the allocation and semispace rules: static interning and stack
+   traffic interleave freely with dynamic allocation. *)
+
+type geometry = {
+  static_base : int;
+  stack_base : int;
+  dynamic_base : int;
+  dynamic_limit : int;
+  semispace_bytes : int option;
+}
+
+type expect = {
+  mutator_refs : int option;
+  collector_refs : int option;
+  collections : int option;
+}
+
+let no_expect = { mutator_refs = None; collector_refs = None; collections = None }
+
+type summary = {
+  events : int;
+  mutator_events : int;
+  collector_events : int;
+  collector_runs : int;
+}
+
+(* Cap repeated per-event findings so a systematically-wrong trace
+   does not flood the report; each rule notes its own suppressions. *)
+let per_rule_cap = 8
+
+type state = {
+  file : string;
+  geometry : geometry option;
+  mutable out : Finding.t list;     (* reversed *)
+  counts : (string, int) Hashtbl.t; (* findings per rule *)
+}
+
+let report st ?severity ?(where = Finding.Whole) ~rule message =
+  let n = try Hashtbl.find st.counts rule with Not_found -> 0 in
+  Hashtbl.replace st.counts rule (n + 1);
+  if n < per_rule_cap then
+    st.out <- Finding.v ?severity ~rule ~file:st.file ~where message :: st.out
+
+let finish st =
+  Hashtbl.iter
+    (fun rule n ->
+      if n > per_rule_cap then
+        st.out <-
+          Finding.v ~severity:Finding.Warning ~rule ~file:st.file
+            (Printf.sprintf "%d further %s finding(s) suppressed"
+               (n - per_rule_cap) rule)
+          :: st.out)
+    st.counts;
+  List.rev st.out
+
+let check ?geometry ?(expect = no_expect) ~file recording =
+  let st = { file; geometry; out = []; counts = Hashtbl.create 8 } in
+  let word_bytes = Memsim.Trace.word_bytes in
+  let mut = ref 0 in
+  let col = ref 0 in
+  let runs = ref 0 in
+  let in_collector = ref false in
+  (* Allocation frontier for the current mutator run; reset when a
+     collection may legally move the allocation pointer.  The bitmap
+     marks dynamic words alloc-written this run, so backward writes
+     that merely re-initialize a freshly allocated object (the VM's
+     closure-capture fills) pass while writes into never-initialized
+     space below the frontier fail. *)
+  let alloc_floor = ref (-1) in
+  let fresh =
+    match geometry with
+    | None -> Bytes.empty
+    | Some g ->
+      let words =
+        max 0 (g.dynamic_limit - g.dynamic_base) / Memsim.Trace.word_bytes
+      in
+      Bytes.make ((words / 8) + 1) '\000'
+  in
+  (* Cheney: index (0/1) of the semispace the mutator currently owns. *)
+  let active_space = ref 0 in
+  let index = ref 0 in
+  Memsim.Recording.iter_chunks recording (fun buf len ->
+      for j = 0 to len - 1 do
+        let w = Array.unsafe_get buf j in
+        let i = !index in
+        index := i + 1;
+        let addr = w lsr 3 in
+        let kind = (w lsr 1) land 3 in
+        let mutator = w land 1 = 0 in
+        if mutator then begin
+          if !in_collector then begin
+            (* Collection finished: the collector owns the allocation
+               pointer, so the monotonicity floor resets, and under a
+               semispace geometry the active space flips. *)
+            in_collector := false;
+            alloc_floor := -1;
+            Bytes.fill fresh 0 (Bytes.length fresh) '\000';
+            active_space := 1 - !active_space
+          end;
+          incr mut
+        end
+        else begin
+          if not !in_collector then begin
+            in_collector := true;
+            incr runs
+          end;
+          incr col
+        end;
+        if addr land (word_bytes - 1) <> 0 then
+          report st ~rule:"stream.alignment" ~where:(Finding.Event i)
+            (Printf.sprintf "address 0x%x is not %d-byte aligned" addr
+               word_bytes);
+        match st.geometry with
+        | None -> ()
+        | Some g ->
+          if addr >= g.dynamic_limit then
+            report st ~rule:"stream.address-range" ~where:(Finding.Event i)
+              (Printf.sprintf
+                 "address 0x%x is beyond the dynamic limit 0x%x" addr
+                 g.dynamic_limit)
+          else if mutator && addr >= g.dynamic_base then begin
+            if kind = 2 then begin
+              (* Alloc_write: advance the frontier, or re-initialize a
+                 word this run already alloc-wrote. *)
+              let wi = (addr - g.dynamic_base) / word_bytes in
+              let byte = wi lsr 3 and bit = 1 lsl (wi land 7) in
+              if addr >= !alloc_floor then begin
+                alloc_floor := addr;
+                Bytes.unsafe_set fresh byte
+                  (Char.unsafe_chr
+                     (Char.code (Bytes.unsafe_get fresh byte) lor bit))
+              end
+              else if Char.code (Bytes.unsafe_get fresh byte) land bit = 0
+              then
+                report st ~rule:"stream.alloc-monotonic"
+                  ~where:(Finding.Event i)
+                  (Printf.sprintf
+                     "allocation write below the frontier (0x%x after \
+                      0x%x) into space never initialized this mutator run"
+                     addr !alloc_floor)
+            end;
+            match g.semispace_bytes with
+            | None -> ()
+            | Some semi ->
+              let space = if addr < g.dynamic_base + semi then 0 else 1 in
+              if space <> !active_space then
+                report st ~rule:"stream.semispace" ~where:(Finding.Event i)
+                  (Printf.sprintf
+                     "mutator %s into from-space (0x%x, active semispace \
+                      %d after %d collection(s))"
+                     (if kind = 0 then "read" else "write")
+                     addr !active_space !runs)
+          end
+      done);
+  if !in_collector then
+    report st ~severity:Finding.Warning ~rule:"stream.phase-structure"
+      ~where:(Finding.Event (!index - 1))
+      "trace ends inside a collection (unterminated collector run)";
+  let expect_count ?severity rule name expected actual =
+    match expected with
+    | None -> ()
+    | Some n ->
+      if n <> actual then
+        report st ?severity ~rule
+          (Printf.sprintf "trace holds %d %s events but %d were declared"
+             actual name n)
+  in
+  expect_count "stream.count-mutator" "mutator" expect.mutator_refs !mut;
+  expect_count "stream.count-collector" "collector" expect.collector_refs !col;
+  (* A collection that touches no traced memory leaves no collector
+     run, so this cross-check stays a warning. *)
+  expect_count ~severity:Finding.Warning "stream.collections"
+    "collection-run" expect.collections !runs;
+  ( { events = !index;
+      mutator_events = !mut;
+      collector_events = !col;
+      collector_runs = !runs
+    },
+    finish st )

@@ -1,0 +1,58 @@
+(** Structural heap-discipline invariants over a decoded reference
+    stream, checked without any cache simulation.
+
+    Rules (all errors unless noted):
+
+    - [stream.alignment] — address not word-aligned;
+    - [stream.address-range] — address beyond the dynamic limit
+      (requires a {!geometry});
+    - [stream.alloc-monotonic] — an allocation write into the dynamic
+      area landed below the allocation frontier, in space never
+      alloc-initialized during the current mutator run (linear bump
+      allocation: the frontier only advances, though freshly
+      allocated words may be re-initialized — the VM fills closure
+      captures over the allocator's [undefined] words — and only a
+      collection may reset the frontier);
+    - [stream.semispace] — with a Cheney {!geometry}, a mutator
+      reference into from-space after a flip;
+    - [stream.phase-structure] — warning: the trace ends inside a
+      collector run;
+    - [stream.count-mutator] / [stream.count-collector] /
+      [stream.collections] — the stream disagrees with externally
+      declared totals (an {!expect} from a telemetry document);
+    - suppression warnings past a small per-rule cap, under the same
+      rule name. *)
+
+type geometry = {
+  static_base : int;     (** byte address; informational *)
+  stack_base : int;
+  dynamic_base : int;    (** first byte of the dynamic (GC'd) area *)
+  dynamic_limit : int;   (** one past the last dynamic byte *)
+  semispace_bytes : int option;
+      (** [Some s] for a Cheney heap: the dynamic area is two
+          [s]-byte semispaces and from-space discipline is checked *)
+}
+
+type expect = {
+  mutator_refs : int option;
+  collector_refs : int option;
+  collections : int option;  (** collector {e runs} in the stream *)
+}
+
+val no_expect : expect
+
+type summary = {
+  events : int;
+  mutator_events : int;
+  collector_events : int;
+  collector_runs : int;
+}
+
+val check :
+  ?geometry:geometry ->
+  ?expect:expect ->
+  file:string ->
+  Memsim.Recording.t ->
+  summary * Finding.t list
+(** Walk the recording once.  Without [geometry] only alignment,
+    phase structure and the [expect] totals are checked. *)

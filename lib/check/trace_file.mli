@@ -1,0 +1,43 @@
+(** Static verification of recorded trace files ({!Memsim.Recording}
+    v1 and v2) without sweeping them through a cache.
+
+    Unlike [Recording.load], which raises on the first problem, the
+    scanner collects {!Finding.t}s with byte offsets and event indices
+    and keeps decoding where the format permits: a corrupt kind tag is
+    recoverable in both formats, while a varint overflow or a
+    truncation ends the scan.  Rules:
+
+    - [trace.io] — the file could not be read;
+    - [trace.magic] — not a recording at all;
+    - [trace.version] — v2 magic but an unknown version byte;
+    - [trace.truncated] — short header, partial v1 word, or a v2 file
+      ending mid-event;
+    - [trace.header-count] — negative declared event count;
+    - [trace.declared-count] — v1 payload disagrees with the header;
+    - [trace.word-width] — v1 word does not fit a 63-bit native int;
+    - [trace.kind-bits] — event carries the invalid kind code 3;
+    - [trace.varint] — v2 varint continues past 63 bits;
+    - [trace.address-range] — v2 delta chain leaves [0, 2^60);
+    - [trace.trailing-bytes] — v2 bytes after the declared events;
+    - [trace.suppressed] — warning noting findings beyond the cap. *)
+
+type format =
+  | V1
+  | V2
+
+type result = {
+  file : string;
+  format : format option;          (** [None] when the magic is unknown *)
+  declared_events : int option;    (** header event count, if readable *)
+  recording : Memsim.Recording.t option;
+      (** the decoded events (possibly partial after an unrecoverable
+          finding); run {!Stream_check.check} over it only when
+          [findings] has no errors *)
+  findings : Finding.t list;
+}
+
+val scan : string -> result
+(** Read and verify one trace file.  Never raises: I/O errors become
+    [trace.io] findings. *)
+
+val format_string : format -> string

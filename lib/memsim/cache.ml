@@ -114,7 +114,7 @@ let set_fill_hook t ~on_fetch ~on_writeback =
 
 (* One access.  The hot path is written without allocation; per-block
    statistics updates are guarded by [record_block_stats]. *)
-let access t addr kind phase =
+let[@hot] access t addr kind phase =
   let mem_block = addr lsr t.block_shift in
   let idx = mem_block land t.index_mask in
   let word = (addr lsr 2) land t.word_mask in
@@ -242,14 +242,14 @@ let access t addr kind phase =
    accumulates counters in registers and commits them once, with no
    per-event closure or hook checks.  Otherwise fall back to [access]
    per event, which preserves hook ordering exactly. *)
-let access_chunk t buf off len =
+let[@hot] access_chunk t buf off len =
   if off < 0 || len < 0 || off + len > Array.length buf then
     invalid_arg "Cache.access_chunk";
   let needs_slow_path =
     t.cfg.record_block_stats
-    || t.miss_hook <> None
-    || t.fetch_hook <> None
-    || t.writeback_hook <> None
+    || Option.is_some t.miss_hook
+    || Option.is_some t.fetch_hook
+    || Option.is_some t.writeback_hook
   in
   if needs_slow_path then
     for i = off to off + len - 1 do
@@ -267,7 +267,11 @@ let access_chunk t buf off len =
     and word_mask = t.word_mask
     and full_lo = t.full_lo
     and full_hi = t.full_hi in
-    let write_validate = t.cfg.write_miss_policy = Write_validate in
+    let write_validate =
+      match t.cfg.write_miss_policy with
+      | Write_validate -> true
+      | Fetch_on_write -> false
+    in
     let collector_fow = t.cfg.collector_fetch_on_write in
     let refs = ref 0
     and collector_refs = ref 0

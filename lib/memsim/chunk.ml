@@ -22,7 +22,7 @@ let kind_of_code = function
   | 2 -> Trace.Alloc_write
   | n -> failwith (Printf.sprintf "Chunk: bad kind code %d" n)
 
-let pack addr kind phase =
+let[@hot] pack addr kind phase =
   (addr lsl 3)
   lor (kind_code kind lsl 1)
   lor

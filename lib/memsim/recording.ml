@@ -166,7 +166,7 @@ let load_v1 ic ~file_bytes =
       (* Each packed word must round-trip through the native int:
          a file written on a platform with wider ints (or a corrupt
          word using bit 63) would otherwise be silently truncated. *)
-      if Int64.of_int w <> w64 then
+      if not (Int64.equal (Int64.of_int w) w64) then
         failwith
           (Printf.sprintf
              "Recording.load: event %d does not fit a native int \
@@ -329,6 +329,6 @@ let load path =
       let tag = Bytes.create 8 in
       really_input ic tag 0 8;
       let tag = Bytes.get_int64_le tag 0 in
-      if tag = magic then load_v1 ic ~file_bytes
-      else if tag = magic_v2 then load_v2 ic ~file_bytes
+      if Int64.equal tag magic then load_v1 ic ~file_bytes
+      else if Int64.equal tag magic_v2 then load_v2 ic ~file_bytes
       else failwith "Recording.load: not a trace recording")

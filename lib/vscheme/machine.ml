@@ -151,6 +151,9 @@ let dynamic_base_bytes cfg =
   (words_of_bytes cfg.static_bytes + words_of_bytes cfg.stack_bytes)
   * Memsim.Trace.word_bytes
 
+let dynamic_limit_bytes cfg =
+  dynamic_base_bytes cfg + (dynamic_words cfg * Memsim.Trace.word_bytes)
+
 let heap t = t.heap
 let vm t = t.vm
 let mem t = t.mem

@@ -67,6 +67,12 @@ val dynamic_base_bytes : config -> int
     machine's sink is fixed at creation) use these to classify
     addresses. *)
 
+val dynamic_limit_bytes : config -> int
+(** One past the last byte of the dynamic area for this
+    configuration: its base plus the capacity the collector spec
+    requires ([heap_bytes] for [No_gc], two semispaces for [Cheney],
+    nursery plus old space for the generational collectors). *)
+
 val heap : t -> Heap.t
 val vm : t -> Vm.t
 

@@ -99,7 +99,7 @@ let refill t =
     t.slab <- Memsim.Recording.seal_full r;
     t.cursor <- 0
 
-let[@inline] emit t packed =
+let[@inline] [@hot] emit t packed =
   let cur = t.cursor in
   Array.unsafe_set t.slab cur packed;
   let cur = cur + 1 in
@@ -109,19 +109,19 @@ let[@inline] emit t packed =
 (* Packed word: Chunk.pack (a lsl 2) kind phase = (a lsl 5) lor
    (kind_code lsl 1) lor phase_bit; kind codes 0/1/2. *)
 
-let read t a =
+let[@hot] read t a =
   (if t.direct then emit t ((a lsl 5) lor t.phase_bit)
    else if t.sinked then
      t.sink.Memsim.Trace.access (a lsl 2) Memsim.Trace.Read t.phase);
   t.words.(a)
 
-let write t a v =
+let[@hot] write t a v =
   (if t.direct then emit t ((a lsl 5) lor 2 lor t.phase_bit)
    else if t.sinked then
      t.sink.Memsim.Trace.access (a lsl 2) Memsim.Trace.Write t.phase);
   t.words.(a) <- v
 
-let write_alloc t a v =
+let[@hot] write_alloc t a v =
   (if t.direct then emit t ((a lsl 5) lor 4 lor t.phase_bit)
    else if t.sinked then
      t.sink.Memsim.Trace.access (a lsl 2) Memsim.Trace.Alloc_write t.phase);

@@ -1,0 +1,15 @@
+(** The lp analogue: a reduction engine for a typed λ-calculus.
+
+    Typechecks a combinator library in the simply-typed fragment, then
+    applies normal-order β-reduction to Church-numeral arithmetic,
+    keeping a monotonically growing trail of intermediate reducts
+    alive to the end of the run — lp's defining behaviour in §6, the
+    long-lived data a semispace collector must recopy at every
+    collection. *)
+
+val source : string
+(** The workload's Scheme definitions. *)
+
+val entry : scale:int -> string
+(** Expression to evaluate; [scale] stretches the run roughly
+    linearly. *)

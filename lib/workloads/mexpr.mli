@@ -1,0 +1,15 @@
+(** The gambit analogue: a second compiler "quite different from" the
+    first (§3).
+
+    Compiles regular expressions — Thompson NFA construction, subset
+    determinization with sorted state-set canonicalization,
+    reachability pruning, and a matcher driving the compiled tables —
+    keeping every DFA alive to the end of the run for the long-lived
+    dynamic data profile of a real compiler. *)
+
+val source : string
+(** The workload's Scheme definitions. *)
+
+val entry : scale:int -> string
+(** Expression to evaluate; [scale] stretches the run roughly
+    linearly. *)

@@ -1,0 +1,13 @@
+(** The nbody analogue: Zhao's 3-D N-body problem on 256 point masses,
+    here by direct pairwise summation with Plummer softening.
+
+    A numeric workload over boxed flonums in long-lived vectors
+    re-referenced every step — the profile that makes a few blocks
+    liable to thrash in small caches (§6). *)
+
+val source : string
+(** The workload's Scheme definitions. *)
+
+val entry : scale:int -> string
+(** Expression to evaluate; [scale] stretches the run roughly
+    linearly. *)

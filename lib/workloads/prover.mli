@@ -1,0 +1,14 @@
+(** The imps analogue: an automated theorem prover.
+
+    A propositional resolution prover with subsumption saturating
+    pigeonhole instances, plus an equational simplifier normalizing
+    arithmetic against a rewrite system.  The clause database is a
+    long-lived structure growing during saturation; candidate
+    resolvents are short-lived, mostly-functional garbage. *)
+
+val source : string
+(** The workload's Scheme definitions. *)
+
+val entry : scale:int -> string
+(** Expression to evaluate; [scale] stretches the run roughly
+    linearly. *)

@@ -1,0 +1,14 @@
+(** The orbit analogue: an optimizing Scheme-to-pseudo-assembly
+    compiler written in Scheme, repeatedly compiling a corpus of
+    library code including its own quoted helper functions.
+
+    Exercises a real compiler's allocation profile: association
+    lists, symbol sets, gensyms, eq-hash tables keyed by
+    heap-allocated AST nodes, and many short-lived intermediates. *)
+
+val source : string
+(** The workload's Scheme definitions. *)
+
+val entry : scale:int -> string
+(** Expression to evaluate; [scale] stretches the run roughly
+    linearly. *)

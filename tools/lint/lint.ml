@@ -1,0 +1,194 @@
+(* repro-lint: project-specific static analysis over lib/ and bin/.
+
+   Two passes share one diagnostic stream:
+
+   - a Parsetree pass parses every source directly (interface
+     coverage, Obj, partial stdlib calls, hot-path allocation rules);
+   - a Typedtree pass reads the .cmt files dune already produced
+     (polymorphic comparison in hot-path modules, and the domain-race
+     audit over Domain.spawn captures) — run `dune build' first.
+
+   Findings suppressed by lint.allow must carry a justification;
+   entries that no longer match anything are reported as stale.
+   Exit status 1 iff any unallowlisted error remains. *)
+
+let scan_roots = [ "lib"; "bin" ]
+let build_root = "_build/default"
+
+let rec walk dir acc =
+  if not (Sys.file_exists dir) then acc
+  else
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then walk path acc else path :: acc)
+      acc (Sys.readdir dir)
+
+let sources_under root ~ext =
+  List.filter (fun f -> Filename.check_suffix f ext) (walk root [])
+  |> List.sort String.compare
+
+(* --- Parsetree pass ------------------------------------------------------ *)
+
+let parse_impl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Parse.implementation lexbuf)
+
+let parse_error_finding path exn =
+  let msg =
+    match Location.error_of_exn exn with
+    | Some (`Ok report) ->
+      Format.asprintf "%a" Location.print_report report
+    | Some `Already_displayed | None -> Printexc.to_string exn
+  in
+  { Rules_ast.ident = "parse";
+    f = Check.Finding.v ~rule:"lint.parse" ~file:path msg
+  }
+
+(* --- Typedtree pass ------------------------------------------------------ *)
+
+(* Map each scanned source to its .cmt, via cmt_sourcefile: dune
+   records the context-relative path, which is exactly how we name
+   sources. *)
+let cmt_index () =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun cmt_path ->
+      match Cmt_format.read_cmt cmt_path with
+      | exception _ -> ()
+      | infos -> (
+        match
+          (infos.Cmt_format.cmt_sourcefile, infos.Cmt_format.cmt_annots)
+        with
+        | Some src, Cmt_format.Implementation str ->
+          Hashtbl.replace tbl src str
+        | _ -> ()))
+    (sources_under build_root ~ext:".cmt");
+  tbl
+
+(* --- Driver -------------------------------------------------------------- *)
+
+let () =
+  let allow_path = ref "lint.allow" in
+  let json_out = ref None in
+  Arg.parse
+    [ ("--allow", Arg.Set_string allow_path, "FILE allowlist (lint.allow)");
+      ("--json", Arg.String (fun s -> json_out := Some s),
+       "FILE write machine-readable findings to FILE ('-' for stdout)")
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "lint: static analysis for the repro tree (run from the repo root)";
+
+  let entries, allow_findings = Allow.load !allow_path in
+  let mls =
+    List.concat_map (fun root -> sources_under root ~ext:".ml") scan_roots
+  in
+
+  (* Interface coverage: every library module states its contract. *)
+  let coverage =
+    List.filter_map
+      (fun ml ->
+        if
+          String.length ml >= 4
+          && String.equal (String.sub ml 0 4) "lib/"
+          && not (Sys.file_exists (ml ^ "i"))
+        then
+          Some
+            { Rules_ast.ident = Filename.basename ml;
+              f =
+                Check.Finding.v ~rule:"lint.interface" ~file:ml
+                  "library module has no .mli; every lib/ module states \
+                   its contract"
+            }
+        else None)
+      mls
+  in
+
+  (* Parse everything once; the shape table needs all sources before
+     any typed rule runs. *)
+  let parsed, parse_failures =
+    List.fold_left
+      (fun (ok, bad) ml ->
+        match parse_impl ml with
+        | str -> ((ml, str) :: ok, bad)
+        | exception exn -> (ok, parse_error_finding ml exn :: bad))
+      ([], []) mls
+  in
+  let parsed = List.rev parsed and parse_failures = List.rev parse_failures in
+  let shapes = Shapes.create () in
+  List.iter (fun (ml, str) -> Shapes.add_structure shapes ~file:ml str) parsed;
+
+  let ast_findings =
+    List.concat_map (fun (ml, str) -> Rules_ast.scan ~file:ml str) parsed
+  in
+
+  let cmts = cmt_index () in
+  let typed_findings, missing_cmts =
+    List.fold_left
+      (fun (fs, missing) (ml, _) ->
+        match Hashtbl.find_opt cmts ml with
+        | Some str -> (fs @ Rules_typed.scan ~file:ml ~shapes str, missing)
+        | None ->
+          ( fs,
+            { Rules_ast.ident = "cmt";
+              f =
+                Check.Finding.v ~severity:Check.Finding.Warning
+                  ~rule:"lint.no-cmt" ~file:ml
+                  "no .cmt under _build/default (stale build?); typed \
+                   rules skipped — run `dune build' first"
+            }
+            :: missing ))
+      ([], []) parsed
+  in
+  let typed_findings =
+    List.map
+      (fun { Rules_typed.ident; f } -> { Rules_ast.ident; f })
+      typed_findings
+  in
+
+  let raw =
+    coverage @ parse_failures @ ast_findings @ typed_findings
+    @ List.rev missing_cmts
+  in
+  let kept =
+    List.filter
+      (fun { Rules_ast.ident; f } ->
+        not
+          (Allow.allowed entries ~rule:f.Check.Finding.rule
+             ~file:f.Check.Finding.file ~ident))
+      raw
+  in
+  let findings =
+    allow_findings
+    @ List.map (fun { Rules_ast.f; _ } -> f) kept
+    @ Allow.stale ~src:!allow_path entries
+  in
+
+  let ppf = Format.std_formatter in
+  List.iter (fun f -> Format.fprintf ppf "%a@." Check.Finding.pp f) findings;
+  (match !json_out with
+   | None -> ()
+   | Some path ->
+     let doc =
+       Obs.Json.Obj
+         [ ("findings", Check.Finding.list_to_json findings) ]
+     in
+     let out = Obs.Json.to_pretty_string doc in
+     if String.equal path "-" then Format.fprintf ppf "%s@." out
+     else begin
+       let oc = open_out path in
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () ->
+           output_string oc out;
+           output_char oc '\n')
+     end);
+  let errors = Check.Finding.errors findings in
+  Format.fprintf ppf "lint: %d file(s), %d finding(s), %d error(s)@."
+    (List.length mls) (List.length findings) (List.length errors);
+  exit (if errors = [] then 0 else 1)
