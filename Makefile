@@ -1,7 +1,7 @@
 # Convenience targets; CI runs `make check`.
 
 .PHONY: all build test test-parallel test-fastpath bench lint check-recordings \
-  check untracked-build clean
+  golden golden-record check untracked-build clean
 
 all: build
 
@@ -50,6 +50,19 @@ check-recordings:
 	dune exec bin/repro.exe -- check --gc cheney:1m "$$tmp/lred-gc.v2"
 	@echo "check-recordings: ok"
 
+# The golden regression gate: re-measure every run in golden/manifest.sexp
+# and compare against the committed fixtures.  Exact counters must match
+# bit-for-bit; derived ratios within a 1e-9 relative band.
+golden:
+	dune build
+	dune exec bin/repro.exe -- golden verify
+
+# Regenerate the committed fixtures after a deliberate behaviour change.
+# Review the diff of golden/*.sexp before committing it.
+golden-record:
+	dune build
+	dune exec bin/repro.exe -- golden record
+
 # Fail if the _build tree ever sneaks back into the index.
 untracked-build:
 	@n=$$(git ls-files _build | wc -l); \
@@ -57,7 +70,7 @@ untracked-build:
 	  echo "error: $$n file(s) under _build/ are tracked by git"; exit 1; \
 	fi
 
-check: build test lint test-parallel test-fastpath check-recordings untracked-build
+check: build test lint test-parallel test-fastpath check-recordings golden untracked-build
 	@echo "check: ok"
 
 clean:

@@ -381,10 +381,14 @@ let write_bench_metrics results extra =
                 results))
        :: extra)
   in
-  let oc = open_out "BENCH_metrics.json" in
+  (* Temp + rename so a crash mid-write never leaves a torn metrics
+     file for the CI artifact upload to pick up. *)
+  let tmp = "BENCH_metrics.json.tmp" in
+  let oc = open_out tmp in
   output_string oc (Obs.Json.to_pretty_string json);
   output_char oc '\n';
   close_out oc;
+  Sys.rename tmp "BENCH_metrics.json";
   Format.fprintf ppf "wrote BENCH_metrics.json (%d benchmarks)@."
     (List.length results)
 

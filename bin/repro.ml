@@ -17,47 +17,11 @@ let size_conv =
 
 let gc_conv =
   let parse s =
-    match String.split_on_char ':' s with
-    | [ "none" ] -> Ok Vscheme.Machine.No_gc
-    | [ "cheney"; semi ] -> (
-      match Cmdliner.Arg.conv_parser size_conv semi with
-      | Ok semispace_bytes -> Ok (Vscheme.Machine.Cheney { semispace_bytes })
-      | Error _ as e -> e)
-    | [ "marksweep"; nursery; old ] | [ "ms"; nursery; old ] -> (
-      match
-        ( Cmdliner.Arg.conv_parser size_conv nursery,
-          Cmdliner.Arg.conv_parser size_conv old )
-      with
-      | Ok nursery_bytes, Ok old_bytes ->
-        Ok (Vscheme.Machine.Mark_sweep { nursery_bytes; old_bytes })
-      | (Error _ as e), _ | _, (Error _ as e) -> e)
-    | [ "gen"; nursery; old ] -> (
-      match
-        ( Cmdliner.Arg.conv_parser size_conv nursery,
-          Cmdliner.Arg.conv_parser size_conv old )
-      with
-      | Ok nursery_bytes, Ok old_bytes ->
-        Ok (Vscheme.Machine.Generational { nursery_bytes; old_bytes })
-      | (Error _ as e), _ | _, (Error _ as e) -> e)
-    | _ ->
-      Error
-        (`Msg
-          (Printf.sprintf
-             "bad collector %S (none | cheney:SIZE | gen:NURSERY:OLD | \
-              marksweep:NURSERY:OLD)" s))
+    match Core.Units.parse_gc s with
+    | Ok gc -> Ok gc
+    | Error msg -> Error (`Msg msg)
   in
-  let print fmt gc =
-    match (gc : Vscheme.Machine.gc_spec) with
-    | Vscheme.Machine.No_gc -> Format.pp_print_string fmt "none"
-    | Vscheme.Machine.Cheney { semispace_bytes } ->
-      Format.fprintf fmt "cheney:%a" Memsim.Sweep.pp_size semispace_bytes
-    | Vscheme.Machine.Generational { nursery_bytes; old_bytes } ->
-      Format.fprintf fmt "gen:%a:%a" Memsim.Sweep.pp_size nursery_bytes
-        Memsim.Sweep.pp_size old_bytes
-    | Vscheme.Machine.Mark_sweep { nursery_bytes; old_bytes } ->
-      Format.fprintf fmt "marksweep:%a:%a" Memsim.Sweep.pp_size nursery_bytes
-        Memsim.Sweep.pp_size old_bytes
-  in
+  let print fmt gc = Format.pp_print_string fmt (Core.Units.format_gc gc) in
   Cmdliner.Arg.conv (parse, print)
 
 (* --- telemetry exports ------------------------------------------------- *)
@@ -316,19 +280,37 @@ let record name out_path scale format gc heap_bytes =
        /. float_of_int (max 1 (Memsim.Recording.length recording)));
     0
 
-let replay path cache_bytes block_bytes policy =
+let replay path cache_bytes block_bytes policy checkpoint checkpoint_every =
   match Memsim.Recording.load path with
   | exception Sys_error msg | exception Failure msg ->
     Format.eprintf "replay: %s@." msg;
     1
   | recording ->
-    let cache =
-      Memsim.Cache.create
-        (Memsim.Cache.config ~write_miss_policy:policy ~size_bytes:cache_bytes
-           ~block_bytes ())
+    let sweep =
+      Memsim.Sweep.create
+        [ Memsim.Cache.config ~write_miss_policy:policy
+            ~size_bytes:cache_bytes ~block_bytes ()
+        ]
     in
-    Memsim.Recording.iter_chunks recording (fun buf len ->
-        Memsim.Cache.access_chunk cache buf 0 len);
+    let cache = (Memsim.Sweep.caches sweep).(0) in
+    match
+      match checkpoint with
+      | None ->
+        Memsim.Recording.iter_chunks recording (fun buf len ->
+            Memsim.Cache.access_chunk cache buf 0 len)
+      | Some ck ->
+        let resumed = Sys.file_exists ck in
+        Memsim.Sweep.run_resumable ?checkpoint_every ~checkpoint:ck sweep
+          recording;
+        Format.fprintf ppf
+          "%s checkpoint %s (remove it to replay from the start)@."
+          (if resumed then "resumed from" else "wrote")
+          ck
+    with
+    | exception Failure msg ->
+      Format.eprintf "replay: %s@." msg;
+      1
+    | () ->
     let s = Memsim.Cache.stats cache in
     Core.Report.table ppf ~headers:[ "metric"; "value" ]
       ~rows:
@@ -686,10 +668,25 @@ let replay_cmd =
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file from `repro record'")
   in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Periodically snapshot the cache state and replay cursor \
+                   to $(docv) (written atomically), and resume from it when \
+                   it already exists: a killed replay continues \
+                   bit-identically instead of starting over")
+  in
+  let checkpoint_every =
+    Arg.(value & opt (some int) None
+         & info [ "checkpoint-every" ] ~docv:"EVENTS"
+             ~doc:"Events between checkpoints (default 4194304)")
+  in
   Cmd.v
     (Cmd.info "replay"
-       ~doc:"Replay a recorded trace through a cache configuration")
-    Term.(const replay $ path $ cache_arg $ block_arg $ policy_arg)
+       ~doc:"Replay a recorded trace through a cache configuration, \
+             optionally checkpoint/resumable")
+    Term.(const replay $ path $ cache_arg $ block_arg $ policy_arg
+          $ checkpoint $ checkpoint_every)
 
 let stats_cmd =
   let path =
@@ -751,12 +748,99 @@ let check_cmd =
     Term.(const check_files $ files $ gc_arg $ heap $ static $ stack $ raw
           $ json_out)
 
+(* ------------------------------------------------------------------ *)
+(* golden                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let golden_dir_arg =
+  Arg.(value & opt string "golden"
+       & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Directory holding the manifest and fixtures (default \
+                 ./golden)")
+
+let golden_record dir =
+  let ppf = Format.std_formatter in
+  Golden.Suite.record ~dir ppf;
+  0
+
+let with_sink path f =
+  if path = "-" then f Format.std_formatter
+  else begin
+    let oc = open_out (path ^ ".tmp") in
+    let ppf = Format.formatter_of_out_channel oc in
+    f ppf;
+    Format.pp_print_flush ppf ();
+    close_out oc;
+    Sys.rename (path ^ ".tmp") path
+  end
+
+let golden_verify dir summary json =
+  let ppf = Format.std_formatter in
+  let vs = Golden.Suite.verify ~dir ppf in
+  (match summary with
+   | None -> ()
+   | Some path -> with_sink path (fun ppf -> Golden.Suite.summary_markdown ppf vs));
+  (match json with
+   | None -> ()
+   | Some path ->
+     with_sink path (fun ppf ->
+         Format.fprintf ppf "%s@."
+           (Obs.Json.to_pretty_string (Golden.Suite.findings_json vs))));
+  let failed = List.filter (fun v -> not (Golden.Suite.passed v)) vs in
+  if failed = [] then begin
+    Format.fprintf ppf "golden: all %d runs match@." (List.length vs);
+    0
+  end
+  else begin
+    Format.fprintf ppf "golden: %d of %d runs FAILED@." (List.length failed)
+      (List.length vs);
+    1
+  end
+
+let golden_cmd =
+  let record =
+    Cmd.v
+      (Cmd.info "record"
+         ~doc:"Run the default manifest suite and (re)write the golden \
+               fixtures under --dir.  Commit the result; `repro golden \
+               verify' then gates on it")
+      Term.(const golden_record $ golden_dir_arg)
+  in
+  let verify =
+    let summary =
+      Arg.(value & opt (some string) None
+           & info [ "summary" ] ~docv:"FILE"
+               ~doc:"Append a GitHub-flavoured Markdown delta table to \
+                     $(docv) (`-' for stdout); suitable for \
+                     \\$(b,GITHUB_STEP_SUMMARY)")
+    in
+    let json =
+      Arg.(value & opt (some string) None
+           & info [ "json" ] ~docv:"FILE"
+               ~doc:"Write machine-readable findings to $(docv) (`-' for \
+                     stdout)")
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Re-measure every run in the committed manifest and compare \
+               against the golden fixtures: exact counters must match \
+               bit-for-bit, derived ratios within a 1e-9 relative band.  \
+               Exits 1 on any mismatch, with findings locating the run, \
+               geometry and field")
+      Term.(const golden_verify $ golden_dir_arg $ summary $ json)
+  in
+  Cmd.group
+    (Cmd.info "golden"
+       ~doc:"Deterministic golden-run regression suite: record committed \
+             reference fixtures, verify current behaviour against them")
+    [ record; verify ]
+
 let main =
   Cmd.group
     (Cmd.info "repro" ~version:"1.0.0"
        ~doc:"Cache Performance of Garbage-Collected Programs (PLDI 1994), \
              reproduced")
     [ experiments_cmd; run_cmd; scheme_cmd; workloads_cmd; simulate_cmd;
-      record_cmd; replay_cmd; stats_cmd; check_cmd ]
+      record_cmd; replay_cmd; stats_cmd; check_cmd; golden_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -25,3 +25,45 @@ let parse_size str =
         else if n > max_int / mult then
           Error (Printf.sprintf "size %S overflows the native integer" str)
         else Ok (n * mult)
+
+let format_size n =
+  let k = 1024 in
+  let m = 1024 * 1024 in
+  if n >= m && n mod m = 0 then Printf.sprintf "%dm" (n / m)
+  else if n >= k && n mod k = 0 then Printf.sprintf "%dk" (n / k)
+  else string_of_int n
+
+(* Collector specs share the CLI's textual syntax so manifests, golden
+   fixtures and the repro command line all round-trip the same
+   strings. *)
+let parse_gc s =
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' (String.trim s) with
+  | [ "none" ] -> Ok Vscheme.Machine.No_gc
+  | [ "cheney"; semi ] ->
+    let* semispace_bytes = parse_size semi in
+    Ok (Vscheme.Machine.Cheney { semispace_bytes })
+  | [ "marksweep"; nursery; old ] | [ "ms"; nursery; old ] ->
+    let* nursery_bytes = parse_size nursery in
+    let* old_bytes = parse_size old in
+    Ok (Vscheme.Machine.Mark_sweep { nursery_bytes; old_bytes })
+  | [ "gen"; nursery; old ] ->
+    let* nursery_bytes = parse_size nursery in
+    let* old_bytes = parse_size old in
+    Ok (Vscheme.Machine.Generational { nursery_bytes; old_bytes })
+  | _ ->
+    Error
+      (Printf.sprintf
+         "bad collector %S (none | cheney:SIZE | gen:NURSERY:OLD | \
+          marksweep:NURSERY:OLD)" s)
+
+let format_gc = function
+  | Vscheme.Machine.No_gc -> "none"
+  | Vscheme.Machine.Cheney { semispace_bytes } ->
+    Printf.sprintf "cheney:%s" (format_size semispace_bytes)
+  | Vscheme.Machine.Generational { nursery_bytes; old_bytes } ->
+    Printf.sprintf "gen:%s:%s" (format_size nursery_bytes)
+      (format_size old_bytes)
+  | Vscheme.Machine.Mark_sweep { nursery_bytes; old_bytes } ->
+    Printf.sprintf "marksweep:%s:%s" (format_size nursery_bytes)
+      (format_size old_bytes)

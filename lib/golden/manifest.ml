@@ -1,0 +1,152 @@
+type run = {
+  name : string;
+  workload : string;
+  scale : int;
+  gc : Vscheme.Machine.gc_spec;
+  heap_bytes : int option;
+  cache_sizes : int list;
+  block_sizes : int list;
+  write_miss_policy : Memsim.Cache.write_miss_policy;
+  jobs : int;
+  trace_format : Memsim.Recording.format;
+}
+
+type t = {
+  version : int;
+  runs : run list;
+}
+
+let current_version = 1
+
+(* The committed suite: every workload at smoke scale under a Cheney
+   collector small enough to force several collections (so the
+   collector-phase counters are non-trivial), over the corners of the
+   paper grid, plus one no-GC control.  Two sweep jobs so `golden
+   verify` exercises the parallel path CI gates on — the statistics
+   are parallelism-invariant. *)
+let default =
+  let kb n = n * 1024 in
+  let smoke workload gc =
+    { name = workload;
+      workload;
+      scale = 1;
+      gc;
+      heap_bytes = None;
+      cache_sizes = [ kb 64; kb 512 ];
+      block_sizes = [ 32; 128 ];
+      write_miss_policy = Memsim.Cache.Write_validate;
+      jobs = 2;
+      trace_format = Memsim.Recording.V2
+    }
+  in
+  let cheney semi = Vscheme.Machine.Cheney { semispace_bytes = kb semi } in
+  { version = current_version;
+    runs =
+      [ smoke "selfcomp" (cheney 48);
+        smoke "prover" (cheney 48);
+        smoke "lred" (cheney 256);
+        smoke "nbody" (cheney 64);
+        smoke "mexpr" (cheney 64);
+        { (smoke "nbody" Vscheme.Machine.No_gc) with name = "nbody-nogc" }
+      ]
+  }
+
+let find t name = List.find_opt (fun r -> r.name = name) t.runs
+
+(* --- Serialization ------------------------------------------------------ *)
+
+let policy_string = function
+  | Memsim.Cache.Write_validate -> "write-validate"
+  | Memsim.Cache.Fetch_on_write -> "fetch-on-write"
+
+let policy_of_string ~file = function
+  | "write-validate" -> Memsim.Cache.Write_validate
+  | "fetch-on-write" -> Memsim.Cache.Fetch_on_write
+  | s -> raise (Sx.Parse_error (Printf.sprintf "%s: unknown policy %S" file s))
+
+let format_string = function
+  | Memsim.Recording.V1 -> "v1"
+  | Memsim.Recording.V2 -> "v2"
+
+let format_of_string ~file = function
+  | "v1" -> Memsim.Recording.V1
+  | "v2" -> Memsim.Recording.V2
+  | s ->
+    raise (Sx.Parse_error (Printf.sprintf "%s: unknown trace format %S" file s))
+
+let run_to_datum r =
+  Sx.field "run"
+    ([ Sx.str "name" r.name;
+       Sx.str "workload" r.workload;
+       Sx.int "scale" r.scale;
+       Sx.str "gc" (Core.Units.format_gc r.gc)
+     ]
+     @ (match r.heap_bytes with
+        | None -> []
+        | Some b -> [ Sx.str "heap" (Core.Units.format_size b) ])
+     @ [ Sx.int_list "cache-sizes" r.cache_sizes;
+         Sx.int_list "block-sizes" r.block_sizes;
+         Sx.str "policy" (policy_string r.write_miss_policy);
+         Sx.int "jobs" r.jobs;
+         Sx.str "format" (format_string r.trace_format)
+       ])
+
+let run_of_fields ~file fields =
+  let gc_string = Sx.get_str ~file fields "gc" in
+  let gc =
+    match Core.Units.parse_gc gc_string with
+    | Ok gc -> gc
+    | Error msg -> raise (Sx.Parse_error (Printf.sprintf "%s: %s" file msg))
+  in
+  let heap_bytes =
+    match Sx.get_opt fields "heap" with
+    | None -> None
+    | Some _ -> (
+      match Core.Units.parse_size (Sx.get_str ~file fields "heap") with
+      | Ok b -> Some b
+      | Error msg -> raise (Sx.Parse_error (Printf.sprintf "%s: %s" file msg)))
+  in
+  { name = Sx.get_str ~file fields "name";
+    workload = Sx.get_str ~file fields "workload";
+    scale = Sx.get_int ~file fields "scale";
+    gc;
+    heap_bytes;
+    cache_sizes = Sx.get_int_list ~file fields "cache-sizes";
+    block_sizes = Sx.get_int_list ~file fields "block-sizes";
+    write_miss_policy = policy_of_string ~file (Sx.get_str ~file fields "policy");
+    jobs = Sx.get_int ~file fields "jobs";
+    trace_format = format_of_string ~file (Sx.get_str ~file fields "format")
+  }
+
+let run_of_datum ~file d =
+  run_of_fields ~file (Sx.fields ~file ~tag:"run" d)
+
+let to_datum t =
+  Sexp.Datum.list
+    [ Sexp.Datum.sym "golden-manifest";
+      Sx.field "version" [ Sexp.Datum.Int t.version ];
+      Sx.field "runs" (List.map run_to_datum t.runs)
+    ]
+
+let of_datum ~file d =
+  let fields = Sx.fields ~file ~tag:"golden-manifest" d in
+  let version = Sx.get_int ~file fields "version" in
+  if version <> current_version then
+    raise
+      (Sx.Parse_error
+         (Printf.sprintf "%s: manifest version %d, this build reads %d" file
+            version current_version));
+  let runs =
+    List.map (run_of_datum ~file) (Sx.get ~file fields "runs")
+  in
+  { version; runs }
+
+let save t path =
+  Sx.write_file path
+    ~header:
+      "Golden-run manifest: what `repro golden record|verify` runs.  \
+       Regenerate fixtures with `repro golden record` after deliberate \
+       changes."
+    (to_datum t)
+
+let load path = of_datum ~file:path (Sx.read_file path)

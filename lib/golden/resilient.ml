@@ -1,0 +1,188 @@
+type fault =
+  | Transient of string
+  | Enospc_at of int
+  | Short_write_at of int
+  | Corrupt_byte_at of int
+
+type plan = attempt:int -> fault option
+
+type 'a outcome = {
+  result : 'a option;
+  attempts : int;
+  findings : Check.Finding.t list;
+}
+
+let ok o = Option.is_some o.result && not (Check.Finding.has_errors o.findings)
+
+let warn ~file rule fmt =
+  Printf.ksprintf
+    (fun msg -> Check.Finding.v ~severity:Check.Finding.Warning ~rule ~file msg)
+    fmt
+
+let error ~file rule fmt =
+  Printf.ksprintf (fun msg -> Check.Finding.v ~rule ~file msg) fmt
+
+let remove_quietly path = try Sys.remove path with Sys_error _ -> ()
+
+(* Cut a file to [n] bytes, simulating a write that stopped early. *)
+let truncate_file path n =
+  let n = max 0 n in
+  Unix.truncate path n
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      if size > 0 then begin
+        let off = max 0 (min off (size - 1)) in
+        let b = Bytes.create 1 in
+        ignore (Unix.lseek fd off Unix.SEEK_SET);
+        ignore (Unix.read fd b 0 1);
+        Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+        ignore (Unix.lseek fd off Unix.SEEK_SET);
+        ignore (Unix.write fd b 0 1)
+      end)
+
+let save ?(attempts = 3) ?(inject = fun ~attempt:_ -> None)
+    ?(format = Memsim.Recording.V2) recording path =
+  let attempts = max 1 attempts in
+  let tmp = path ^ ".tmp" in
+  let findings = ref [] in
+  let report f = findings := f :: !findings in
+  let rec attempt n =
+    if n > attempts then begin
+      report
+        (error ~file:path "golden.io.exhausted"
+           "save failed after %d attempt%s; the destination was not touched"
+           attempts
+           (if attempts = 1 then "" else "s"));
+      { result = None; attempts; findings = List.rev !findings }
+    end
+    else begin
+      let wrote =
+        match inject ~attempt:n with
+        | Some (Transient msg) ->
+          report
+            (warn ~file:path "golden.io.transient"
+               "attempt %d/%d: transient I/O error: %s" n attempts msg);
+          false
+        | fault -> (
+          match Memsim.Recording.save ~format recording tmp with
+          | exception Sys_error msg ->
+            remove_quietly tmp;
+            report
+              (warn ~file:path "golden.io.transient"
+                 "attempt %d/%d: %s" n attempts msg);
+            false
+          | () -> (
+            match fault with
+            | Some (Enospc_at bytes) ->
+              (* The writer sees the device fill: discard and retry. *)
+              truncate_file tmp bytes;
+              remove_quietly tmp;
+              report
+                (warn ~file:path "golden.io.enospc"
+                   "attempt %d/%d: no space left on device after %d bytes"
+                   n attempts bytes);
+              false
+            | Some (Short_write_at bytes) ->
+              (* Silent: the verify pass below must catch it. *)
+              truncate_file tmp bytes;
+              true
+            | Some (Corrupt_byte_at off) ->
+              flip_byte tmp off;
+              true
+            | Some (Transient _) | None -> true))
+      in
+      if not wrote then attempt (n + 1)
+      else begin
+        (* Verify-after-write: the temp file must load back equal to
+           the in-memory recording before it may replace [path]. *)
+        match Memsim.Recording.load tmp with
+        | loaded when Memsim.Recording.equal recording loaded ->
+          Sys.rename tmp path;
+          { result = Some (); attempts = n; findings = List.rev !findings }
+        | _ ->
+          remove_quietly tmp;
+          report
+            (warn ~file:path "golden.io.verify"
+               "attempt %d/%d: read-back of the written file diverged from \
+                the recording"
+               n attempts);
+          attempt (n + 1)
+        | exception Failure msg ->
+          remove_quietly tmp;
+          report
+            (warn ~file:path "golden.io.verify"
+               "attempt %d/%d: read-back failed: %s" n attempts msg);
+          attempt (n + 1)
+        | exception Sys_error msg ->
+          remove_quietly tmp;
+          report
+            (warn ~file:path "golden.io.verify"
+               "attempt %d/%d: read-back failed: %s" n attempts msg);
+          attempt (n + 1)
+      end
+    end
+  in
+  attempt 1
+
+let load ?(attempts = 3) ?(inject = fun ~attempt:_ -> None)
+    ?(allow_partial = true) path =
+  let attempts = max 1 attempts in
+  let findings = ref [] in
+  let report f = findings := f :: !findings in
+  let finish result attempts =
+    { result; attempts; findings = List.rev !findings }
+  in
+  let partial n =
+    if not allow_partial then finish None n
+    else begin
+      let scan = Check.Trace_file.scan path in
+      List.iter report scan.Check.Trace_file.findings;
+      match scan.Check.Trace_file.recording with
+      | Some r when Memsim.Recording.length r > 0 ->
+        report
+          (error ~file:path "golden.io.partial"
+             "recovered the intact prefix only: %d of %s declared events"
+             (Memsim.Recording.length r)
+             (match scan.Check.Trace_file.declared_events with
+              | Some d -> string_of_int d
+              | None -> "an unknown number of"));
+        finish (Some r) n
+      | Some _ | None -> finish None n
+    end
+  in
+  let rec attempt n =
+    if n > attempts then begin
+      report
+        (error ~file:path "golden.io.exhausted"
+           "load failed after %d attempt%s" attempts
+           (if attempts = 1 then "" else "s"));
+      finish None attempts
+    end
+    else
+      match inject ~attempt:n with
+      | Some (Transient msg) ->
+        report
+          (warn ~file:path "golden.io.transient"
+             "attempt %d/%d: transient I/O error: %s" n attempts msg);
+        attempt (n + 1)
+      | Some (Enospc_at _) | Some (Short_write_at _) | Some (Corrupt_byte_at _)
+      | None -> (
+        match Memsim.Recording.load path with
+        | r -> finish (Some r) n
+        | exception Sys_error msg ->
+          (* I/O errors may be transient: retry within the budget. *)
+          report
+            (warn ~file:path "golden.io.transient" "attempt %d/%d: %s" n
+               attempts msg);
+          attempt (n + 1)
+        | exception Failure _ ->
+          (* Malformed files are deterministic: no retry, recover the
+             prefix instead. *)
+          partial n)
+  in
+  attempt 1

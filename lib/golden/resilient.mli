@@ -1,0 +1,74 @@
+(** Fault-tolerant trace I/O: atomic writes, verify-after-write,
+    bounded retry, and graceful partial results.
+
+    Real trace files are large and live on real disks: writes get cut
+    short by full devices and killed processes, reads hit transient
+    I/O errors, and a torn file silently poisons every later replay.
+    This layer hardens {!Memsim.Recording.save}/[load]:
+
+    - {e saves} go to a temp file, are read back and compared against
+      the in-memory recording, and only then renamed into place — a
+      short write, ENOSPC or bit rot can fail an attempt but can never
+      leave a corrupt file at the destination;
+    - {e loads} retry transient [Sys_error]s, and on a structurally
+      damaged file fall back to {!Check.Trace_file.scan} to recover
+      the intact prefix as a {e partial} result;
+    - every anomaly is reported as a {!Check.Finding.t}, the shared
+      diagnostic currency of [repro check] and the golden gate.
+
+    Faults are injected deterministically through a {!plan} so tests
+    and the differential suite can exercise every failure path without
+    a faulty disk. *)
+
+type fault =
+  | Transient of string
+      (** the attempt fails outright, as a flaky device would *)
+  | Enospc_at of int
+      (** save: the device fills after [n] bytes; the writer sees the
+          error, discards the temp file and retries *)
+  | Short_write_at of int
+      (** save: the file is silently cut to [n] bytes (a lost buffer on
+          a killed process); only read-back verification catches it *)
+  | Corrupt_byte_at of int
+      (** save: one byte is flipped on the way to disk; only read-back
+          verification catches it *)
+
+type plan = attempt:int -> fault option
+(** What (if anything) goes wrong on each 1-based attempt. *)
+
+type 'a outcome = {
+  result : 'a option;     (** [None]: every attempt failed *)
+  attempts : int;         (** attempts consumed (>= 1) *)
+  findings : Check.Finding.t list;
+      (** warnings for survived faults; errors when the operation
+          failed or returned a partial result *)
+}
+
+val ok : 'a outcome -> bool
+(** A result was produced and no error findings accumulated. *)
+
+val save :
+  ?attempts:int ->
+  ?inject:plan ->
+  ?format:Memsim.Recording.format ->
+  Memsim.Recording.t ->
+  string ->
+  unit outcome
+(** Write the recording atomically with read-back verification and at
+    most [attempts] (default 3) tries.  On failure the destination is
+    untouched (a previous file there survives) and [findings] says why
+    each attempt died ([golden.io.transient], [golden.io.enospc],
+    [golden.io.verify], [golden.io.exhausted]). *)
+
+val load :
+  ?attempts:int ->
+  ?inject:plan ->
+  ?allow_partial:bool ->
+  string ->
+  Memsim.Recording.t outcome
+(** Load with at most [attempts] (default 3) tries.  Transient
+    [Sys_error]s are retried; a malformed file is not retried but —
+    with [allow_partial] (default true) — scanned for its intact
+    prefix, returned alongside error findings ([golden.io.partial]
+    plus the scanner's own) so a caller can report partial results
+    instead of losing the run. *)

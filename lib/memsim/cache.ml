@@ -446,6 +446,111 @@ let block_alloc_misses t =
   require_block_stats t "Cache.block_alloc_misses";
   Array.copy t.blk_alloc_misses
 
+(* --- Checkpointing ------------------------------------------------------ *)
+
+(* The snapshot captures everything [access] reads or writes — tags,
+   valid masks, dirty bits, counters, per-block statistics — so a
+   restored cache continues a replay bit-identically.  Hooks are
+   runtime wiring, not state, and are not captured.  Layout: a
+   geometry header (validated on restore), 11 counters, then the
+   arrays, all as little-endian 64-bit words (dirty bits one byte
+   each). *)
+
+let snapshot_magic = 0x504B435343414345L (* "CACHE…CKP" tag family *)
+
+let policy_code = function Write_validate -> 0 | Fetch_on_write -> 1
+
+let snapshot t buf =
+  let add n = Buffer.add_int64_le buf (Int64.of_int n) in
+  Buffer.add_int64_le buf snapshot_magic;
+  add t.cfg.size_bytes;
+  add t.cfg.block_bytes;
+  add (policy_code t.cfg.write_miss_policy);
+  add (if t.cfg.collector_fetch_on_write then 1 else 0);
+  add (if t.cfg.record_block_stats then 1 else 0);
+  add t.refs;
+  add t.collector_refs;
+  add t.misses;
+  add t.collector_misses;
+  add t.alloc_misses;
+  add t.fetches;
+  add t.collector_fetches;
+  add t.writebacks;
+  add t.collector_writebacks;
+  add t.writes;
+  add t.collector_writes;
+  let add_array a = Array.iter add a in
+  add_array t.tags;
+  add_array t.valid_lo;
+  add_array t.valid_hi;
+  Buffer.add_bytes buf t.dirty;
+  add_array t.blk_refs;
+  add_array t.blk_misses;
+  add_array t.blk_alloc_misses
+
+let snapshot_bytes t =
+  (* magic + 5 geometry words + 11 counters, then the arrays. *)
+  (8 * 17) + (8 * 3 * t.nblocks) + t.nblocks
+  + (8 * 3 * Array.length t.blk_refs)
+
+let restore t src pos =
+  let len = Bytes.length src in
+  if pos < 0 || len - pos < snapshot_bytes t then
+    invalid_arg "Cache.restore: truncated snapshot";
+  let pos = ref pos in
+  let word () =
+    let w64 = Bytes.get_int64_le src !pos in
+    pos := !pos + 8;
+    let w = Int64.to_int w64 in
+    if not (Int64.equal (Int64.of_int w) w64) then
+      invalid_arg "Cache.restore: snapshot word does not fit a native int";
+    w
+  in
+  if not (Int64.equal (Bytes.get_int64_le src !pos) snapshot_magic) then
+    invalid_arg "Cache.restore: not a cache snapshot";
+  pos := !pos + 8;
+  let geom name expected actual =
+    if expected <> actual then
+      invalid_arg
+        (Printf.sprintf
+           "Cache.restore: snapshot %s is %d but the cache has %d" name
+           actual expected)
+  in
+  geom "size_bytes" t.cfg.size_bytes (word ());
+  geom "block_bytes" t.cfg.block_bytes (word ());
+  geom "write_miss_policy" (policy_code t.cfg.write_miss_policy) (word ());
+  geom "collector_fetch_on_write"
+    (if t.cfg.collector_fetch_on_write then 1 else 0)
+    (word ());
+  geom "record_block_stats"
+    (if t.cfg.record_block_stats then 1 else 0)
+    (word ());
+  t.refs <- word ();
+  t.collector_refs <- word ();
+  t.misses <- word ();
+  t.collector_misses <- word ();
+  t.alloc_misses <- word ();
+  t.fetches <- word ();
+  t.collector_fetches <- word ();
+  t.writebacks <- word ();
+  t.collector_writebacks <- word ();
+  t.writes <- word ();
+  t.collector_writes <- word ();
+  let read_array a =
+    for i = 0 to Array.length a - 1 do
+      a.(i) <- word ()
+    done
+  in
+  read_array t.tags;
+  read_array t.valid_lo;
+  read_array t.valid_hi;
+  Bytes.blit src !pos t.dirty 0 t.nblocks;
+  pos := !pos + t.nblocks;
+  read_array t.blk_refs;
+  read_array t.blk_misses;
+  read_array t.blk_alloc_misses;
+  !pos
+
 let reset_stats (t : t) =
   t.refs <- 0;
   t.collector_refs <- 0;

@@ -137,3 +137,25 @@ val block_alloc_misses : t -> int array
 
 val reset_stats : t -> unit
 (** Zero every counter (contents and tags are kept). *)
+
+(** {1 Checkpointing}
+
+    A snapshot captures the complete simulation state — tags, per-word
+    valid masks, dirty bits, all counters, and per-block statistics
+    when enabled — so that a restored cache continues a replay
+    bit-identically.  Hooks are wiring, not state, and are not
+    captured.  The encoding is fixed-width little-endian, stable
+    across runs and platforms with 63-bit ints. *)
+
+val snapshot : t -> Buffer.t -> unit
+(** Append the cache's state to the buffer ({!snapshot_bytes} bytes,
+    beginning with a magic and the geometry for validation). *)
+
+val snapshot_bytes : t -> int
+(** Exact size of this cache's snapshot. *)
+
+val restore : t -> Bytes.t -> int -> int
+(** [restore t src pos] overwrites [t]'s state from the snapshot at
+    [src.(pos..)] and returns the offset just past it.
+    @raise Invalid_argument when the snapshot is truncated, corrupt,
+    or was taken from a cache with a different configuration. *)

@@ -25,6 +25,12 @@ let create (cfg : config) =
   { cfg; l1; l2 }
 
 let access t addr kind phase = Cache.access t.l1 addr kind phase
+
+(* L1 carries fill hooks, so Cache.access_chunk takes its per-event
+   slow path: ordering of L2 refill traffic is exactly the per-event
+   order. *)
+let access_chunk t buf off len = Cache.access_chunk t.l1 buf off len
+
 let sink t = { Trace.access = (fun addr kind phase -> access t addr kind phase) }
 let l1_stats t = Cache.stats t.l1
 let l2_stats t = Cache.stats t.l2

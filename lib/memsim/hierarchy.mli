@@ -28,6 +28,14 @@ val create : config -> t
     L1 block. *)
 
 val access : t -> int -> Trace.kind -> Trace.phase -> unit
+
+val access_chunk : t -> Chunk.buf -> int -> int -> unit
+(** Deliver a chunk of packed events ({!Chunk} codec) through L1.
+    L1's fill hooks force the per-event path internally, so L2 sees
+    refill traffic in exactly per-event order: equivalent to calling
+    {!access} for each event.
+    @raise Invalid_argument when the range is out of bounds. *)
+
 val sink : t -> Trace.sink
 
 val l1_stats : t -> Cache.stats

@@ -113,6 +113,140 @@ let run_into ~jobs t recording =
 let run_serial t recording = run_into ~jobs:1 t recording
 let run_parallel ~jobs t recording = run_into ~jobs t recording
 
+(* --- Checkpoint / resume ------------------------------------------------ *)
+
+(* A checkpoint pins an in-flight replay: the number of events every
+   cache has consumed (the cursor) plus a full [Cache.snapshot] of
+   each cache.  Replay is deterministic and caches are independent, so
+   restoring the snapshots and continuing from the cursor is
+   bit-identical to never having stopped.  The file is written to a
+   temp name and renamed so a crash mid-checkpoint can never leave a
+   torn file where a resume would find it. *)
+
+let checkpoint_magic = "SWPCKPT1"
+
+let save_checkpoint t ~events ~cursor path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match
+     let hdr = Bytes.create 24 in
+     Bytes.set_int64_le hdr 0 (Int64.of_int cursor);
+     Bytes.set_int64_le hdr 8 (Int64.of_int events);
+     Bytes.set_int64_le hdr 16 (Int64.of_int (Array.length t.caches));
+     output_string oc checkpoint_magic;
+     output_bytes oc hdr;
+     let buf = Buffer.create (1 lsl 16) in
+     Array.iter
+       (fun c ->
+         Buffer.clear buf;
+         Cache.snapshot c buf;
+         Buffer.output_buffer oc buf)
+       t.caches;
+     close_out oc
+   with
+   | () -> ()
+   | exception e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let load_checkpoint t ~events path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let fail fmt = Printf.ksprintf failwith ("Sweep.load_checkpoint: " ^^ fmt) in
+      let magic =
+        try really_input_string ic 8
+        with End_of_file -> fail "%s is not a sweep checkpoint" path
+      in
+      if magic <> checkpoint_magic then fail "%s is not a sweep checkpoint" path;
+      let hdr = Bytes.create 24 in
+      (try really_input ic hdr 0 24
+       with End_of_file -> fail "%s has a truncated header" path);
+      let cursor = Int64.to_int (Bytes.get_int64_le hdr 0) in
+      let ck_events = Int64.to_int (Bytes.get_int64_le hdr 8) in
+      let ncaches = Int64.to_int (Bytes.get_int64_le hdr 16) in
+      if ck_events <> events then
+        fail "%s was taken over %d events but the recording has %d" path
+          ck_events events;
+      if cursor < 0 || cursor > events then
+        fail "%s has a corrupt cursor %d (recording has %d events)" path
+          cursor events;
+      if ncaches <> Array.length t.caches then
+        fail "%s holds %d caches but the sweep has %d" path ncaches
+          (Array.length t.caches);
+      let body_bytes = in_channel_length ic - pos_in ic in
+      let body = Bytes.create body_bytes in
+      really_input ic body 0 body_bytes;
+      let pos = ref 0 in
+      (try
+         Array.iter (fun c -> pos := Cache.restore c body !pos) t.caches
+       with Invalid_argument msg -> fail "%s: %s" path msg);
+      if !pos <> body_bytes then
+        fail "%s has %d trailing bytes" path (body_bytes - !pos);
+      cursor)
+
+(* Replay the event range [from_, until) of a recording into one
+   cache.  Slabs are fixed-size, so the range maps to per-chunk
+   offsets handled by [Cache.access_chunk]. *)
+let replay_range cache recording ~from_ ~until =
+  let base = ref 0 in
+  Recording.iter_chunks recording (fun buf len ->
+      let b = !base in
+      base := b + len;
+      let lo = max from_ b in
+      let hi = min until (b + len) in
+      if lo < hi then Cache.access_chunk cache buf (lo - b) (hi - lo))
+
+let replay_range_all t recording ~jobs ~from_ ~until =
+  let caches = t.caches in
+  let n = Array.length caches in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then
+    for i = 0 to n - 1 do
+      replay_range caches.(i) recording ~from_ ~until
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          replay_range caches.(i) recording ~from_ ~until;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end
+
+let default_checkpoint_events = 1 lsl 22
+
+let run_resumable ?(jobs = 1) ?(checkpoint_every = default_checkpoint_events)
+    ?progress ~checkpoint t recording =
+  let events = Recording.length recording in
+  let every = max 1 checkpoint_every in
+  let cursor = ref 0 in
+  if Sys.file_exists checkpoint then
+    cursor := load_checkpoint t ~events checkpoint;
+  (match progress with Some f -> f !cursor | None -> ());
+  (* Epochs with a barrier at each checkpoint: within an epoch the
+     caches progress independently (possibly on worker domains), but
+     a checkpoint is only taken when every cache has consumed exactly
+     [cursor] events, so one cursor describes them all. *)
+  while !cursor < events do
+    let epoch_end = min events (!cursor + every) in
+    replay_range_all t recording ~jobs ~from_:!cursor ~until:epoch_end;
+    cursor := epoch_end;
+    save_checkpoint t ~events ~cursor:!cursor checkpoint;
+    match progress with Some f -> f !cursor | None -> ()
+  done
+
 (* --- Live production with parallel consumption ------------------------- *)
 
 (* Worker [j] owns caches j, j+jobs, j+2*jobs, ...: a static strided

@@ -84,6 +84,50 @@ val run_parallel : jobs:int -> t -> Recording.t -> unit
     not install hooks on swept caches when [jobs > 1]: they would fire
     on worker domains. *)
 
+(** {1 Checkpoint / resume}
+
+    A long replay can be snapshotted periodically — the full state of
+    every cache ({!Cache.snapshot}) plus the number of events all of
+    them have consumed — so that a killed sweep resumes from the last
+    checkpoint {e bit-identically} to a run that was never
+    interrupted.  Checkpoints are written atomically (temp file +
+    rename): a crash mid-write leaves the previous checkpoint, never a
+    torn one. *)
+
+val save_checkpoint : t -> events:int -> cursor:int -> string -> unit
+(** [save_checkpoint t ~events ~cursor path] writes the state of every
+    cache and the replay position: all caches have consumed exactly
+    the first [cursor] of the recording's [events] events. *)
+
+val load_checkpoint : t -> events:int -> string -> int
+(** Restore every cache from a checkpoint and return its cursor.
+    @raise Failure when the file is not a checkpoint, was taken over a
+    recording of a different length, or its caches do not match the
+    sweep's configurations (count or geometry). *)
+
+val default_checkpoint_events : int
+(** Events between checkpoints when unspecified (4 Mi). *)
+
+val run_resumable :
+  ?jobs:int ->
+  ?checkpoint_every:int ->
+  ?progress:(int -> unit) ->
+  checkpoint:string ->
+  t ->
+  Recording.t ->
+  unit
+(** Like {!run_parallel} ([jobs] defaults to 1), but fault-tolerant:
+    if [checkpoint] exists the caches are restored from it and replay
+    continues at its cursor; the recording is then consumed in epochs
+    of [checkpoint_every] events with a fresh checkpoint written after
+    each.  Per-cache statistics are bit-identical to an uninterrupted
+    {!run_serial} regardless of how many times the process died and
+    resumed, and of [jobs].  [progress] is called with the cursor
+    after the restore and after every epoch.  The final checkpoint
+    (cursor = event count) is left on disk; remove it to start over.
+    @raise Failure as {!load_checkpoint} on a stale or foreign
+    checkpoint file. *)
+
 val live_parallel :
   jobs:int ->
   ?chunk_events:int ->

@@ -1,0 +1,473 @@
+(* The golden-run regression subsystem:
+
+   - manifests and fixtures round-trip through their sexp files;
+   - the comparator is clean against itself and localizes every kind of
+     perturbation (exact count, derived ratio, grid geometry, manifest
+     drift) as a distinct finding;
+   - checkpoint/resume: a sweep killed after any checkpoint and resumed
+     in a fresh process state finishes bit-identical to an
+     uninterrupted run, serial and parallel, and stale or foreign
+     checkpoints are rejected rather than silently replayed over;
+   - the resilient trace I/O layer survives injected transient errors,
+     ENOSPC, short writes and bit rot without ever leaving a torn file
+     at the destination, and recovers the intact prefix of a damaged
+     file as an explicit partial result. *)
+
+let tmp_file =
+  let n = ref 0 in
+  fun suffix ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "test_golden_%d_%d%s" (Unix.getpid ()) !n suffix)
+
+let with_tmp suffix f =
+  let path = tmp_file suffix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let smoke_run =
+  match Golden.Manifest.(find default "prover") with
+  | Some r -> r
+  | None -> assert false
+
+(* --- Manifest / fixture serialization ----------------------------------- *)
+
+let test_manifest_roundtrip () =
+  with_tmp ".sexp" (fun path ->
+      Golden.Manifest.(save default path);
+      let back = Golden.Manifest.load path in
+      Alcotest.(check bool) "manifest survives its file" true
+        (back = Golden.Manifest.default))
+
+let test_manifest_rejects_bad_version () =
+  with_tmp ".sexp" (fun path ->
+      let oc = open_out path in
+      output_string oc "(golden-manifest (version 999) (runs))";
+      close_out oc;
+      match Golden.Manifest.load path with
+      | exception Golden.Sx.Parse_error msg ->
+        Alcotest.(check bool) "diagnostic names the version" true
+          (contains msg "999")
+      | _ -> Alcotest.fail "expected Parse_error")
+
+let test_manifest_rejects_garbage () =
+  with_tmp ".sexp" (fun path ->
+      let oc = open_out path in
+      output_string oc "(elephant 7)";
+      close_out oc;
+      (match Golden.Manifest.load path with
+       | exception Golden.Sx.Parse_error _ -> ()
+       | _ -> Alcotest.fail "expected Parse_error");
+      match Golden.Manifest.load (path ^ ".does-not-exist") with
+      | exception Golden.Sx.Parse_error _ -> ()
+      | _ -> Alcotest.fail "expected Parse_error for a missing file")
+
+let measured = lazy (Golden.Fixture.measure smoke_run)
+
+let test_fixture_roundtrip () =
+  let fx = Lazy.force measured in
+  with_tmp ".sexp" (fun path ->
+      Golden.Fixture.save fx path;
+      let back = Golden.Fixture.load path in
+      Alcotest.(check bool) "fixture survives its file" true (back = fx))
+
+(* --- Comparator ---------------------------------------------------------- *)
+
+let rules fs = List.map (fun f -> f.Check.Finding.rule) fs
+
+let test_compare_self_clean () =
+  let fx = Lazy.force measured in
+  Alcotest.(check (list string)) "no findings against itself" []
+    (rules (Golden.Fixture.compare ~file:"f" ~expected:fx ~actual:fx ()))
+
+let test_compare_localizes_count () =
+  let fx = Lazy.force measured in
+  let perturbed = { fx with Golden.Fixture.collections = fx.collections + 1 } in
+  let fs = Golden.Fixture.compare ~file:"f" ~expected:perturbed ~actual:fx () in
+  Alcotest.(check (list string)) "one exact-count finding" [ "golden.count" ]
+    (rules fs);
+  let msg = (List.hd fs).Check.Finding.message in
+  Alcotest.(check bool) "message names the field" true
+    (contains msg "collections")
+
+let test_compare_localizes_cache_counter () =
+  let fx = Lazy.force measured in
+  let bump = function
+    | ({ Golden.Fixture.stats; _ } as c) :: rest ->
+      { c with Golden.Fixture.stats =
+          { stats with Memsim.Cache.misses = stats.Memsim.Cache.misses + 1 } }
+      :: rest
+    | [] -> assert false
+  in
+  let perturbed = { fx with Golden.Fixture.caches = bump fx.caches } in
+  let fs = Golden.Fixture.compare ~file:"f" ~expected:perturbed ~actual:fx () in
+  Alcotest.(check bool) "golden.count reported" true
+    (List.mem "golden.count" (rules fs))
+
+let test_compare_ratio_band () =
+  let fx = Lazy.force measured in
+  let nudge eps = function
+    | ({ Golden.Fixture.miss_ratio; _ } as c) :: rest ->
+      { c with Golden.Fixture.miss_ratio = miss_ratio *. (1.0 +. eps) } :: rest
+    | [] -> assert false
+  in
+  (* inside the band: a last-ulp reformulation is not a regression *)
+  let close = { fx with Golden.Fixture.caches = nudge 1e-12 fx.caches } in
+  Alcotest.(check (list string)) "inside the band" []
+    (rules (Golden.Fixture.compare ~file:"f" ~expected:close ~actual:fx ()));
+  (* outside: flagged as a ratio drift *)
+  let far = { fx with Golden.Fixture.caches = nudge 1e-6 fx.caches } in
+  let fs = Golden.Fixture.compare ~file:"f" ~expected:far ~actual:fx () in
+  Alcotest.(check bool) "golden.ratio reported" true
+    (List.mem "golden.ratio" (rules fs))
+
+let test_compare_grid_mismatch () =
+  let fx = Lazy.force measured in
+  let expected =
+    match fx.Golden.Fixture.caches with
+    | c :: rest ->
+      { fx with
+        Golden.Fixture.caches =
+          { c with Golden.Fixture.size_bytes = c.Golden.Fixture.size_bytes * 2 }
+          :: rest
+      }
+    | [] -> assert false
+  in
+  let fs = Golden.Fixture.compare ~file:"f" ~expected ~actual:fx () in
+  Alcotest.(check bool) "golden.grid reported" true
+    (List.mem "golden.grid" (rules fs))
+
+let test_compare_run_drift () =
+  let fx = Lazy.force measured in
+  let expected =
+    { fx with
+      Golden.Fixture.run = { fx.Golden.Fixture.run with Golden.Manifest.jobs = 7 }
+    }
+  in
+  let fs = Golden.Fixture.compare ~file:"f" ~expected ~actual:fx () in
+  Alcotest.(check bool) "golden.run reported" true
+    (List.mem "golden.run" (rules fs))
+
+(* --- Checkpoint / resume ------------------------------------------------- *)
+
+let mk_recording n =
+  let rec_ = Memsim.Recording.create ~initial_capacity:64 () in
+  let sink = Memsim.Recording.sink rec_ in
+  let st = Random.State.make [| n; 0x60 |] in
+  for _ = 1 to n do
+    let addr = Random.State.int st 16384 * 4 in
+    let kind =
+      match Random.State.int st 3 with
+      | 0 -> Memsim.Trace.Read
+      | 1 -> Memsim.Trace.Write
+      | _ -> Memsim.Trace.Alloc_write
+    in
+    let phase =
+      if Random.State.int st 5 = 0 then Memsim.Trace.Collector
+      else Memsim.Trace.Mutator
+    in
+    sink.Memsim.Trace.access addr kind phase
+  done;
+  rec_
+
+let grid_configs =
+  Memsim.Sweep.grid
+    ~cache_sizes:[ 4096; 16384 ] ~block_sizes:[ 32; 64 ] ()
+
+let sweep_results sweep =
+  List.map (fun (_, s) -> s) (Memsim.Sweep.results sweep)
+
+exception Killed
+
+(* Replay with a checkpoint every [every] events, raising Killed from
+   the progress callback after [kill_after] checkpoints — then resume
+   with a fresh sweep (fresh process state) until it completes.  The
+   final statistics must be bit-identical to an uninterrupted serial
+   run, however often it died. *)
+let run_with_kills ~jobs ~every ~kill_after recording =
+  with_tmp ".ckpt" (fun ck ->
+      let finished = ref None in
+      while !finished = None do
+        let sweep = Memsim.Sweep.create grid_configs in
+        let seen = ref 0 in
+        let progress cursor =
+          incr seen;
+          if !seen > kill_after && cursor < Memsim.Recording.length recording
+          then raise Killed
+        in
+        match
+          Memsim.Sweep.run_resumable ~jobs ~checkpoint_every:every ~progress
+            ~checkpoint:ck sweep recording
+        with
+        | () -> finished := Some (sweep_results sweep)
+        | exception Killed -> ()
+      done;
+      Option.get !finished)
+
+let test_resume_equals_uninterrupted () =
+  let recording = mk_recording 50_000 in
+  let oracle = Memsim.Sweep.create grid_configs in
+  Memsim.Sweep.run_serial oracle recording;
+  let expected = sweep_results oracle in
+  List.iter
+    (fun (jobs, kill_after) ->
+      let got = run_with_kills ~jobs ~every:7_000 ~kill_after recording in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d killed-after=%d = uninterrupted" jobs
+           kill_after)
+        true (got = expected))
+    [ (1, 1); (1, 3); (2, 1); (4, 2) ]
+
+let test_resume_without_interruption () =
+  let recording = mk_recording 10_000 in
+  let oracle = Memsim.Sweep.create grid_configs in
+  Memsim.Sweep.run_serial oracle recording;
+  with_tmp ".ckpt" (fun ck ->
+      let sweep = Memsim.Sweep.create grid_configs in
+      Memsim.Sweep.run_resumable ~checkpoint_every:3_000 ~checkpoint:ck sweep
+        recording;
+      Alcotest.(check bool) "single pass = serial" true
+        (sweep_results sweep = sweep_results oracle);
+      (* the final checkpoint is on disk at cursor = length: running
+         again restores and replays nothing, same statistics *)
+      let again = Memsim.Sweep.create grid_configs in
+      Memsim.Sweep.run_resumable ~checkpoint_every:3_000 ~checkpoint:ck again
+        recording;
+      Alcotest.(check bool) "idempotent second pass" true
+        (sweep_results again = sweep_results oracle))
+
+let test_checkpoint_rejects_stale () =
+  let recording = mk_recording 5_000 in
+  with_tmp ".ckpt" (fun ck ->
+      let sweep = Memsim.Sweep.create grid_configs in
+      Memsim.Sweep.save_checkpoint sweep ~events:5_000 ~cursor:1_000 ck;
+      (* a recording of a different length *)
+      (match Memsim.Sweep.load_checkpoint sweep ~events:4_999 ck with
+       | exception Failure _ -> ()
+       | _ -> Alcotest.fail "expected Failure for a stale checkpoint");
+      (* a sweep with a different grid *)
+      let other =
+        Memsim.Sweep.create
+          (Memsim.Sweep.grid ~cache_sizes:[ 8192 ] ~block_sizes:[ 32 ] ())
+      in
+      (match Memsim.Sweep.load_checkpoint other ~events:5_000 ck with
+       | exception Failure _ -> ()
+       | _ -> Alcotest.fail "expected Failure for a foreign grid");
+      (* not a checkpoint at all *)
+      let oc = open_out ck in
+      output_string oc "junk";
+      close_out oc;
+      match
+        Memsim.Sweep.run_resumable ~checkpoint:ck sweep recording
+      with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected Failure for a corrupt checkpoint")
+
+(* --- Resilient trace I/O ------------------------------------------------- *)
+
+let plan faults ~attempt =
+  List.nth_opt faults (attempt - 1) |> Option.join
+
+let test_resilient_clean_save_load () =
+  let rec_ = mk_recording 3_000 in
+  with_tmp ".trace" (fun path ->
+      let saved = Golden.Resilient.save rec_ path in
+      Alcotest.(check bool) "save ok" true (Golden.Resilient.ok saved);
+      Alcotest.(check int) "one attempt" 1 saved.Golden.Resilient.attempts;
+      let loaded = Golden.Resilient.load path in
+      Alcotest.(check bool) "load ok" true (Golden.Resilient.ok loaded);
+      Alcotest.(check bool) "roundtrip" true
+        (Memsim.Recording.equal rec_
+           (Option.get loaded.Golden.Resilient.result)))
+
+let test_resilient_retries_transient () =
+  let rec_ = mk_recording 1_000 in
+  with_tmp ".trace" (fun path ->
+      let inject =
+        plan [ Some (Golden.Resilient.Transient "flaky disk"); None ]
+      in
+      let o = Golden.Resilient.save ~inject rec_ path in
+      Alcotest.(check bool) "recovered" true (Golden.Resilient.ok o);
+      Alcotest.(check int) "two attempts" 2 o.Golden.Resilient.attempts;
+      Alcotest.(check bool) "warning retained" true
+        (List.exists
+           (fun f -> f.Check.Finding.rule = "golden.io.transient")
+           o.Golden.Resilient.findings);
+      Alcotest.(check bool) "file is good" true
+        (Memsim.Recording.equal rec_ (Memsim.Recording.load path)))
+
+let test_resilient_survives_damage () =
+  let rec_ = mk_recording 1_000 in
+  List.iter
+    (fun (label, fault, rule) ->
+      with_tmp ".trace" (fun path ->
+          let o = Golden.Resilient.save ~inject:(plan [ Some fault; None ]) rec_ path in
+          Alcotest.(check bool) (label ^ ": recovered") true
+            (Golden.Resilient.ok o);
+          Alcotest.(check bool) (label ^ ": diagnosed") true
+            (List.exists (fun f -> f.Check.Finding.rule = rule)
+               o.Golden.Resilient.findings);
+          Alcotest.(check bool) (label ^ ": file is good") true
+            (Memsim.Recording.equal rec_ (Memsim.Recording.load path))))
+    [ ("enospc", Golden.Resilient.Enospc_at 100, "golden.io.enospc");
+      ("short write", Golden.Resilient.Short_write_at 64, "golden.io.verify");
+      ("bit rot", Golden.Resilient.Corrupt_byte_at 40, "golden.io.verify")
+    ]
+
+let test_resilient_never_tears_destination () =
+  let old_rec = mk_recording 500 in
+  let new_rec = mk_recording 2_000 in
+  with_tmp ".trace" (fun path ->
+      Memsim.Recording.save old_rec path;
+      (* every attempt dies: the previous file must survive intact *)
+      let inject ~attempt:_ = Some (Golden.Resilient.Corrupt_byte_at 16) in
+      let o = Golden.Resilient.save ~attempts:3 ~inject new_rec path in
+      Alcotest.(check bool) "save failed" false (Golden.Resilient.ok o);
+      Alcotest.(check int) "all attempts consumed" 3 o.Golden.Resilient.attempts;
+      Alcotest.(check bool) "exhaustion reported" true
+        (List.exists
+           (fun f -> f.Check.Finding.rule = "golden.io.exhausted")
+           o.Golden.Resilient.findings);
+      Alcotest.(check bool) "destination untouched" true
+        (Memsim.Recording.equal old_rec (Memsim.Recording.load path)))
+
+let test_resilient_load_retries_transient () =
+  let rec_ = mk_recording 800 in
+  with_tmp ".trace" (fun path ->
+      Memsim.Recording.save rec_ path;
+      let inject =
+        plan
+          [ Some (Golden.Resilient.Transient "cable wiggle");
+            Some (Golden.Resilient.Transient "again");
+            None
+          ]
+      in
+      let o = Golden.Resilient.load ~inject path in
+      Alcotest.(check bool) "recovered" true (Golden.Resilient.ok o);
+      Alcotest.(check int) "three attempts" 3 o.Golden.Resilient.attempts;
+      Alcotest.(check bool) "roundtrip" true
+        (Memsim.Recording.equal rec_ (Option.get o.Golden.Resilient.result)))
+
+let test_resilient_partial_recovery () =
+  let rec_ = mk_recording 2_000 in
+  with_tmp ".trace" (fun path ->
+      Memsim.Recording.save ~format:Memsim.Recording.V1 rec_ path;
+      (* cut the file mid-event: a deterministic structural fault *)
+      let full = (Unix.stat path).Unix.st_size in
+      Unix.truncate path (full - 13);
+      let o = Golden.Resilient.load path in
+      Alcotest.(check bool) "reported as a failure" false
+        (Golden.Resilient.ok o);
+      Alcotest.(check bool) "partial flagged" true
+        (List.exists
+           (fun f -> f.Check.Finding.rule = "golden.io.partial")
+           o.Golden.Resilient.findings);
+      match o.Golden.Resilient.result with
+      | None -> Alcotest.fail "expected a recovered prefix"
+      | Some partial ->
+        let n = Memsim.Recording.length partial in
+        Alcotest.(check bool) "a proper non-empty prefix" true
+          (n > 0 && n < 2_000);
+        for i = 0 to n - 1 do
+          if Memsim.Recording.event partial i <> Memsim.Recording.event rec_ i
+          then Alcotest.failf "prefix diverges at event %d" i
+        done;
+      (* without the fallback the same file is a hard error *)
+      let strict = Golden.Resilient.load ~allow_partial:false path in
+      Alcotest.(check bool) "strict load fails" false
+        (Golden.Resilient.ok strict);
+      Alcotest.(check bool) "strict load yields nothing" true
+        (strict.Golden.Resilient.result = None))
+
+(* --- Suite plumbing ------------------------------------------------------ *)
+
+let test_suite_record_verify_cycle () =
+  let dir = tmp_file "" in
+  let tiny =
+    { Golden.Manifest.version = Golden.Manifest.current_version;
+      runs = [ { smoke_run with Golden.Manifest.name = "tiny" } ]
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      let null = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+      Golden.Suite.record ~manifest:tiny ~dir null;
+      let vs = Golden.Suite.verify ~dir null in
+      Alcotest.(check int) "one run verified" 1 (List.length vs);
+      Alcotest.(check bool) "clean against itself" true
+        (List.for_all Golden.Suite.passed vs);
+      (* perturb the committed fixture: verify must fail and say where *)
+      let path = Golden.Suite.fixture_path ~dir "tiny" in
+      let fx = Golden.Fixture.load path in
+      Golden.Fixture.save
+        { fx with Golden.Fixture.trace_events = fx.trace_events + 1 }
+        path;
+      let vs = Golden.Suite.verify ~dir null in
+      Alcotest.(check bool) "perturbation caught" true
+        (List.exists (fun v -> not (Golden.Suite.passed v)) vs);
+      let findings = List.concat_map (fun v -> v.Golden.Suite.findings) vs in
+      Alcotest.(check bool) "located to the count" true
+        (List.exists (fun f -> f.Check.Finding.rule = "golden.count") findings))
+
+let () =
+  Alcotest.run "golden"
+    [ ( "manifest",
+        [ Alcotest.test_case "roundtrip" `Quick test_manifest_roundtrip;
+          Alcotest.test_case "bad version rejected" `Quick
+            test_manifest_rejects_bad_version;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_manifest_rejects_garbage
+        ] );
+      ( "fixture",
+        [ Alcotest.test_case "roundtrip" `Quick test_fixture_roundtrip;
+          Alcotest.test_case "self-compare is clean" `Quick
+            test_compare_self_clean;
+          Alcotest.test_case "count perturbation located" `Quick
+            test_compare_localizes_count;
+          Alcotest.test_case "cache counter perturbation located" `Quick
+            test_compare_localizes_cache_counter;
+          Alcotest.test_case "ratio tolerance band" `Quick
+            test_compare_ratio_band;
+          Alcotest.test_case "grid mismatch located" `Quick
+            test_compare_grid_mismatch;
+          Alcotest.test_case "manifest drift located" `Quick
+            test_compare_run_drift
+        ] );
+      ( "checkpoint",
+        [ Alcotest.test_case "kill-and-resume = uninterrupted" `Quick
+            test_resume_equals_uninterrupted;
+          Alcotest.test_case "uninterrupted and idempotent" `Quick
+            test_resume_without_interruption;
+          Alcotest.test_case "stale/foreign checkpoints rejected" `Quick
+            test_checkpoint_rejects_stale
+        ] );
+      ( "resilient",
+        [ Alcotest.test_case "clean save/load" `Quick
+            test_resilient_clean_save_load;
+          Alcotest.test_case "transient save fault retried" `Quick
+            test_resilient_retries_transient;
+          Alcotest.test_case "enospc/short-write/bit-rot survived" `Quick
+            test_resilient_survives_damage;
+          Alcotest.test_case "destination never torn" `Quick
+            test_resilient_never_tears_destination;
+          Alcotest.test_case "transient load fault retried" `Quick
+            test_resilient_load_retries_transient;
+          Alcotest.test_case "partial recovery of a damaged file" `Quick
+            test_resilient_partial_recovery
+        ] );
+      ( "suite",
+        [ Alcotest.test_case "record/verify/perturb cycle" `Quick
+            test_suite_record_verify_cycle
+        ] )
+    ]

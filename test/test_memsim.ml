@@ -398,6 +398,69 @@ let test_hierarchy_overhead () =
   let o = Memsim.Hierarchy.overhead h Memsim.Timing.Slow ~instructions:100 in
   Alcotest.(check (float 1e-9)) "overhead math" 0.13 o
 
+(* A pseudo-random event stream delivered per-event and via the packed
+   chunk codec must leave both levels in identical states: the chunked
+   path forces L1's per-event slow path so L2 ordering is exact. *)
+let test_hierarchy_chunk_equiv () =
+  let events =
+    let st = Random.State.make [| 0x4c32 |] in
+    List.init 4096 (fun _ ->
+        let addr = Random.State.int st 8192 * 4 in
+        let kind =
+          match Random.State.int st 3 with
+          | 0 -> Memsim.Trace.Read
+          | 1 -> Memsim.Trace.Write
+          | _ -> Memsim.Trace.Alloc_write
+        in
+        let phase = if Random.State.int st 4 = 0 then collector else mutator in
+        (addr, kind, phase))
+  in
+  let per_event = mk_hierarchy () in
+  List.iter (fun (a, k, p) -> Memsim.Hierarchy.access per_event a k p) events;
+  let chunked = mk_hierarchy () in
+  let buf = Array.make 512 0 in
+  let n = ref 0 in
+  let flush () =
+    Memsim.Hierarchy.access_chunk chunked buf 0 !n;
+    n := 0
+  in
+  List.iter
+    (fun (a, k, p) ->
+      buf.(!n) <- Memsim.Chunk.pack a k p;
+      incr n;
+      if !n = 512 then flush ())
+    events;
+  flush ();
+  Alcotest.(check bool) "L1 stats equal" true
+    (Memsim.Hierarchy.l1_stats per_event = Memsim.Hierarchy.l1_stats chunked);
+  Alcotest.(check bool) "L2 stats equal" true
+    (Memsim.Hierarchy.l2_stats per_event = Memsim.Hierarchy.l2_stats chunked)
+
+(* A dirty line evicted from L1 lands in L2 dirty; evicting it from L2
+   in turn must count an L2 write-back (the dirt propagates down the
+   hierarchy, not evaporates). *)
+let test_hierarchy_writeback_propagation () =
+  let h =
+    Memsim.Hierarchy.create
+      (Memsim.Hierarchy.config
+         ~l1:(Memsim.Cache.config ~size_bytes:128 ~block_bytes:64 ())
+         ~l2:(Memsim.Cache.config ~size_bytes:256 ~block_bytes:64 ())
+         ())
+  in
+  (* dirty block 0 in L1, evict it to L2 via the conflicting read at
+     128 (L1 has 2 sets of 64b)... *)
+  Memsim.Hierarchy.access h 0 Memsim.Trace.Write mutator;
+  Memsim.Hierarchy.access h 128 Memsim.Trace.Read mutator;
+  Alcotest.(check int) "L1 evicted the dirty block" 1
+    (Memsim.Hierarchy.l1_stats h).Memsim.Cache.writebacks;
+  Alcotest.(check int) "L2 still clean" 0
+    (Memsim.Hierarchy.l2_stats h).Memsim.Cache.writebacks;
+  (* ...then knock the written-back block out of L2 (4 sets of 64b:
+     256 conflicts with 0) through reads that miss both levels *)
+  Memsim.Hierarchy.access h 256 Memsim.Trace.Read mutator;
+  Alcotest.(check int) "L2 wrote the dirty block back to memory" 1
+    (Memsim.Hierarchy.l2_stats h).Memsim.Cache.writebacks
+
 let test_hierarchy_validation () =
   match
     Memsim.Hierarchy.create
@@ -408,6 +471,60 @@ let test_hierarchy_validation () =
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* --- Snapshot / restore -------------------------------------------------- *)
+
+let random_events seed n =
+  let st = Random.State.make [| seed |] in
+  List.init n (fun _ ->
+      let addr = Random.State.int st 4096 * 4 in
+      let kind =
+        match Random.State.int st 3 with
+        | 0 -> Memsim.Trace.Read
+        | 1 -> Memsim.Trace.Write
+        | _ -> Memsim.Trace.Alloc_write
+      in
+      let phase = if Random.State.int st 4 = 0 then collector else mutator in
+      (addr, kind, phase))
+
+(* Snapshotting mid-stream and restoring into a fresh cache must make
+   the remainder of the stream land identically: contents, per-word
+   validity, dirt and counters all survive the round-trip. *)
+let test_snapshot_roundtrip () =
+  let first = random_events 0x5afe 2000 and rest = random_events 0xcafe 2000 in
+  let live = mk ~block_stats:true () in
+  List.iter (fun (a, k, p) -> Memsim.Cache.access live a k p) first;
+  let buf = Buffer.create 0 in
+  Memsim.Cache.snapshot live buf;
+  Alcotest.(check int) "declared snapshot size" (Memsim.Cache.snapshot_bytes live)
+    (Buffer.length buf);
+  let restored = mk ~block_stats:true () in
+  let next = Memsim.Cache.restore restored (Buffer.to_bytes buf) 0 in
+  Alcotest.(check int) "restore consumed it all" (Buffer.length buf) next;
+  Alcotest.(check bool) "counters survive" true (stats live = stats restored);
+  List.iter
+    (fun (a, k, p) ->
+      Memsim.Cache.access live a k p;
+      Memsim.Cache.access restored a k p)
+    rest;
+  Alcotest.(check bool) "identical continuation" true
+    (stats live = stats restored)
+
+let test_snapshot_geometry_guard () =
+  let buf = Buffer.create 0 in
+  Memsim.Cache.snapshot (mk ~size:1024 ~block:64 ()) buf;
+  let b = Buffer.to_bytes buf in
+  (match Memsim.Cache.restore (mk ~size:2048 ~block:64 ()) b 0 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected Invalid_argument on a size mismatch");
+  (match Memsim.Cache.restore (mk ~size:1024 ~block:32 ()) b 0 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected Invalid_argument on a block mismatch");
+  match
+    Memsim.Cache.restore (mk ~size:1024 ~block:64 ()) (Bytes.sub b 0 40) 0
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on truncation"
 
 (* --- Recording ----------------------------------------------------------- *)
 
@@ -1010,7 +1127,11 @@ let () =
           Alcotest.test_case "per-block stats guard" `Quick test_block_stats_guard;
           Alcotest.test_case "miss hook" `Quick test_miss_hook;
           Alcotest.test_case "reset keeps contents" `Quick test_reset;
-          Alcotest.test_case "create validation" `Quick test_create_validation
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "snapshot/restore roundtrip" `Quick
+            test_snapshot_roundtrip;
+          Alcotest.test_case "snapshot geometry guard" `Quick
+            test_snapshot_geometry_guard
         ] );
       ( "sweep",
         [ Alcotest.test_case "fan-out" `Quick test_sweep;
@@ -1039,6 +1160,10 @@ let () =
         [ Alcotest.test_case "refill path" `Quick test_hierarchy_refill;
           Alcotest.test_case "write-back path" `Quick
             test_hierarchy_writeback_path;
+          Alcotest.test_case "chunked delivery = per-event" `Quick
+            test_hierarchy_chunk_equiv;
+          Alcotest.test_case "write-back propagates to memory" `Quick
+            test_hierarchy_writeback_propagation;
           Alcotest.test_case "overhead math" `Quick test_hierarchy_overhead;
           Alcotest.test_case "validation" `Quick test_hierarchy_validation
         ] );
