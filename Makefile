@@ -1,7 +1,7 @@
 # Convenience targets; CI runs `make check`.
 
 .PHONY: all build test test-parallel test-fastpath bench lint check-recordings \
-  golden golden-record check untracked-build clean
+  check-profile golden golden-record check untracked-build clean
 
 all: build
 
@@ -50,6 +50,28 @@ check-recordings:
 	dune exec bin/repro.exe -- check --gc cheney:1m "$$tmp/lred-gc.v2"
 	@echo "check-recordings: ok"
 
+# The attribution pipeline end to end, serial and with worker domains:
+# record with a sidecar, profile the saved trace (sampled, parallel),
+# profile a live run, and statically verify the sidecar alongside its
+# trace.  Exercises `repro profile` the way CI publishes it.
+check-profile:
+	dune build
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	set -e; \
+	dune exec bin/repro.exe -- record lred --scale 1 --gc cheney:1m \
+	  -o "$$tmp/lred.v2" --attr "$$tmp/lred.attr"; \
+	dune exec bin/repro.exe -- check --gc cheney:1m "$$tmp/lred.v2" "$$tmp/lred.attr"; \
+	dune exec bin/repro.exe -- profile --trace "$$tmp/lred.v2" --attr "$$tmp/lred.attr" \
+	  --cache 64k --block 32 --json "$$tmp/lred.json" --folded "$$tmp/lred.folded" \
+	  --no-heatmap > /dev/null; \
+	REPRO_JOBS=2 dune exec bin/repro.exe -- profile --trace "$$tmp/lred.v2" \
+	  --attr "$$tmp/lred.attr" --cache 256k --block 32 --sample 8 \
+	  --no-heatmap > /dev/null; \
+	dune exec bin/repro.exe -- profile nbody --scale 1 --gc cheney:256k \
+	  --cache 64k --block 32 --json "$$tmp/nbody.json" > /dev/null; \
+	test -s "$$tmp/lred.json" && test -s "$$tmp/lred.folded" && test -s "$$tmp/nbody.json"
+	@echo "check-profile: ok"
+
 # The golden regression gate: re-measure every run in golden/manifest.sexp
 # and compare against the committed fixtures.  Exact counters must match
 # bit-for-bit; derived ratios within a 1e-9 relative band.
@@ -70,7 +92,7 @@ untracked-build:
 	  echo "error: $$n file(s) under _build/ are tracked by git"; exit 1; \
 	fi
 
-check: build test lint test-parallel test-fastpath check-recordings golden untracked-build
+check: build test lint test-parallel test-fastpath check-recordings check-profile golden untracked-build
 	@echo "check: ok"
 
 clean:

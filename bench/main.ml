@@ -286,6 +286,75 @@ let measure_sweep () =
         ("identical_stats", Obs.Json.Bool identical)
       ] )
 
+(* Attribution overhead: the same recording through the same cache
+   column plain, fully attributed, and 1-in-8 sampled.  Aggregate
+   statistics must be bit-identical across all three (sampling only
+   thins the attribution, never the simulation); the ratios are the
+   price of per-event region/site/heat accounting on the fast path. *)
+let measure_attribution () =
+  let w = Workloads.Workload.nbody in
+  let table = Memsim.Attr.create () in
+  let r, recording = Core.Runner.record ~scale:1 ~attr:table w in
+  let addr_limit =
+    Vscheme.Mem.size_words (Vscheme.Machine.mem r.Core.Runner.machine)
+    * Memsim.Trace.word_bytes
+  in
+  let events = Memsim.Recording.length recording in
+  let configs =
+    Memsim.Sweep.grid ~cache_sizes:Memsim.Sweep.paper_cache_sizes
+      ~block_sizes:[ 32 ] ()
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let plain_sw = Memsim.Sweep.create configs in
+  let plain_s = time (fun () -> Memsim.Sweep.run_serial plain_sw recording) in
+  let attr_sw = Memsim.Sweep.create configs in
+  let attr_s =
+    time (fun () ->
+        ignore (Memsim.Sweep.run_attributed ~addr_limit attr_sw table recording))
+  in
+  let sampled_sw = Memsim.Sweep.create configs in
+  let sampled_s =
+    time (fun () ->
+        ignore
+          (Memsim.Sweep.run_attributed ~sample_every:8 ~addr_limit sampled_sw
+             table recording))
+  in
+  let identical =
+    Memsim.Sweep.results plain_sw = Memsim.Sweep.results attr_sw
+    && Memsim.Sweep.results plain_sw = Memsim.Sweep.results sampled_sw
+  in
+  if not identical then
+    failwith "attribution-overhead: statistics diverged from plain replay";
+  let caches = List.length configs in
+  let ratio_full = attr_s /. plain_s in
+  let ratio_sampled = sampled_s /. plain_s in
+  Format.fprintf ppf
+    "@.==== attribution-overhead (%s, %d events, %d caches) ====@."
+    w.Workloads.Workload.name events caches;
+  Format.fprintf ppf
+    "plain %.3fs   attributed %.3fs (%.2fx)   sampled 1-in-8 %.3fs (%.2fx)   \
+     stats identical@."
+    plain_s attr_s ratio_full sampled_s ratio_sampled;
+  ( "attribution-overhead",
+    Obs.Json.Obj
+      [ ("workload", Obs.Json.Str w.Workloads.Workload.name);
+        ("events", Obs.Json.Int events);
+        ("caches", Obs.Json.Int caches);
+        ("sites", Obs.Json.Int (Memsim.Attr.num_sites table));
+        ("epochs", Obs.Json.Int (Memsim.Attr.num_epochs table));
+        ("plain_s", Obs.Json.Float plain_s);
+        ("attributed_s", Obs.Json.Float attr_s);
+        ("sampled_s", Obs.Json.Float sampled_s);
+        ("sample_every", Obs.Json.Int 8);
+        ("overhead_full", Obs.Json.Float ratio_full);
+        ("overhead_sampled", Obs.Json.Float ratio_sampled);
+        ("identical_stats", Obs.Json.Bool identical)
+      ] )
+
 (* On-disk formats: save/load one real trace in fixed-width v1 and
    varint+delta v2, verifying both round trips, and report sizes,
    wall times, and the v1/v2 compression ratio. *)
@@ -400,7 +469,8 @@ let () =
     if skip_perf then []
     else
       trace_append_entry results
-      @ [ measure_sweep (); measure_recording_formats () ]
+      @ [ measure_sweep (); measure_attribution ();
+          measure_recording_formats () ]
   in
   write_bench_metrics results (sweep_gauges () @ extra);
   Format.pp_print_flush ppf ()

@@ -258,7 +258,7 @@ let run_targets targets cache_bytes block_bytes policy gc scale metrics
 
 (* --- record / replay ----------------------------------------------------- *)
 
-let record name out_path scale format gc heap_bytes =
+let record name out_path scale format gc heap_bytes attr_out =
   match Workloads.Workload.find name with
   | None ->
     Format.eprintf "unknown workload %S (try `repro workloads')@." name;
@@ -266,7 +266,8 @@ let record name out_path scale format gc heap_bytes =
   | Some w ->
     (* Fast path: the memory appends packed events straight into the
        recording, no per-event closure. *)
-    let r, recording = Core.Runner.record ~gc ?heap_bytes ?scale w in
+    let table = Option.map (fun _ -> Memsim.Attr.create ()) attr_out in
+    let r, recording = Core.Runner.record ~gc ?heap_bytes ?scale ?attr:table w in
     Memsim.Recording.save ~format recording out_path;
     let bytes = (Unix.stat out_path).Unix.st_size in
     Format.fprintf ppf
@@ -278,6 +279,15 @@ let record name out_path scale format gc heap_bytes =
        | Memsim.Recording.V2 -> "v2")
       (float_of_int bytes
        /. float_of_int (max 1 (Memsim.Recording.length recording)));
+    (match (attr_out, table) with
+     | Some path, Some t ->
+       Memsim.Attr.save t path;
+       Format.fprintf ppf
+         "wrote attribution sidecar to %s (%d region epochs, %d sites); \
+          `repro profile --trace %s --attr %s' replays it@."
+         path (Memsim.Attr.num_epochs t) (Memsim.Attr.num_sites t) out_path
+         path
+     | _ -> ());
     0
 
 let replay path cache_bytes block_bytes policy checkpoint checkpoint_every =
@@ -346,6 +356,9 @@ let stats_of_trace path cache_bytes block_bytes policy metrics trace_events =
       Core.Telemetry.create
         ~timeline:(Core.Telemetry.of_recording recording) ()
     in
+    (* Pause-size percentiles (p50/p90/p99 of collector refs per
+       collection) ride the gc.pause_refs histogram. *)
+    Core.Telemetry.observe_gc_pauses t;
     Core.Telemetry.set_meta t "trace" (Obs.Json.Str path);
     Core.Telemetry.set_meta t "trace_events"
       (Obs.Json.Int (Memsim.Recording.length recording));
@@ -419,8 +432,12 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
       else Some (check_geometry gc heap_bytes static_bytes stack_bytes)
     in
     let is_doc f = Filename.check_suffix f ".json" in
-    let traces = List.filter (fun f -> not (is_doc f)) files in
+    let is_attr f = Filename.check_suffix f ".attr" in
+    let traces =
+      List.filter (fun f -> not (is_doc f) && not (is_attr f)) files
+    in
     let docs = List.filter is_doc files in
+    let attrs = List.filter is_attr files in
     (* Expectations from a telemetry document cross-check the trace's
        phase tallies — but only when exactly one trace is given. *)
     let doc_results =
@@ -453,11 +470,28 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
           (f, scan, summary, stream_findings))
         traces
     in
+    (* An attribution sidecar's positions are bounded by its
+       recording's event count — known when exactly one trace is on
+       the command line. *)
+    let trace_event_count =
+      match trace_results with
+      | [ (_, scan, _, _) ] ->
+        Option.map Memsim.Recording.length scan.Check.Trace_file.recording
+      | _ -> None
+    in
+    let attr_results =
+      List.map
+        (fun f -> (f, Check.Attr_check.scan ?events:trace_event_count f))
+        attrs
+    in
     let all_findings =
       List.concat_map (fun (_, (_, fs)) -> fs) doc_results
       @ List.concat_map
           (fun (_, scan, _, fs) -> scan.Check.Trace_file.findings @ fs)
           trace_results
+      @ List.concat_map
+          (fun (_, r) -> r.Check.Attr_check.findings)
+          attr_results
     in
     List.iter (fun f -> Format.fprintf ppf "%a@." Check.Finding.pp f)
       all_findings;
@@ -487,6 +521,18 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
         if not (Check.Finding.has_errors fs) then
           Format.fprintf ppf "%s: ok: telemetry document@." f)
       doc_results;
+    List.iter
+      (fun (f, r) ->
+        if not (Check.Finding.has_errors r.Check.Attr_check.findings) then
+          match r.Check.Attr_check.table with
+          | Some t ->
+            Format.fprintf ppf
+              "%s: ok: attribution table (%d region epochs, %d site runs, %d \
+               sites)@."
+              f (Memsim.Attr.num_epochs t) (Memsim.Attr.num_runs t)
+              (Memsim.Attr.num_sites t)
+          | None -> Format.fprintf ppf "%s: ok@." f)
+      attr_results;
     (match json_out with
      | None -> ()
      | Some path ->
@@ -511,12 +557,20 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
              ("findings", Check.Finding.list_to_json fs)
            ]
        in
+       let attr_json (f, r) =
+         Obs.Json.Obj
+           [ ("file", Obs.Json.Str f);
+             ("findings",
+              Check.Finding.list_to_json r.Check.Attr_check.findings)
+           ]
+       in
        let doc =
          Obs.Json.Obj
            [ ("files",
               Obs.Json.List
                 (List.map file_json trace_results
-                 @ List.map doc_json doc_results))
+                 @ List.map doc_json doc_results
+                 @ List.map attr_json attr_results))
            ]
        in
        let out = Obs.Json.to_pretty_string doc in
@@ -531,6 +585,212 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
          Format.fprintf ppf "wrote findings to %s@." path
        end);
     if Check.Finding.has_errors all_findings then 1 else 0
+  end
+
+(* --- profile: cache-miss attribution ------------------------------------- *)
+
+let write_text path content done_msg =
+  if path = "-" then begin
+    print_string content;
+    0
+  end
+  else
+    try
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc content);
+      Format.fprintf ppf "%s@." done_msg;
+      0
+    with Sys_error msg ->
+      Format.eprintf "repro: %s@." msg;
+      1
+
+(* Address-space size for a loaded sidecar: the largest bound any
+   epoch ever published (the heap publishes its full window, so this
+   covers the dynamic area). *)
+let addr_limit_of_table (t : Memsim.Attr.table) =
+  let limit = ref 1 in
+  for i = 0 to t.Memsim.Attr.n_epochs - 1 do
+    limit := max !limit t.Memsim.Attr.epoch_to_hi.(i);
+    limit := max !limit t.Memsim.Attr.epoch_from_hi.(i);
+    limit := max !limit t.Memsim.Attr.epoch_dyn_lo.(i)
+  done;
+  !limit
+
+let render_profile ppf (p : Obs.Profile.t) ~heatmap =
+  Format.fprintf ppf "%s on %s: %s events, %s misses%s@." p.Obs.Profile.workload
+    p.Obs.Profile.cache
+    (Core.Report.eng p.Obs.Profile.events)
+    (Core.Report.eng (Obs.Profile.total_misses p))
+    (if p.Obs.Profile.sample_every = 1 then ""
+     else
+       Printf.sprintf " (sampled: %d of %d chunks attributed)"
+         p.Obs.Profile.chunks_attributed p.Obs.Profile.chunks_seen);
+  Core.Report.table ppf
+    ~headers:
+      [ "region"; "phase"; "refs"; "misses"; "alloc misses"; "fetches";
+        "writebacks" ]
+    ~rows:
+      (List.filter_map
+         (fun (c : Obs.Profile.cell) ->
+           if c.Obs.Profile.refs = 0 && c.Obs.Profile.writebacks = 0 then None
+           else
+             Some
+               [ c.Obs.Profile.region; c.Obs.Profile.phase;
+                 Core.Report.eng c.Obs.Profile.refs;
+                 Core.Report.eng c.Obs.Profile.misses;
+                 Core.Report.eng c.Obs.Profile.alloc_misses;
+                 Core.Report.eng c.Obs.Profile.fetches;
+                 Core.Report.eng c.Obs.Profile.writebacks
+               ])
+         p.Obs.Profile.cells);
+  (match Obs.Profile.top_sites ~n:5 p with
+   | [] -> ()
+   | top ->
+     Format.fprintf ppf "@.top allocation sites by allocation misses:@.";
+     Core.Report.table ppf
+       ~headers:[ "site"; "alloc misses"; "alloc writes" ]
+       ~rows:
+         (List.map
+            (fun (s : Obs.Profile.site) ->
+              [ s.Obs.Profile.site;
+                Core.Report.eng s.Obs.Profile.alloc_misses;
+                Core.Report.eng s.Obs.Profile.alloc_writes
+              ])
+            top));
+  if heatmap then begin
+    let h = p.Obs.Profile.heat in
+    Format.fprintf ppf
+      "@.miss map (rows: %a of address space from 0; columns: %s trace \
+       events):@."
+      Memsim.Sweep.pp_size h.Obs.Profile.row_bytes
+      (Core.Report.eng h.Obs.Profile.col_events);
+    Analysis.Heatmap.render ppf ~rows:h.Obs.Profile.rows
+      ~cols:h.Obs.Profile.cols
+      ~row_label:(fun r ->
+        Format.asprintf "%a " Memsim.Sweep.pp_size (r * h.Obs.Profile.row_bytes))
+      h.Obs.Profile.counts;
+    Format.fprintf ppf "@.misses by region over time:@.";
+    let nregions = Array.length Obs.Profile.region_names in
+    (* region_time is column-major for the replay loop; transpose for
+       the row-per-region render. *)
+    let by_region = Array.make (nregions * h.Obs.Profile.cols) 0 in
+    for c = 0 to h.Obs.Profile.cols - 1 do
+      for r = 0 to nregions - 1 do
+        by_region.((r * h.Obs.Profile.cols) + c) <-
+          p.Obs.Profile.region_time.((c * nregions) + r)
+      done
+    done;
+    Analysis.Heatmap.render ppf ~rows:nregions ~cols:h.Obs.Profile.cols
+      ~row_label:(fun r -> Obs.Profile.region_names.(r) ^ " ")
+      by_region
+  end
+
+let profile_target name trace attr_path cache_bytes block_bytes policy gc
+    heap_bytes scale sample_every heat_rows heat_cols json_out folded_out
+    trace_events no_heatmap jobs =
+  Option.iter Core.Runner.set_jobs jobs;
+  if sample_every < 1 then begin
+    Format.eprintf "profile: --sample must be at least 1@.";
+    1
+  end
+  else begin
+    let source =
+      match (name, trace, attr_path) with
+      | Some n, None, None -> (
+        match Workloads.Workload.find n with
+        | None ->
+          Error (Printf.sprintf "unknown workload %S (try `repro workloads')" n)
+        | Some w -> Ok (`Run w))
+      | None, Some tr, Some at -> Ok (`Saved (tr, at))
+      | None, Some _, None ->
+        Error "profile: --trace needs --attr (the sidecar from `repro record \
+               --attr')"
+      | _ ->
+        Error "profile: give either WORKLOAD or --trace FILE --attr FILE"
+    in
+    match source with
+    | Error msg ->
+      Format.eprintf "%s@." msg;
+      1
+    | Ok source ->
+      let loaded =
+        match source with
+        | `Run w -> (
+          match Core.Profile.capture ~gc ?heap_bytes ?scale w with
+          | r, recording, table, addr_limit ->
+            Ok (w.Workloads.Workload.name, recording, table, addr_limit,
+                Some r)
+          | exception Vscheme.Heap.Out_of_memory msg ->
+            Error ("out of memory: " ^ msg))
+        | `Saved (tr, at) -> (
+          match (Memsim.Recording.load tr, Memsim.Attr.load at) with
+          | recording, table ->
+            Ok (Filename.remove_extension (Filename.basename tr), recording,
+                table, addr_limit_of_table table, None)
+          | exception Sys_error msg | exception Failure msg ->
+            Error ("profile: " ^ msg))
+      in
+      match loaded with
+      | Error msg ->
+        Format.eprintf "%s@." msg;
+        1
+      | Ok (workload, recording, table, addr_limit, _run) ->
+        let caches =
+          [ Memsim.Cache.config ~write_miss_policy:policy
+              ~size_bytes:cache_bytes ~block_bytes ()
+          ]
+        in
+        let p =
+          match
+            Core.Profile.profile_recording ~sample_every ?heat_rows ?heat_cols
+              ~workload ~addr_limit ~caches table recording
+          with
+          | [ p ] -> p
+          | profiles ->
+            Printf.ksprintf failwith
+              "profile: expected one profile for one cache, got %d"
+              (List.length profiles)
+        in
+        render_profile ppf p ~heatmap:(not no_heatmap);
+        let rc_json =
+          match json_out with
+          | None -> 0
+          | Some path ->
+            write_text path
+              (Obs.Json.to_pretty_string (Obs.Profile.to_json p) ^ "\n")
+              (Printf.sprintf "wrote profile to %s" path)
+        in
+        let rc_folded =
+          match folded_out with
+          | None -> 0
+          | Some path ->
+            write_text path
+              (Obs.Profile.collapsed_stacks p)
+              (Printf.sprintf
+                 "wrote collapsed stacks to %s (feed to flamegraph.pl)" path)
+        in
+        let rc_trace =
+          match trace_events with
+          | None -> 0
+          | Some path ->
+            (* Reconstructed GC spans plus per-region miss counter
+               tracks, aligned on trace-event indices. *)
+            let tl = Core.Telemetry.of_recording recording in
+            Obs.Profile.overlay p tl;
+            (try
+               Obs.Events.write_chrome_trace tl path;
+               Format.fprintf ppf
+                 "wrote trace events with miss overlays to %s (load in \
+                  Perfetto)@."
+                 path;
+               0
+             with Sys_error msg ->
+               Format.eprintf "repro: %s@." msg;
+               1)
+        in
+        max rc_json (max rc_folded rc_trace)
   end
 
 (* --- Command definitions ------------------------------------------------ *)
@@ -660,9 +920,18 @@ let record_cmd =
              ~doc:"Dynamic-area capacity (default 48M times \
                    \\$(b,REPRO_SCALE))")
   in
+  let attr =
+    Arg.(value & opt (some string) None
+         & info [ "attr" ] ~docv:"FILE"
+             ~doc:"Also capture the attribution side table (region-map \
+                   epochs, allocation sites) and save it to $(docv); \
+                   `repro profile --trace ... --attr $(docv)' replays the \
+                   saved trace fully attributed")
+  in
   Cmd.v
     (Cmd.info "record" ~doc:"Record a workload's reference trace to a file")
-    Term.(const record $ workload_arg $ out $ scale $ format $ gc_arg $ heap)
+    Term.(const record $ workload_arg $ out $ scale $ format $ gc_arg $ heap
+          $ attr)
 
 let replay_cmd =
   let path =
@@ -747,6 +1016,78 @@ let check_cmd =
              against the stream.  Exits 1 on any error finding")
     Term.(const check_files $ files $ gc_arg $ heap $ static $ stack $ raw
           $ json_out)
+
+let profile_cmd =
+  let workload =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"Workload to run and profile (omit when replaying a saved \
+                   trace with --trace/--attr)")
+  in
+  let trace =
+    Arg.(value & opt (some file) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Saved recording to profile instead of running a workload \
+                   (requires --attr)")
+  in
+  let attr =
+    Arg.(value & opt (some file) None
+         & info [ "attr" ] ~docv:"FILE"
+             ~doc:"Attribution sidecar from `repro record --attr'")
+  in
+  let heap =
+    Arg.(value & opt (some size_conv) None
+         & info [ "heap" ] ~docv:"SIZE"
+             ~doc:"Dynamic-area capacity (default 48M times \
+                   \\$(b,REPRO_SCALE))")
+  in
+  let sample =
+    Arg.(value & opt int 1
+         & info [ "sample" ] ~docv:"N"
+             ~doc:"Attribute only every $(docv)th chunk of the trace; the \
+                   rest replay through the plain fast path, so aggregate \
+                   cache statistics stay exact while attribution overhead \
+                   drops")
+  in
+  let heat_rows =
+    Arg.(value & opt (some int) None
+         & info [ "heat-rows" ] ~docv:"N"
+             ~doc:"Address buckets in the miss map (default 32)")
+  in
+  let heat_cols =
+    Arg.(value & opt (some int) None
+         & info [ "heat-cols" ] ~docv:"N"
+             ~doc:"Time buckets in the miss map (default 64)")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the full profile as JSON to $(docv) (`-' for \
+                   stdout): region x phase cells, ranked allocation sites, \
+                   heat and region-time grids")
+  in
+  let folded =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Write collapsed-stack lines (workload;site weight) to \
+                   $(docv) (`-' for stdout), ready for flamegraph.pl or \
+                   speedscope")
+  in
+  let no_heatmap =
+    Arg.(value & flag
+         & info [ "no-heatmap" ] ~doc:"Skip the ASCII miss-map rendering")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Attribute every cache miss, fetch and write-back of a workload \
+             (or saved trace) to its heap region, GC phase and allocation \
+             site, on the chunked sweep fast path.  Prints region x phase \
+             and top-site tables plus an ASCII miss map; exports JSON, \
+             flamegraph folds and Chrome-trace miss overlays")
+    Term.(const profile_target $ workload $ trace $ attr $ cache_arg
+          $ block_arg $ policy_arg $ gc_arg $ heap $ scale_arg $ sample
+          $ heat_rows $ heat_cols $ json $ folded $ trace_events_arg
+          $ no_heatmap $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* golden                                                             *)
@@ -841,6 +1182,6 @@ let main =
        ~doc:"Cache Performance of Garbage-Collected Programs (PLDI 1994), \
              reproduced")
     [ experiments_cmd; run_cmd; scheme_cmd; workloads_cmd; simulate_cmd;
-      record_cmd; replay_cmd; stats_cmd; check_cmd; golden_cmd ]
+      record_cmd; replay_cmd; stats_cmd; profile_cmd; check_cmd; golden_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -49,7 +49,7 @@ let layout machine ~dynamic_base =
   words * Memsim.Trace.word_bytes
 
 let run ?(gc = Vscheme.Machine.No_gc) ?heap_bytes ?(pathological_layout = false)
-    ?(sinks = []) ?events ?scale ?record ?(direct = true) w =
+    ?(sinks = []) ?events ?scale ?record ?(direct = true) ?attr w =
   let heap_bytes =
     match heap_bytes with
     | Some b -> b
@@ -86,7 +86,8 @@ let run ?(gc = Vscheme.Machine.No_gc) ?heap_bytes ?(pathological_layout = false)
       pathological_layout;
       sink;
       telemetry = events;
-      record = (if use_direct then record else None)
+      record = (if use_direct then record else None);
+      attr = (if use_direct then attr else None)
     }
   in
   let mark kind name =
@@ -119,11 +120,11 @@ let run ?(gc = Vscheme.Machine.No_gc) ?heap_bytes ?(pathological_layout = false)
   }
 
 let record ?gc ?heap_bytes ?pathological_layout ?(sinks = []) ?events ?scale
-    ?(direct = true) w =
+    ?(direct = true) ?attr w =
   let recording = Memsim.Recording.create () in
   let r =
     run ?gc ?heap_bytes ?pathological_layout ~sinks ?events ?scale
-      ~record:recording ~direct w
+      ~record:recording ~direct ?attr w
   in
   (r, recording)
 

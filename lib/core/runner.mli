@@ -48,6 +48,7 @@ val run :
   ?scale:int ->
   ?record:Memsim.Recording.t ->
   ?direct:bool ->
+  ?attr:Memsim.Attr.table ->
   Workloads.Workload.t ->
   result
 (** Run a workload to completion.  [scale] defaults to
@@ -63,7 +64,13 @@ val run :
     into recording slabs, no per-event closure, and the
     mutator/collector reference split comes from phase-flip counters;
     otherwise the recording is one more sink on the generic tee.
-    Both paths yield bit-identical recordings and counts. *)
+    Both paths yield bit-identical recordings and counts.
+
+    [attr], when given alongside a direct [record], is kept in step
+    with the run: the heap publishes region-map epochs and the VM
+    stamps allocation sites into it, keyed by recording position
+    (see {!Memsim.Attr}).  It is silently dropped on the closure-sink
+    path, whose positions would not match. *)
 
 val record :
   ?gc:Vscheme.Machine.gc_spec ->
@@ -73,6 +80,7 @@ val record :
   ?events:Obs.Events.timeline ->
   ?scale:int ->
   ?direct:bool ->
+  ?attr:Memsim.Attr.table ->
   Workloads.Workload.t ->
   result * Memsim.Recording.t
 (** Like {!run} with a fresh [record]: run the workload once and

@@ -80,6 +80,30 @@ let write_metrics t path =
 
 let write_chrome_trace t path = Obs.Events.write_chrome_trace t.timeline path
 
+let write_events_jsonl t path = Obs.Events.write_jsonl t.timeline path
+
+(* GC pause sizes (in collector references) land in a log-spaced
+   histogram so stats exports carry p50/p90/p99 pause figures, not just
+   the total. *)
+let pause_buckets =
+  [| 1e2; 3e2; 1e3; 3e3; 1e4; 3e4; 1e5; 3e5; 1e6; 3e6; 1e7 |]
+
+let observe_gc_pauses t =
+  let h =
+    Obs.Metrics.histogram t.registry "gc.pause_refs" ~buckets:pause_buckets
+      ~help:"collector references per completed collection"
+  in
+  Obs.Events.iter t.timeline (fun e ->
+      if e.Obs.Events.kind = Obs.Events.End && e.Obs.Events.name = "gc.collection"
+      then
+        List.iter
+          (fun (k, a) ->
+            match a with
+            | Obs.Events.I n when k = "collector_refs" ->
+              Obs.Metrics.Histogram.observe_int h n
+            | _ -> ())
+          e.Obs.Events.args)
+
 (* Rebuild a coarse timeline from a saved access trace: maximal runs
    of collector-phase references become gc.collection spans, stamped
    with the event index as logical time. *)

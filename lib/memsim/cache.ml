@@ -369,6 +369,256 @@ let[@hot] access_chunk t buf off len =
     t.collector_writes <- t.collector_writes + !collector_writes
   end
 
+(* Attributed variant of the [access_chunk] fast loop: identical cache
+   transitions and aggregate counter updates, plus per-(region, phase)
+   and per-site accounting into [prof] driven by the side-table cursor
+   [cur].  [base] is the recording-global index of [buf.(off)]; the
+   cursor's logs are consumed forward from it.  Attribution must not
+   reorder or change the simulation, so the cache state updates below
+   are copied from [access_chunk] verbatim; every aggregate counter
+   bump has a slot bump beside it, which is what makes the
+   per-region x per-phase sums equal the aggregate stats exactly. *)
+let[@hot] access_chunk_attr t (cur : Attr.cursor) (prof : Attr.profile)
+    ~base buf off len =
+  if off < 0 || len < 0 || off + len > Array.length buf then
+    invalid_arg "Cache.access_chunk_attr";
+  if base < 0 then invalid_arg "Cache.access_chunk_attr: negative base";
+  if
+    t.cfg.record_block_stats
+    || Option.is_some t.miss_hook
+    || Option.is_some t.fetch_hook
+    || Option.is_some t.writeback_hook
+  then
+    invalid_arg
+      "Cache.access_chunk_attr: hooks or per-block stats are installed";
+  let tags = t.tags
+  and valid_lo = t.valid_lo
+  and valid_hi = t.valid_hi
+  and dirty = t.dirty in
+  let block_shift = t.block_shift
+  and index_mask = t.index_mask
+  and word_mask = t.word_mask
+  and full_lo = t.full_lo
+  and full_hi = t.full_hi in
+  let write_validate =
+    match t.cfg.write_miss_policy with
+    | Write_validate -> true
+    | Fetch_on_write -> false
+  in
+  let collector_fow = t.cfg.collector_fetch_on_write in
+  let tbl = cur.Attr.ctab in
+  let epoch_pos = tbl.Attr.epoch_pos
+  and epoch_stack_lo = tbl.Attr.epoch_stack_lo
+  and epoch_dyn_lo = tbl.Attr.epoch_dyn_lo
+  and epoch_to_lo = tbl.Attr.epoch_to_lo
+  and epoch_to_hi = tbl.Attr.epoch_to_hi
+  and epoch_from_lo = tbl.Attr.epoch_from_lo
+  and epoch_from_hi = tbl.Attr.epoch_from_hi
+  and n_epochs = tbl.Attr.n_epochs
+  and run_pos = tbl.Attr.run_pos
+  and run_site = tbl.Attr.run_site
+  and n_runs = tbl.Attr.n_runs in
+  let p_refs = prof.Attr.refs
+  and p_misses = prof.Attr.misses
+  and p_alloc = prof.Attr.alloc_misses
+  and p_fetches = prof.Attr.fetches
+  and p_writebacks = prof.Attr.writebacks
+  and p_writes = prof.Attr.writes
+  and site_am = prof.Attr.site_alloc_misses
+  and site_aw = prof.Attr.site_alloc_writes
+  and heat = prof.Attr.heat
+  and region_time = prof.Attr.region_time in
+  let heat_rows = prof.Attr.heat_rows
+  and heat_cols = prof.Attr.heat_cols
+  and row_shift = prof.Attr.heat_row_shift
+  and col_shift = prof.Attr.heat_col_shift in
+  let ei = ref cur.Attr.ei
+  and si = ref cur.Attr.si
+  and cur_site = ref cur.Attr.cur_site
+  and stack_lo = ref cur.Attr.stack_lo
+  and dyn_lo = ref cur.Attr.dyn_lo
+  and to_lo = ref cur.Attr.to_lo
+  and to_hi = ref cur.Attr.to_hi
+  and from_lo = ref cur.Attr.from_lo
+  and from_hi = ref cur.Attr.from_hi in
+  let refs = ref 0
+  and collector_refs = ref 0
+  and misses = ref 0
+  and collector_misses = ref 0
+  and alloc_misses = ref 0
+  and fetches = ref 0
+  and collector_fetches = ref 0
+  and writebacks = ref 0
+  and collector_writebacks = ref 0
+  and writes = ref 0
+  and collector_writes = ref 0 in
+  for i = off to off + len - 1 do
+    let w = Array.unsafe_get buf i in
+    let p = base + i - off in
+    while
+      !ei + 1 < n_epochs && Array.unsafe_get epoch_pos (!ei + 1) <= p
+    do
+      let e = !ei + 1 in
+      ei := e;
+      stack_lo := Array.unsafe_get epoch_stack_lo e;
+      dyn_lo := Array.unsafe_get epoch_dyn_lo e;
+      to_lo := Array.unsafe_get epoch_to_lo e;
+      to_hi := Array.unsafe_get epoch_to_hi e;
+      from_lo := Array.unsafe_get epoch_from_lo e;
+      from_hi := Array.unsafe_get epoch_from_hi e
+    done;
+    while !si < n_runs && Array.unsafe_get run_pos !si <= p do
+      cur_site := Array.unsafe_get run_site !si;
+      si := !si + 1
+    done;
+    let addr = w lsr 3 in
+    let kcode = (w lsr 1) land 3 in
+    let cbit = w land 1 in
+    let mutator = cbit = 0 in
+    let mem_block = addr lsr block_shift in
+    let idx = mem_block land index_mask in
+    let word = (addr lsr 2) land word_mask in
+    let high = word >= 32 in
+    let wbit = 1 lsl (word land 31) in
+    let is_store = kcode <> 0 in
+    let region =
+      if addr < !stack_lo then 0
+      else if addr < !dyn_lo then 1
+      else if addr >= !to_lo && addr < !to_hi then 2
+      else if addr >= !from_lo && addr < !from_hi then 3
+      else 4
+    in
+    let slot = (region lsl 1) lor cbit in
+    Array.unsafe_set p_refs slot (Array.unsafe_get p_refs slot + 1);
+    if mutator then incr refs else incr collector_refs;
+    if is_store then begin
+      incr writes;
+      Array.unsafe_set p_writes slot (Array.unsafe_get p_writes slot + 1);
+      if not mutator then incr collector_writes;
+      if kcode = 2 && mutator then
+        Array.unsafe_set site_aw !cur_site
+          (Array.unsafe_get site_aw !cur_site + 1)
+    end;
+    if Array.unsafe_get tags idx = mem_block then begin
+      let valid = if high then valid_hi else valid_lo in
+      if Array.unsafe_get valid idx land wbit <> 0 then begin
+        if is_store then Bytes.unsafe_set dirty idx '\001'
+      end
+      else if is_store then begin
+        Array.unsafe_set valid idx (Array.unsafe_get valid idx lor wbit);
+        Bytes.unsafe_set dirty idx '\001'
+      end
+      else begin
+        if mutator then begin
+          incr misses;
+          incr fetches
+        end
+        else begin
+          incr collector_misses;
+          incr collector_fetches
+        end;
+        Array.unsafe_set p_misses slot (Array.unsafe_get p_misses slot + 1);
+        Array.unsafe_set p_fetches slot
+          (Array.unsafe_get p_fetches slot + 1);
+        let r0 = addr lsr row_shift in
+        let r = if r0 >= heat_rows then heat_rows - 1 else r0 in
+        let c0 = p lsr col_shift in
+        let c = if c0 >= heat_cols then heat_cols - 1 else c0 in
+        let hidx = (r * heat_cols) + c in
+        Array.unsafe_set heat hidx (Array.unsafe_get heat hidx + 1);
+        let ridx = (c * 5) + region in
+        Array.unsafe_set region_time ridx
+          (Array.unsafe_get region_time ridx + 1);
+        Array.unsafe_set valid_lo idx full_lo;
+        Array.unsafe_set valid_hi idx full_hi
+      end
+    end
+    else begin
+      if mutator then begin
+        incr misses;
+        if kcode = 2 then begin
+          incr alloc_misses;
+          Array.unsafe_set p_alloc slot (Array.unsafe_get p_alloc slot + 1);
+          Array.unsafe_set site_am !cur_site
+            (Array.unsafe_get site_am !cur_site + 1)
+        end
+      end
+      else incr collector_misses;
+      Array.unsafe_set p_misses slot (Array.unsafe_get p_misses slot + 1);
+      let r0 = addr lsr row_shift in
+      let r = if r0 >= heat_rows then heat_rows - 1 else r0 in
+      let c0 = p lsr col_shift in
+      let c = if c0 >= heat_cols then heat_cols - 1 else c0 in
+      let hidx = (r * heat_cols) + c in
+      Array.unsafe_set heat hidx (Array.unsafe_get heat hidx + 1);
+      let ridx = (c * 5) + region in
+      Array.unsafe_set region_time ridx
+        (Array.unsafe_get region_time ridx + 1);
+      if Bytes.unsafe_get dirty idx = '\001' then begin
+        incr writebacks;
+        if not mutator then incr collector_writebacks;
+        (* The write-back belongs to the evicted block's region under
+           the map in force now. *)
+        let eaddr = Array.unsafe_get tags idx lsl block_shift in
+        let eregion =
+          if eaddr < !stack_lo then 0
+          else if eaddr < !dyn_lo then 1
+          else if eaddr >= !to_lo && eaddr < !to_hi then 2
+          else if eaddr >= !from_lo && eaddr < !from_hi then 3
+          else 4
+        in
+        let eslot = (eregion lsl 1) lor cbit in
+        Array.unsafe_set p_writebacks eslot
+          (Array.unsafe_get p_writebacks eslot + 1);
+        Bytes.unsafe_set dirty idx '\000'
+      end;
+      Array.unsafe_set tags idx mem_block;
+      if
+        is_store && write_validate
+        && not ((not mutator) && collector_fow)
+      then begin
+        if high then begin
+          Array.unsafe_set valid_lo idx 0;
+          Array.unsafe_set valid_hi idx wbit
+        end
+        else begin
+          Array.unsafe_set valid_lo idx wbit;
+          Array.unsafe_set valid_hi idx 0
+        end;
+        Bytes.unsafe_set dirty idx '\001'
+      end
+      else begin
+        if mutator then incr fetches else incr collector_fetches;
+        Array.unsafe_set p_fetches slot
+          (Array.unsafe_get p_fetches slot + 1);
+        Array.unsafe_set valid_lo idx full_lo;
+        Array.unsafe_set valid_hi idx full_hi;
+        if is_store then Bytes.unsafe_set dirty idx '\001'
+      end
+    end
+  done;
+  t.refs <- t.refs + !refs;
+  t.collector_refs <- t.collector_refs + !collector_refs;
+  t.misses <- t.misses + !misses;
+  t.collector_misses <- t.collector_misses + !collector_misses;
+  t.alloc_misses <- t.alloc_misses + !alloc_misses;
+  t.fetches <- t.fetches + !fetches;
+  t.collector_fetches <- t.collector_fetches + !collector_fetches;
+  t.writebacks <- t.writebacks + !writebacks;
+  t.collector_writebacks <- t.collector_writebacks + !collector_writebacks;
+  t.writes <- t.writes + !writes;
+  t.collector_writes <- t.collector_writes + !collector_writes;
+  cur.Attr.ei <- !ei;
+  cur.Attr.si <- !si;
+  cur.Attr.cur_site <- !cur_site;
+  cur.Attr.stack_lo <- !stack_lo;
+  cur.Attr.dyn_lo <- !dyn_lo;
+  cur.Attr.to_lo <- !to_lo;
+  cur.Attr.to_hi <- !to_hi;
+  cur.Attr.from_lo <- !from_lo;
+  cur.Attr.from_hi <- !from_hi;
+  prof.Attr.events_attributed <- prof.Attr.events_attributed + len
+
 let write_block_back t addr phase =
   let mem_block = addr lsr t.block_shift in
   let idx = mem_block land t.index_mask in

@@ -75,6 +75,24 @@ val access_chunk : t -> Chunk.buf -> int -> int -> unit
     the sweep engine.
     @raise Invalid_argument when the range is out of bounds. *)
 
+val access_chunk_attr :
+  t -> Attr.cursor -> Attr.profile -> base:int -> Chunk.buf -> int -> int -> unit
+(** [access_chunk_attr t cur prof ~base buf off len] is
+    {!access_chunk} on the hook-free fast path, plus attribution: each
+    event (recording-global index [base + i - off]) is classified
+    against the side table behind [cur] and accounted into [prof]'s
+    (region x phase) slots, site counters and miss-heat grid.  Cache
+    state transitions and aggregate counters are identical to
+    {!access_chunk}, and each per-counter sum over [prof]'s slots
+    equals the aggregate counter delta exactly (write-backs are
+    charged to the {e evicted} block's region under the map in force
+    at eviction time).  Chunks may be skipped between calls (sampling):
+    the cursor catches up forward.  One cursor and profile serve one
+    cache; do not share them across domains.
+    @raise Invalid_argument when the range is out of bounds, [base] is
+    negative, or the cache has hooks or per-block stats installed (the
+    attributed loop supports neither). *)
+
 val write_block_back : t -> int -> Trace.phase -> unit
 (** Receive a whole dirty block written back from the level above:
     installs the block's tag if needed (a write miss that fetches

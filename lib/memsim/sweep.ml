@@ -113,6 +113,68 @@ let run_into ~jobs t recording =
 let run_serial t recording = run_into ~jobs:1 t recording
 let run_parallel ~jobs t recording = run_into ~jobs t recording
 
+(* --- Attributed replay --------------------------------------------------- *)
+
+(* Same work-stealing shape as [run_into]; each claimed cache gets a
+   private cursor and profile, so the only state shared between
+   domains is read-only (the recording's sealed slabs and the
+   completed side table) or partitioned by cache index (the profile
+   array, each slot written by exactly the domain that claimed it,
+   before the join). *)
+let run_attributed ?(jobs = 1) ?(sample_every = 1) ?heat_rows ?heat_cols
+    ~addr_limit t table recording =
+  if sample_every < 1 then
+    invalid_arg "Sweep.run_attributed: sample_every must be >= 1";
+  let caches = t.caches in
+  let n = Array.length caches in
+  let jobs = max 1 (min jobs n) in
+  let events = Recording.length recording in
+  let num_sites = Attr.num_sites table in
+  let profiles =
+    Array.init n (fun _ ->
+        Attr.profile_create ?heat_rows ?heat_cols ~sample_every ~num_sites
+          ~addr_limit ~events ())
+  in
+  let replay_cache i =
+    let c = caches.(i) in
+    let prof = profiles.(i) in
+    let cur = Attr.cursor table in
+    let base = ref 0 in
+    let chunk_no = ref 0 in
+    Recording.iter_chunks recording (fun buf len ->
+        let b = !base in
+        base := b + len;
+        let cn = !chunk_no in
+        chunk_no := cn + 1;
+        prof.Attr.chunks_seen <- prof.Attr.chunks_seen + 1;
+        if cn mod sample_every = 0 then begin
+          prof.Attr.chunks_attributed <- prof.Attr.chunks_attributed + 1;
+          Cache.access_chunk_attr c cur prof ~base:b buf 0 len
+        end
+        else Cache.access_chunk c buf 0 len)
+  in
+  if jobs = 1 then
+    for i = 0 to n - 1 do
+      replay_cache i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          replay_cache i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end;
+  profiles
+
 (* --- Checkpoint / resume ------------------------------------------------ *)
 
 (* A checkpoint pins an in-flight replay: the number of events every

@@ -84,6 +84,32 @@ val run_parallel : jobs:int -> t -> Recording.t -> unit
     not install hooks on swept caches when [jobs > 1]: they would fire
     on worker domains. *)
 
+(** {1 Attributed replay} *)
+
+val run_attributed :
+  ?jobs:int ->
+  ?sample_every:int ->
+  ?heat_rows:int ->
+  ?heat_cols:int ->
+  addr_limit:int ->
+  t ->
+  Attr.table ->
+  Recording.t ->
+  Attr.profile array
+(** Like {!run_parallel} (with [jobs] defaulting to 1) but through
+    {!Cache.access_chunk_attr}: returns one {!Attr.profile} per cache,
+    in configuration order, attributing misses, fetches, writes and
+    write-backs by (region x phase), allocation site and
+    (address x time) heat bucket against the side [table] captured
+    with the recording.  Cache contents and aggregate statistics are
+    bit-identical to {!run_serial}.  [sample_every] attributes only
+    every Nth chunk (the rest replay through the plain fast path, so
+    aggregate statistics are still exact); [addr_limit] is the
+    simulated memory size in bytes, used to scale the heat grid.  The
+    caches must have no hooks or per-block stats.
+    @raise Invalid_argument as {!Cache.access_chunk_attr}, or when
+    [sample_every < 1]. *)
+
 (** {1 Checkpoint / resume}
 
     A long replay can be snapshotted periodically — the full state of

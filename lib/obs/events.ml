@@ -163,11 +163,14 @@ let of_jsonl_string s =
   in
   loop [] 1 lines
 
+(* Stream through the batched writer instead of materializing the
+   whole encoding: a long run's timeline dump stays at one batch of
+   buffer no matter how many events accumulated. *)
 let write_jsonl t path =
-  let oc = open_out path in
+  let w = Jsonl.create path in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_jsonl_string t))
+    ~finally:(fun () -> Jsonl.close w)
+    (fun () -> iter t (fun e -> Jsonl.write w (event_to_json e)))
 
 (* --- Chrome trace-event format ----------------------------------------
    The "JSON object format" understood by chrome://tracing and

@@ -117,6 +117,34 @@ module Histogram = struct
   let sum h = h.h_sum
   let bucket_counts h = Array.copy h.h_counts
   let bounds h = Array.copy h.h_bounds
+
+  (* Bucket-interpolated quantile, Prometheus-style: find the bucket
+     holding the q*count-th observation and interpolate linearly
+     between its edges.  Observations landing in the +inf overflow
+     bucket clamp to the last finite bound. *)
+  let quantile h q =
+    if h.h_count = 0 then Float.nan
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let target = q *. float_of_int h.h_count in
+      let n = Array.length h.h_bounds in
+      let rec find i cum =
+        if i >= n then h.h_bounds.(n - 1)
+        else begin
+          let c = h.h_counts.(i) in
+          let cum' = cum + c in
+          if c > 0 && float_of_int cum' >= target then begin
+            let hi = h.h_bounds.(i) in
+            let lo = if i = 0 then Float.min 0.0 hi else h.h_bounds.(i - 1) in
+            let frac = (target -. float_of_int cum) /. float_of_int c in
+            let frac = Float.max 0.0 (Float.min 1.0 frac) in
+            lo +. ((hi -. lo) *. frac)
+          end
+          else find (i + 1) cum'
+        end
+      in
+      find 0 0
+    end
 end
 
 let histogram ?(help = "") reg name ~buckets =
@@ -191,13 +219,22 @@ let instrument_json = function
           ]
         ]
     in
+    let percentiles =
+      if h.h_count = 0 then []
+      else
+        [ ("p50", Json.Float (Histogram.quantile h 0.5));
+          ("p90", Json.Float (Histogram.quantile h 0.9));
+          ("p99", Json.Float (Histogram.quantile h 0.99))
+        ]
+    in
     ( h.h_name,
       Json.Obj
-        [ ("type", Json.Str "histogram");
-          ("count", Json.Int h.h_count);
-          ("sum", Json.Float h.h_sum);
-          ("buckets", Json.List buckets)
-        ] )
+        ([ ("type", Json.Str "histogram");
+           ("count", Json.Int h.h_count);
+           ("sum", Json.Float h.h_sum)
+         ]
+         @ percentiles
+         @ [ ("buckets", Json.List buckets) ]) )
 
 let to_json reg =
   Json.Obj (fold reg (fun acc i -> instrument_json i :: acc) [] |> List.rev)

@@ -30,7 +30,15 @@ module Counter : sig
 
   val set : t -> int -> unit
   (** Unconditional overwrite, for publishing an externally-maintained
-      total (ignores the enabled flag). *)
+      total at export time.
+
+      {b Unlike} {!incr} and {!add}, [set] deliberately {e bypasses}
+      the registry's enabled flag: it is a publication of a value
+      maintained elsewhere, not an instrumentation event, so a
+      disabled registry still exports the last published total rather
+      than a stale zero.  Callers on hot paths must use {!add}; call
+      [set] only from export/snapshot code.  (Behavior is pinned by
+      [test_obs]; see "counter.set ignores enabled".) *)
 
   val value : t -> int
 end
@@ -54,6 +62,15 @@ module Histogram : sig
   (** One count per bound plus a final overflow bucket; copies. *)
 
   val bounds : t -> float array
+
+  val quantile : t -> float -> float
+  (** [quantile h q] estimates the [q]-quantile ([q] clamped to
+      [0, 1]) from the bucket counts, interpolating linearly inside
+      the bucket that holds the [q*count]-th observation (the first
+      bucket's lower edge is taken as [min 0 bound]).  Observations
+      in the +inf overflow bucket clamp to the last finite bound —
+      the familiar Prometheus [histogram_quantile] bias.  Returns
+      [nan] on an empty histogram. *)
 end
 
 val counter : ?help:string -> registry -> string -> Counter.t
@@ -69,4 +86,6 @@ val reset : registry -> unit
 (** Zero every instrument (registrations are kept). *)
 
 val to_json : registry -> Json.t
-(** One object keyed by instrument name, in registration order. *)
+(** One object keyed by instrument name, in registration order.
+    Non-empty histograms additionally export ["p50"]/["p90"]/["p99"]
+    fields computed with {!Histogram.quantile}. *)

@@ -26,6 +26,10 @@ let collect inst ~requested_words =
   let from_hi = from_lo + inst.semi in
   let to_base = space_base inst (1 - inst.current) in
   let occupied = Heap.alloc_ptr heap - from_lo in
+  (* Copying traffic runs under the true semispace map: destination
+     space as tospace, source as fromspace. *)
+  Heap.publish_regions heap ~to_lo:to_base ~to_hi:(to_base + inst.semi)
+    ~from_lo ~from_hi;
   Gc_obs.instrumented heap ~collector:"cheney" ~kind:"full"
     ~occupancy_words:occupied (fun () ->
       let st =
@@ -41,6 +45,11 @@ let collect inst ~requested_words =
       Heap.note_collection heap;
       let free = Gc_copy.free_ptr st in
       Heap.set_dynamic_window heap ~base:free ~limit:(to_base + inst.semi);
+      (* Override the window-derived map just published: survivors
+         below [free] are tospace too, and the evacuated space is
+         free, not fromspace, from here on. *)
+      Heap.publish_regions heap ~to_lo:to_base ~to_hi:(to_base + inst.semi)
+        ~from_lo:0 ~from_hi:0;
       let copied = Gc_copy.words_copied st in
       [ ("bytes_copied", Obs.Events.I (copied * Memsim.Trace.word_bytes));
         ("objects_copied", Obs.Events.I (Gc_copy.objects_copied st));

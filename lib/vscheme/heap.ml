@@ -31,6 +31,8 @@ type t = {
   mutable collector_name : string;
   mutable barrier : (field_addr:int -> value:Value.t -> unit) option;
   mutable telemetry : Obs.Events.timeline option;
+  mutable attr : Memsim.Attr.table option;
+  mutable alloc_site : int;
   symbols : (string, Value.t) Hashtbl.t;
 }
 
@@ -66,6 +68,8 @@ let create ~mem ~static_words ~stack_words =
     collector_name = "none";
     barrier = None;
     telemetry = None;
+    attr = None;
+    alloc_site = Memsim.Attr.runtime_site;
     symbols = Hashtbl.create 512
   }
 
@@ -99,6 +103,35 @@ let set_telemetry t tl =
   | None -> ()
   | Some timeline ->
     Obs.Events.set_clock timeline (fun () -> logical_time t)
+
+(* --- Attribution --- *)
+
+(* The side table speaks byte addresses and recording positions; the
+   heap speaks word addresses.  [publish_regions] is the one
+   conversion point.  Word bounds [to_lo, to_hi) / [from_lo, from_hi)
+   describe the copying collector's semispaces; without a collector
+   the allocation window plays tospace and fromspace is empty. *)
+let publish_regions t ~to_lo ~to_hi ~from_lo ~from_hi =
+  match t.attr with
+  | None -> ()
+  | Some table ->
+    let b = Memsim.Trace.word_bytes in
+    Memsim.Attr.publish_map table
+      ~pos:(Mem.recorded_position t.mem)
+      ~stack_lo:(t.stack_base * b) ~dynamic_lo:(t.dynamic_base * b)
+      ~to_lo:(to_lo * b) ~to_hi:(to_hi * b) ~from_lo:(from_lo * b)
+      ~from_hi:(from_hi * b)
+
+let attach_attr t table =
+  t.attr <- Some table;
+  publish_regions t ~to_lo:t.alloc_ptr ~to_hi:t.alloc_limit ~from_lo:0
+    ~from_hi:0
+
+let attr t = t.attr
+
+let set_alloc_site t site = t.alloc_site <- site
+
+let alloc_site t = t.alloc_site
 
 (* --- Allocation --- *)
 
@@ -134,6 +167,14 @@ let alloc t area tag ~len =
     | Static -> alloc_static t words
     | Dynamic -> alloc_dynamic t words
   in
+  (* Stamp the site run after any collection [alloc_dynamic] ran, so
+     the position is exactly the header store about to be emitted. *)
+  (match t.attr with
+   | None -> ()
+   | Some table ->
+     Memsim.Attr.note_site table
+       ~pos:(Mem.recorded_position t.mem)
+       t.alloc_site);
   Mem.write_alloc t.mem addr (Value.header tag ~len);
   addr
 
@@ -326,7 +367,11 @@ let set_dynamic_window t ~base ~limit =
   if base < t.dynamic_base || limit > t.dynamic_limit || base > limit then
     invalid_arg "Heap.set_dynamic_window";
   t.alloc_ptr <- base;
-  t.alloc_limit <- limit
+  t.alloc_limit <- limit;
+  (* Window-derived default map: the allocation window is tospace.  A
+     collector that knows better (semispace bounds, survivors below
+     [base]) publishes over this at the same position. *)
+  publish_regions t ~to_lo:base ~to_hi:limit ~from_lo:0 ~from_hi:0
 
 let note_collection t = t.collections <- t.collections + 1
 

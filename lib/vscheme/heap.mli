@@ -100,6 +100,32 @@ val set_telemetry : t -> Obs.Events.timeline option -> unit
 (** Attach (or detach) a timeline; attaching points the timeline's
     clock at {!logical_time}. *)
 
+(** {1 Attribution}
+
+    With a {!Memsim.Attr.table} attached, the heap keeps the table's
+    region-map epochs in step with its layout (publishing at attach,
+    at every {!set_dynamic_window}, and wherever a collector calls
+    {!publish_regions}) and stamps an allocation-site run at every
+    {!alloc} — both keyed by {!Mem.recorded_position}, so they are
+    meaningful when the memory records via the direct fast path.
+    Detached (the default), every hook below is a single option
+    branch. *)
+
+val attach_attr : t -> Memsim.Attr.table -> unit
+(** Attach the side table and publish the initial region map (the
+    current allocation window as tospace).  Attach before the first
+    traced access so position 0 is covered. *)
+
+val attr : t -> Memsim.Attr.table option
+
+val set_alloc_site : t -> int -> unit
+(** Set the interned site ({!Memsim.Attr.intern_site}) charged for
+    subsequent allocations; the VM calls this at each allocating
+    instruction.  Sticky until the next call. *)
+
+val alloc_site : t -> int
+(** The site currently charged. *)
+
 (** {1 Allocation and object access} *)
 
 val ensure : t -> int -> unit
@@ -234,6 +260,15 @@ val set_dynamic_window : t -> base:int -> limit:int -> unit
 
 val note_collection : t -> unit
 (** Bump the collection counter / hash-table stamp. *)
+
+val publish_regions :
+  t -> to_lo:int -> to_hi:int -> from_lo:int -> from_hi:int -> unit
+(** Publish a region-map epoch at the current recorded position (word
+    addresses; static/stack bounds are filled in from the heap's
+    fixed layout).  Collectors call this with their semispace bounds
+    at collection entry and exit; it overrides the window-derived map
+    {!set_dynamic_window} publishes at the same position.  No-op
+    without an attached table. *)
 
 val gc_read : t -> int -> int
 val gc_write : t -> int -> int -> unit

@@ -16,6 +16,7 @@ type config = {
   pathological_layout : bool;
   telemetry : Obs.Events.timeline option;
   record : Memsim.Recording.t option;
+  attr : Memsim.Attr.table option;
 }
 
 let default_config =
@@ -29,7 +30,8 @@ let default_config =
     seed = 0x5eed;
     pathological_layout = false;
     telemetry = None;
-    record = None
+    record = None;
+    attr = None
   }
 
 type t = {
@@ -206,6 +208,9 @@ let create cfg =
   Option.iter (Mem.record_into mem) cfg.record;
   let heap = Heap.create ~mem ~static_words ~stack_words in
   Heap.set_telemetry heap cfg.telemetry;
+  (* Attach before the first traced access (the static padding below)
+     so the table's first region epoch covers position 0. *)
+  Option.iter (Heap.attach_attr heap) cfg.attr;
   let ctx =
     { Primitives.heap;
       out = Buffer.create 1024;

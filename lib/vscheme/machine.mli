@@ -47,6 +47,13 @@ type config = {
           the sink path instead when hooks or tees must observe the
           stream.  Call {!Mem.sync_recording} on {!mem} before
           reading the recording. *)
+  attr : Memsim.Attr.table option;
+      (** when given, the heap keeps this attribution side table's
+          region map current and the VM stamps allocation sites into
+          it, keyed by recording position — meaningful together with
+          [record] (the positions index that recording).  [None] (the
+          default) makes every producer-side hook one option
+          branch. *)
 }
 
 val default_config : config

@@ -43,6 +43,13 @@ val sync_recording : t -> unit
     counts) into the recording so that [length]/[iter_chunks]/[save]
     see every appended event.  No-op when not direct recording. *)
 
+val recorded_position : t -> int
+(** Number of events appended by the fast path so far — the index the
+    {e next} traced access will occupy in the recording.  Exact without
+    a {!sync_recording} (it reads the hoisted cursor).  0 when not
+    direct recording.  Attribution side tables ({!Memsim.Attr}) stamp
+    their entries with this position. *)
+
 val recorded_counts : t -> int * int
 (** [(mutator, collector)] events appended by the fast path, valid
     after {!sync_recording} — the same split

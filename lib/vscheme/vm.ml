@@ -30,6 +30,14 @@ type t = {
   mutable cs_fp : int array;
   mutable cs_len : int;
   mutable limit : int;
+  (* Allocation-site ids ({!Memsim.Attr.intern_site}), cached per code
+     id / primitive id so the steady state of site tagging is one
+     array load; -1 = not yet interned.  Only consulted when the heap
+     has an attribution table attached. *)
+  mutable site_closure : int array;
+  mutable site_cell : int array;
+  mutable site_rest : int array;
+  mutable site_prim : int array;
 }
 
 let halt_code =
@@ -61,7 +69,11 @@ let create ~heap ~ctx ~globals_base ~globals_limit ~runtime_vec =
     cs_pc = Array.make 1024 0;
     cs_fp = Array.make 1024 0;
     cs_len = 0;
-    limit = max_int
+    limit = max_int;
+    site_closure = Array.make 64 (-1);
+    site_cell = Array.make 64 (-1);
+    site_rest = Array.make 64 (-1);
+    site_prim = Array.make 64 (-1)
   }
 
 let heap t = t.heap
@@ -112,6 +124,98 @@ let set_instruction_limit t lim =
     (match lim with
      | None -> max_int
      | Some n -> n)
+
+(* --- Allocation-site tagging ------------------------------------------ *)
+
+let grow_sites a n =
+  let b = Array.make (max (2 * Array.length a) (n + 1)) (-1) in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let code_label (code : Bytecode.code) =
+  if String.length code.Bytecode.name = 0 then
+    Printf.sprintf "lambda#%d" code.Bytecode.id
+  else code.Bytecode.name
+
+let note_closure_site t cid =
+  match Heap.attr t.heap with
+  | None -> ()
+  | Some table ->
+    if cid >= Array.length t.site_closure then
+      t.site_closure <- grow_sites t.site_closure cid;
+    let s = t.site_closure.(cid) in
+    let s =
+      if s >= 0 then s
+      else begin
+        let s =
+          Memsim.Attr.intern_site table ("closure:" ^ code_label t.codes.(cid))
+        in
+        t.site_closure.(cid) <- s;
+        s
+      end
+    in
+    Heap.set_alloc_site t.heap s
+
+let note_cell_site t =
+  match Heap.attr t.heap with
+  | None -> ()
+  | Some table ->
+    let cid = t.cur.Bytecode.id in
+    if cid < 0 then Heap.set_alloc_site t.heap Memsim.Attr.runtime_site
+    else begin
+      if cid >= Array.length t.site_cell then
+        t.site_cell <- grow_sites t.site_cell cid;
+      let s = t.site_cell.(cid) in
+      let s =
+        if s >= 0 then s
+        else begin
+          let s =
+            Memsim.Attr.intern_site table ("cell:" ^ code_label t.cur)
+          in
+          t.site_cell.(cid) <- s;
+          s
+        end
+      in
+      Heap.set_alloc_site t.heap s
+    end
+
+let note_rest_site t (code : Bytecode.code) =
+  match Heap.attr t.heap with
+  | None -> ()
+  | Some table ->
+    let cid = code.Bytecode.id in
+    if cid >= Array.length t.site_rest then
+      t.site_rest <- grow_sites t.site_rest cid;
+    let s = t.site_rest.(cid) in
+    let s =
+      if s >= 0 then s
+      else begin
+        let s = Memsim.Attr.intern_site table ("rest:" ^ code_label code) in
+        t.site_rest.(cid) <- s;
+        s
+      end
+    in
+    Heap.set_alloc_site t.heap s
+
+let note_prim_site t pid =
+  match Heap.attr t.heap with
+  | None -> ()
+  | Some table ->
+    if pid >= Array.length t.site_prim then
+      t.site_prim <- grow_sites t.site_prim pid;
+    let s = t.site_prim.(pid) in
+    let s =
+      if s >= 0 then s
+      else begin
+        let s =
+          Memsim.Attr.intern_site table
+            ("prim:" ^ (Primitives.spec pid).Primitives.name)
+        in
+        t.site_prim.(pid) <- s;
+        s
+      end
+    in
+    Heap.set_alloc_site t.heap s
 
 (* --- Stack operations ------------------------------------------------ *)
 
@@ -187,6 +291,7 @@ let exec_primitive t pid base n =
       spec.Primitives.arity n;
   (* Dispatch overhead plus the primitive's own base cost. *)
   Heap.charge_mutator t.heap (10 + spec.Primitives.cost);
+  note_prim_site t pid;
   spec.Primitives.fn t.ctx ~base ~nargs:n
 
 (* Spread the argument list on top of the stack into individual
@@ -239,7 +344,10 @@ let get_callee t f_slot =
    spilled into the frame's control words. *)
 let enter_bytecode t code new_fp n ~saved_fp ~saved_pc =
   check_arity t code n;
-  if code.Bytecode.has_rest then build_rest t new_fp code.Bytecode.arity n;
+  if code.Bytecode.has_rest then begin
+    note_rest_site t code;
+    build_rest t new_fp code.Bytecode.arity n
+  end;
   runtime_check t;
   push t (Value.fixnum saved_fp);
   push t (Value.fixnum saved_pc);
@@ -325,6 +433,7 @@ let step t =
     in
     let nfree = Array.length captures in
     Heap.charge_mutator t.heap (2 * nfree);
+    note_closure_site t cid;
     Heap.ensure t.heap (Value.object_words (Value.header Value.Closure ~len:(1 + nfree)));
     let clos = Heap.make_closure t.heap ~code:cid ~nfree in
     let addr = Value.pointer_val clos in
@@ -363,6 +472,7 @@ let step t =
     t.sp <- t.sp - n;
     push t v
   | Bytecode.Make_cell ->
+    note_cell_site t;
     Heap.ensure t.heap (Value.object_words (Value.header Value.Cell ~len:1));
     let v = pop t in
     push t (Heap.make_cell t.heap v)

@@ -164,6 +164,67 @@ let test_metrics_json () =
   Alcotest.(check (option int)) "buckets incl +inf" (Some 3)
     (Option.map List.length bucket_count)
 
+let test_counter_set_ignores_enabled () =
+  (* Pinned semantics: Counter.set writes through even on a disabled
+     registry.  It publishes externally-computed totals (cache sweep
+     counters, run statistics), which must land regardless of whether
+     live instrumentation is switched on.  See the .mli note. *)
+  let reg = Obs.Metrics.create ~enabled:false () in
+  let c = Obs.Metrics.counter reg "external.total" in
+  Obs.Metrics.Counter.incr c;
+  Alcotest.(check int) "incr is gated" 0 (Obs.Metrics.Counter.value c);
+  Obs.Metrics.Counter.set c 42;
+  Alcotest.(check int) "set bypasses the gate" 42
+    (Obs.Metrics.Counter.value c);
+  (* and the bypassed value is what exports *)
+  let exported =
+    Option.bind
+      (Obs.Json.member "external.total" (Obs.Metrics.to_json reg))
+      (fun cj -> Option.bind (Obs.Json.member "value" cj) Obs.Json.to_int)
+  in
+  Alcotest.(check (option int)) "exported" (Some 42) exported
+
+let test_histogram_quantile () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg "h" ~buckets:[| 10.; 100.; 1000. |] in
+  Alcotest.(check bool) "empty histogram is nan" true
+    (Float.is_nan (Obs.Metrics.Histogram.quantile h 0.5));
+  List.iter (Obs.Metrics.Histogram.observe_int h) [ 5; 10; 50; 500; 5000 ];
+  (* buckets: le 10 -> 2, le 100 -> 1, le 1000 -> 1, +inf -> 1 *)
+  let q = Obs.Metrics.Histogram.quantile h in
+  (* p50: target 2.5 lands in (10, 100], half-way through its single
+     observation *)
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 55.0 (q 0.5);
+  (* p20: target 1.0 lands in the first bucket, whose lower edge
+     clamps at 0 *)
+  Alcotest.(check (float 1e-9)) "first bucket starts at 0" 5.0 (q 0.2);
+  (* overflow observations clamp to the last finite bound *)
+  Alcotest.(check (float 1e-9)) "p99 clamps to last bound" 1000.0 (q 0.99);
+  Alcotest.(check (float 1e-9)) "q below 0 clamps" (q 0.0) (q (-1.0));
+  Alcotest.(check (float 1e-9)) "q above 1 clamps" (q 1.0) (q 2.0)
+
+let test_percentile_export () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg "lat" ~buckets:[| 10.; 100. |] in
+  (* empty histogram: no percentile keys *)
+  let member_h j = Obs.Json.member "lat" j in
+  let p name =
+    Option.bind (member_h (Obs.Metrics.to_json reg)) (fun hj ->
+        match Obs.Json.member name hj with
+        | Some (Obs.Json.Float f) -> Some f
+        | _ -> None)
+  in
+  (match p "p50" with
+   | None -> ()
+   | Some _ -> Alcotest.fail "empty histogram exported percentiles");
+  List.iter (Obs.Metrics.Histogram.observe_int h) [ 5; 50; 500 ];
+  Alcotest.(check bool) "p50 present" true (p "p50" <> None);
+  Alcotest.(check bool) "p90 present" true (p "p90" <> None);
+  Alcotest.(check bool) "p99 present" true (p "p99" <> None);
+  Alcotest.(check (option (float 1e-9))) "p50 value"
+    (Some (Obs.Metrics.Histogram.quantile h 0.5))
+    (p "p50")
+
 (* --- Events ------------------------------------------------------------ *)
 
 let test_timeline_clock () =
@@ -249,6 +310,131 @@ let test_chrome_trace () =
   match Obs.Json.of_string (Obs.Json.to_string j) with
   | Ok _ -> ()
   | Error msg -> Alcotest.fail msg
+
+(* --- The streaming JSONL writer ---------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_jsonl_writer_file () =
+  let path = Filename.temp_file "test_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* a tiny batch bound forces several intermediate flushes *)
+      let w = Obs.Jsonl.create ~batch_bytes:16 path in
+      for i = 1 to 50 do
+        Obs.Jsonl.write w
+          (Obs.Json.Obj [ ("i", Obs.Json.Int i); ("s", Obs.Json.Str "x\n") ])
+      done;
+      Alcotest.(check int) "lines counted" 50 (Obs.Jsonl.written w);
+      Obs.Jsonl.close w;
+      Obs.Jsonl.close w;
+      (* idempotent *)
+      Alcotest.check_raises "write after close"
+        (Invalid_argument "Obs.Jsonl.write: writer is closed") (fun () ->
+          Obs.Jsonl.write w Obs.Json.Null);
+      let lines =
+        List.filter
+          (fun l -> l <> "")
+          (String.split_on_char '\n' (read_file path))
+      in
+      Alcotest.(check int) "one line per value" 50 (List.length lines);
+      List.iteri
+        (fun idx l ->
+          match Obs.Json.of_string l with
+          | Ok j ->
+            Alcotest.(check (option int)) "payload intact" (Some (idx + 1))
+              (Option.bind (Obs.Json.member "i" j) Obs.Json.to_int)
+          | Error msg ->
+            Alcotest.fail (Printf.sprintf "line %d: %s" (idx + 1) msg))
+        lines)
+
+let test_jsonl_writer_borrowed () =
+  let path = Filename.temp_file "test_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      let w = Obs.Jsonl.to_channel oc in
+      Obs.Jsonl.write w (Obs.Json.Int 1);
+      Obs.Jsonl.close w;
+      (* the channel stays usable: the writer borrowed it *)
+      output_string oc "trailer\n";
+      close_out oc;
+      Alcotest.(check string) "writer flushed, channel kept open"
+        "1\ntrailer\n" (read_file path))
+
+let test_events_write_jsonl_streams () =
+  (* the streamed file must be byte-identical to the eager encoding *)
+  let tl = Obs.Events.create () in
+  Obs.Events.span_begin tl ~ts:1 ~cat:"gc" ~args:[ ("n", Obs.Events.I 7) ]
+    "gc.collection";
+  Obs.Events.span_end tl ~ts:5 ~cat:"gc"
+    ~args:[ ("ratio", Obs.Events.F 0.25) ]
+    "gc.collection";
+  Obs.Events.instant tl ~ts:6 "quote\"backslash\\";
+  let path = Filename.temp_file "test_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Events.write_jsonl tl path;
+      Alcotest.(check string) "streamed = eager"
+        (Obs.Events.to_jsonl_string tl)
+        (read_file path))
+
+(* --- Property: the JSONL export round-trips bit-identically ------------ *)
+
+let event_gen =
+  let open QCheck.Gen in
+  (* Bytes 0-255 exercise every escaping path: controls, quote,
+     backslash, and raw high bytes passed through untouched. *)
+  let raw_string = string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 12) in
+  let arg =
+    frequency
+      [ (3, map (fun i -> Obs.Events.I i) (int_range (-1_000_000) 1_000_000));
+        (* quarters are exact in binary and survive the float
+           printer's shortest-form round-trip *)
+        (2, map (fun i -> Obs.Events.F (float_of_int i /. 4.0))
+             (int_range (-4_000) 4_000));
+        (2, map (fun s -> Obs.Events.S s) raw_string)
+      ]
+  in
+  let kind =
+    oneofl
+      [ Obs.Events.Instant; Obs.Events.Begin; Obs.Events.End;
+        Obs.Events.Sample ]
+  in
+  map
+    (fun (ts, name, cat, kind, args) ->
+      { Obs.Events.ts; name; cat; kind; args })
+    (tup5 (int_bound 1_000_000) raw_string raw_string kind
+       (list_size (int_bound 4) (tup2 raw_string arg)))
+
+let timeline_of_events evs =
+  let tl = Obs.Events.create () in
+  List.iter
+    (fun e ->
+      Obs.Events.emit tl ~ts:e.Obs.Events.ts ~cat:e.Obs.Events.cat
+        ~args:e.Obs.Events.args e.Obs.Events.kind e.Obs.Events.name)
+    evs;
+  tl
+
+let jsonl_roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"jsonl export round-trips bit-identically"
+    (QCheck.make
+       ~print:(fun evs -> Obs.Events.to_jsonl_string (timeline_of_events evs))
+       QCheck.Gen.(list_size (int_bound 12) event_gen))
+    (fun evs ->
+      let s1 = Obs.Events.to_jsonl_string (timeline_of_events evs) in
+      match Obs.Events.of_jsonl_string s1 with
+      | Error msg -> QCheck.Test.fail_report msg
+      | Ok evs' ->
+        evs' = evs
+        && Obs.Events.to_jsonl_string (timeline_of_events evs') = s1)
 
 (* --- End to end: a collected run emits GC telemetry ------------------- *)
 
@@ -386,6 +572,11 @@ let () =
           Alcotest.test_case "idempotent registration" `Quick
             test_idempotent_registration;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "counter.set ignores enabled" `Quick
+            test_counter_set_ignores_enabled;
+          Alcotest.test_case "histogram quantile" `Quick
+            test_histogram_quantile;
+          Alcotest.test_case "percentile export" `Quick test_percentile_export;
           Alcotest.test_case "reset" `Quick test_reset;
           Alcotest.test_case "json export" `Quick test_metrics_json
         ] );
@@ -394,6 +585,12 @@ let () =
           Alcotest.test_case "growth" `Quick test_timeline_growth;
           Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "jsonl bad line" `Quick test_jsonl_bad_line;
+          Alcotest.test_case "jsonl writer" `Quick test_jsonl_writer_file;
+          Alcotest.test_case "jsonl writer borrows" `Quick
+            test_jsonl_writer_borrowed;
+          Alcotest.test_case "write_jsonl streams" `Quick
+            test_events_write_jsonl_streams;
+          QCheck_alcotest.to_alcotest jsonl_roundtrip_prop;
           Alcotest.test_case "chrome trace" `Quick test_chrome_trace
         ] );
       ( "end-to-end",
