@@ -33,8 +33,8 @@ lint:
 	dune build @check
 	dune exec tools/lint/lint.exe
 
-# Record every workload (both on-disk formats, plus one run under the
-# Cheney collector) and statically verify the traces: format
+# Record every workload (all three on-disk formats, plus one run under
+# the Cheney collector) and statically verify the traces: format
 # well-formedness, heap-geometry address ranges, allocation-pointer
 # monotonicity, semispace discipline, phase structure.
 check-recordings:
@@ -44,7 +44,8 @@ check-recordings:
 	for w in selfcomp prover lred nbody mexpr; do \
 	  dune exec bin/repro.exe -- record $$w --scale 1 -o "$$tmp/$$w.v2"; \
 	  dune exec bin/repro.exe -- record $$w --scale 1 --format v1 -o "$$tmp/$$w.v1"; \
-	  dune exec bin/repro.exe -- check "$$tmp/$$w.v2" "$$tmp/$$w.v1"; \
+	  dune exec bin/repro.exe -- record $$w --scale 1 --format v3 -o "$$tmp/$$w.v3"; \
+	  dune exec bin/repro.exe -- check "$$tmp/$$w.v2" "$$tmp/$$w.v1" "$$tmp/$$w.v3"; \
 	done; \
 	dune exec bin/repro.exe -- record lred --scale 1 --gc cheney:1m -o "$$tmp/lred-gc.v2"; \
 	dune exec bin/repro.exe -- check --gc cheney:1m "$$tmp/lred-gc.v2"

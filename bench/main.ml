@@ -49,12 +49,13 @@ let cache_chunk_bench =
   in
   let chunks =
     Array.init 8 (fun c ->
-        Array.init 1000 (fun i ->
-            let addr = ((c * 7919) + (i * 24)) land 0xfffffc in
-            Memsim.Chunk.pack addr
-              (if i land 3 = 0 then Memsim.Trace.Alloc_write
-               else Memsim.Trace.Read)
-              Memsim.Trace.Mutator))
+        Memsim.Chunk.of_array
+          (Array.init 1000 (fun i ->
+               let addr = ((c * 7919) + (i * 24)) land 0xfffffc in
+               Memsim.Chunk.pack addr
+                 (if i land 3 = 0 then Memsim.Trace.Alloc_write
+                  else Memsim.Trace.Read)
+                 Memsim.Trace.Mutator)))
   in
   let counter = ref 0 in
   Bechamel.Test.make ~name:"cache-access-chunk-1k"
@@ -154,6 +155,25 @@ let trace_append_direct_bench =
            Vscheme.Mem.record_into mem recording
          end))
 
+(* The floor under both append paths: pack and store 1k events
+   straight into an off-heap slab, no VM dispatch at all.  The gap
+   between this and trace-append-direct-1k is what Mem.read's
+   address-check-plus-load costs on top of the raw store. *)
+let trace_append_bigarray_bench =
+  let buf = Memsim.Chunk.create_buf 65536 in
+  let pos = ref 0 in
+  Bechamel.Test.make ~name:"trace-append-bigarray-1k"
+    (Bechamel.Staged.stage (fun () ->
+         let p = if !pos + 1000 > 65536 then 0 else !pos in
+         for i = 0 to 999 do
+           Bigarray.Array1.unsafe_set buf (p + i)
+             (Memsim.Chunk.pack ((i * 8) land 0xffff)
+                (if i land 3 = 0 then Memsim.Trace.Alloc_write
+                 else Memsim.Trace.Read)
+                Memsim.Trace.Mutator)
+         done;
+         pos := p + 1000))
+
 (* Telemetry hot paths: a counter update against a disabled registry
    (the cost every instrumentation site pays when telemetry is off)
    vs. an enabled one, and histogram observation. *)
@@ -196,8 +216,8 @@ let run_perf () =
     Test.make_grouped ~name:"perf" ~fmt:"%s %s"
       [ cache_bench; cache_chunk_bench; vm_bench; gc_bench; analyzer_bench;
         trace_append_sink_bench; trace_append_direct_bench;
-        obs_counter_disabled_bench; obs_counter_enabled_bench;
-        obs_histogram_bench ]
+        trace_append_bigarray_bench; obs_counter_disabled_bench;
+        obs_counter_enabled_bench; obs_histogram_bench ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -355,9 +375,11 @@ let measure_attribution () =
         ("identical_stats", Obs.Json.Bool identical)
       ] )
 
-(* On-disk formats: save/load one real trace in fixed-width v1 and
-   varint+delta v2, verifying both round trips, and report sizes,
-   wall times, and the v1/v2 compression ratio. *)
+(* On-disk formats: save/load one real trace in fixed-width v1,
+   varint+delta v2 and mmap-native v3, verifying all three round trip
+   (the v3 load is the zero-copy mmap path, so its equality check is
+   the mmap-vs-heap differential), and report sizes, wall times, and
+   the v1/v2 compression ratio. *)
 let measure_recording_formats () =
   let w = Workloads.Workload.nbody in
   let _, recording = Core.Runner.record ~scale:1 w in
@@ -383,6 +405,7 @@ let measure_recording_formats () =
   in
   let v1_bytes, v1_save_s, v1_load_s = measure Memsim.Recording.V1 "v1" in
   let v2_bytes, v2_save_s, v2_load_s = measure Memsim.Recording.V2 "v2" in
+  let v3_bytes, v3_save_s, v3_load_s = measure Memsim.Recording.V3 "v3" in
   let ratio = float_of_int v1_bytes /. float_of_int (max 1 v2_bytes) in
   let per_event b = float_of_int b /. float_of_int (max 1 events) in
   Format.fprintf ppf
@@ -390,21 +413,27 @@ let measure_recording_formats () =
     events;
   Format.fprintf ppf
     "v1 %d bytes (%.2f b/event, save %.3fs, load %.3fs)   v2 %d bytes \
-     (%.2f b/event, save %.3fs, load %.3fs)   v1/v2 = %.2fx@."
+     (%.2f b/event, save %.3fs, load %.3fs)   v3 %d bytes (%.2f b/event, \
+     save %.3fs, mmap load %.3fs)   v1/v2 = %.2fx@."
     v1_bytes (per_event v1_bytes) v1_save_s v1_load_s v2_bytes
-    (per_event v2_bytes) v2_save_s v2_load_s ratio;
+    (per_event v2_bytes) v2_save_s v2_load_s v3_bytes (per_event v3_bytes)
+    v3_save_s v3_load_s ratio;
   ( "recording-save-load",
     Obs.Json.Obj
       [ ("workload", Obs.Json.Str w.Workloads.Workload.name);
         ("events", Obs.Json.Int events);
         ("v1_bytes", Obs.Json.Int v1_bytes);
         ("v2_bytes", Obs.Json.Int v2_bytes);
+        ("v3_bytes", Obs.Json.Int v3_bytes);
         ("v1_bytes_per_event", Obs.Json.Float (per_event v1_bytes));
         ("v2_bytes_per_event", Obs.Json.Float (per_event v2_bytes));
+        ("v3_bytes_per_event", Obs.Json.Float (per_event v3_bytes));
         ("v1_save_s", Obs.Json.Float v1_save_s);
         ("v1_load_s", Obs.Json.Float v1_load_s);
         ("v2_save_s", Obs.Json.Float v2_save_s);
         ("v2_load_s", Obs.Json.Float v2_load_s);
+        ("v3_save_s", Obs.Json.Float v3_save_s);
+        ("v3_mmap_load_s", Obs.Json.Float v3_load_s);
         ("compression_v1_over_v2", Obs.Json.Float ratio)
       ] )
 
@@ -414,12 +443,21 @@ let trace_append_entry results =
   let find name = List.assoc_opt ("perf " ^ name) results in
   match (find "trace-append-sink-1k", find "trace-append-direct-1k") with
   | Some sink_ns, Some direct_ns ->
+    let bigarray =
+      match find "trace-append-bigarray-1k" with
+      | Some ba_ns ->
+        [ ("bigarray_ns_per_1k", Obs.Json.Float ba_ns);
+          ("overhead_direct_vs_bigarray", Obs.Json.Float (direct_ns /. ba_ns))
+        ]
+      | None -> []
+    in
     [ ( "trace-append",
         Obs.Json.Obj
-          [ ("sink_ns_per_1k", Obs.Json.Float sink_ns);
-            ("direct_ns_per_1k", Obs.Json.Float direct_ns);
-            ("speedup_direct_vs_sink", Obs.Json.Float (sink_ns /. direct_ns))
-          ] )
+          ([ ("sink_ns_per_1k", Obs.Json.Float sink_ns);
+             ("direct_ns_per_1k", Obs.Json.Float direct_ns);
+             ("speedup_direct_vs_sink", Obs.Json.Float (sink_ns /. direct_ns))
+           ]
+           @ bigarray) )
     ]
   | _ -> []
 
@@ -436,6 +474,43 @@ let sweep_gauges () =
         fields
     in
     if sweeps = [] then [] else [ ("sweeps", Obs.Json.Obj sweeps) ]
+  | _ -> []
+
+(* The producer/consumer gap: pure trace-production rate
+   (Runner.record_grid's producer_events_per_s) over grid-replay rate
+   (sweep_recording's consumer_events_per_s), per workload, from the
+   gauges the experiment pass published. *)
+let producer_gap_entry () =
+  let gauge_value fields name =
+    match List.assoc_opt name fields with
+    | Some (Obs.Json.Obj gf) -> (
+      match List.assoc_opt "value" gf with
+      | Some (Obs.Json.Float v) -> Some v
+      | _ -> None)
+    | _ -> None
+  in
+  match Obs.Metrics.to_json Obs.Metrics.default with
+  | Obs.Json.Obj fields ->
+    let gaps =
+      List.filter_map
+        (fun (w : Workloads.Workload.t) ->
+          let label = "sweep." ^ w.Workloads.Workload.name ^ ".wv" in
+          match
+            ( gauge_value fields (label ^ ".producer_events_per_s"),
+              gauge_value fields (label ^ ".consumer_events_per_s") )
+          with
+          | Some p, Some c when c > 0.0 ->
+            Some
+              ( w.Workloads.Workload.name,
+                Obs.Json.Obj
+                  [ ("producer_events_per_s", Obs.Json.Float p);
+                    ("consumer_events_per_s", Obs.Json.Float c);
+                    ("producer_over_consumer", Obs.Json.Float (p /. c))
+                  ] )
+          | _ -> None)
+        Workloads.Workload.all
+    in
+    if gaps = [] then [] else [ ("producer_gap", Obs.Json.Obj gaps) ]
   | _ -> []
 
 let write_bench_metrics results extra =
@@ -462,7 +537,7 @@ let write_bench_metrics results extra =
     (List.length results)
 
 let () =
-  run_experiments ();
+  if Sys.getenv_opt "SKIP_EXP" = None then run_experiments ();
   let skip_perf = Sys.getenv_opt "REPRO_SKIP_PERF" = Some "1" in
   let results = if skip_perf then [] else run_perf () in
   let extra =
@@ -472,5 +547,5 @@ let () =
       @ [ measure_sweep (); measure_attribution ();
           measure_recording_formats () ]
   in
-  write_bench_metrics results (sweep_gauges () @ extra);
+  write_bench_metrics results (sweep_gauges () @ producer_gap_entry () @ extra);
   Format.pp_print_flush ppf ()

@@ -258,37 +258,70 @@ let run_targets targets cache_bytes block_bytes policy gc scale metrics
 
 (* --- record / replay ----------------------------------------------------- *)
 
-let record name out_path scale format gc heap_bytes attr_out =
-  match Workloads.Workload.find name with
-  | None ->
+let format_name = function
+  | Memsim.Recording.V1 -> "v1"
+  | Memsim.Recording.V2 -> "v2"
+  | Memsim.Recording.V3 -> "v3"
+
+let record_report format out_path w (r, recording) =
+  Memsim.Recording.save ~format recording out_path;
+  let bytes = (Unix.stat out_path).Unix.st_size in
+  Format.fprintf ppf
+    "recorded %d references of %s (scale %d) to %s (%s, %.2f bytes/event)@."
+    (Memsim.Recording.length recording)
+    w.Workloads.Workload.name r.Core.Runner.scale out_path (format_name format)
+    (float_of_int bytes
+     /. float_of_int (max 1 (Memsim.Recording.length recording)))
+
+let record names out_path scale format gc heap_bytes attr_out jobs =
+  Option.iter Core.Runner.set_jobs jobs;
+  let resolved = List.map (fun n -> (n, Workloads.Workload.find n)) names in
+  match List.find_opt (fun (_, w) -> w = None) resolved with
+  | Some (name, _) ->
     Format.eprintf "unknown workload %S (try `repro workloads')@." name;
     1
-  | Some w ->
-    (* Fast path: the memory appends packed events straight into the
-       recording, no per-event closure. *)
-    let table = Option.map (fun _ -> Memsim.Attr.create ()) attr_out in
-    let r, recording = Core.Runner.record ~gc ?heap_bytes ?scale ?attr:table w in
-    Memsim.Recording.save ~format recording out_path;
-    let bytes = (Unix.stat out_path).Unix.st_size in
-    Format.fprintf ppf
-      "recorded %d references of %s (scale %d) to %s (%s, %.2f bytes/event)@."
-      (Memsim.Recording.length recording)
-      w.Workloads.Workload.name r.Core.Runner.scale out_path
-      (match format with
-       | Memsim.Recording.V1 -> "v1"
-       | Memsim.Recording.V2 -> "v2")
-      (float_of_int bytes
-       /. float_of_int (max 1 (Memsim.Recording.length recording)));
-    (match (attr_out, table) with
-     | Some path, Some t ->
-       Memsim.Attr.save t path;
-       Format.fprintf ppf
-         "wrote attribution sidecar to %s (%d region epochs, %d sites); \
-          `repro profile --trace %s --attr %s' replays it@."
-         path (Memsim.Attr.num_epochs t) (Memsim.Attr.num_sites t) out_path
-         path
-     | _ -> ());
-    0
+  | None ->
+    match List.filter_map snd resolved with
+    | [] ->
+      Format.eprintf "record: no workload given (try `repro workloads')@.";
+      1
+    | [ w ] ->
+      (* Fast path: the memory appends packed events straight into the
+         recording, no per-event closure. *)
+      let table = Option.map (fun _ -> Memsim.Attr.create ()) attr_out in
+      let r, recording =
+        Core.Runner.record ~gc ?heap_bytes ?scale ?attr:table w
+      in
+      record_report format out_path w (r, recording);
+      (match (attr_out, table) with
+       | Some path, Some t ->
+         Memsim.Attr.save t path;
+         Format.fprintf ppf
+           "wrote attribution sidecar to %s (%d region epochs, %d sites); \
+            `repro profile --trace %s --attr %s' replays it@."
+           path (Memsim.Attr.num_epochs t) (Memsim.Attr.num_sites t) out_path
+           path
+       | _ -> ());
+      0
+    | ws when attr_out <> None ->
+      ignore ws;
+      Format.eprintf "record: --attr requires a single workload@.";
+      1
+    | ws ->
+      (* Several independent runs: shard them across the domain pool
+         (--jobs / REPRO_JOBS) with the sharded producer; each trace
+         lands in its own derived output file. *)
+      let recorded =
+        Core.Runner.record_grid
+          (List.map (fun w -> Core.Runner.cell ~gc ?heap_bytes ?scale w) ws)
+      in
+      List.iteri
+        (fun i w ->
+          record_report format
+            (out_path ^ "." ^ w.Workloads.Workload.name)
+            w recorded.(i))
+        ws;
+      0
 
 let replay path cache_bytes block_bytes policy checkpoint checkpoint_every =
   match Memsim.Recording.load path with
@@ -895,7 +928,11 @@ let simulate_cmd =
 
 let record_cmd =
   let workload_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name")
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"Workload name(s).  With several, the independent runs \
+                   are sharded across --jobs domains and each trace is \
+                   written to FILE.$(docv)")
   in
   let out =
     Arg.(value & opt string "trace.bin" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file")
@@ -906,13 +943,17 @@ let record_cmd =
   let format =
     let format_conv =
       Arg.enum
-        [ ("v1", Memsim.Recording.V1); ("v2", Memsim.Recording.V2) ]
+        [ ("v1", Memsim.Recording.V1);
+          ("v2", Memsim.Recording.V2);
+          ("v3", Memsim.Recording.V3)
+        ]
     in
     Arg.(value & opt format_conv Memsim.Recording.V2
          & info [ "format" ] ~docv:"FMT"
-             ~doc:"On-disk format: v2 (delta+varint, default) or v1 \
-                   (fixed 8 bytes/event); `repro replay' and `repro \
-                   stats' load either")
+             ~doc:"On-disk format: v2 (delta+varint, default), v1 \
+                   (fixed 8 bytes/event) or v3 (mmap-native fixed \
+                   stride, zero-copy load); `repro replay' and `repro \
+                   stats' load any")
   in
   let heap =
     Arg.(value & opt (some size_conv) None
@@ -929,9 +970,11 @@ let record_cmd =
                    saved trace fully attributed")
   in
   Cmd.v
-    (Cmd.info "record" ~doc:"Record a workload's reference trace to a file")
+    (Cmd.info "record"
+       ~doc:"Record workload reference traces to files (several workloads \
+             shard across --jobs domains)")
     Term.(const record $ workload_arg $ out $ scale $ format $ gc_arg $ heap
-          $ attr)
+          $ attr $ jobs_arg)
 
 let replay_cmd =
   let path =

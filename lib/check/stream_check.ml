@@ -100,7 +100,7 @@ let check ?geometry ?(expect = no_expect) ~file recording =
   let index = ref 0 in
   Memsim.Recording.iter_chunks recording (fun buf len ->
       for j = 0 to len - 1 do
-        let w = Array.unsafe_get buf j in
+        let w = Bigarray.Array1.unsafe_get buf j in
         let i = !index in
         index := i + 1;
         let addr = w lsr 3 in

@@ -1,7 +1,7 @@
 (* Static byte-level verification of recorded traces.
 
-   This is a deliberate re-implementation of the two on-disk formats
-   (Memsim.Recording v1 and v2), independent of [Recording.load]: where
+   This is a deliberate re-implementation of the three on-disk formats
+   (Memsim.Recording v1, v2 and v3), independent of [Recording.load]: where
    the loader raises on the first problem, the scanner keeps a cursor,
    collects findings with byte offsets and event indices, and recovers
    where the encoding allows (a corrupt kind tag does not desynchronize
@@ -12,6 +12,7 @@
 type format =
   | V1
   | V2
+  | V3
 
 type result = {
   file : string;
@@ -25,6 +26,7 @@ type result = {
    test_check's round-trip cases). *)
 let magic_v1 = 0x5243545243414345L
 let magic_v2 = 0x3256545243414345L
+let magic_v3 = 0x3356545243414345L
 
 let max_addr = max_int lsr 3
 
@@ -195,6 +197,89 @@ let scan_v2 sc =
     end
   end
 
+(* --- v3: 24-byte header, 8 fixed little-endian bytes per event ---------
+
+   The mmap-native format.  Recording.load maps the payload and so
+   cannot observe bit 63 of a word (the int-kind Bigarray view is
+   63-bit): this scanner is where a v3 file's word-width check lives,
+   alongside the header geometry (version, stride, count) the loader
+   also enforces. *)
+
+let scan_v3 sc =
+  let file_bytes = Bytes.length sc.bytes in
+  if file_bytes < 24 then begin
+    report sc ~rule:"trace.truncated" ~where:(Finding.Byte file_bytes)
+      "file too short for a v3 header";
+    (None, None)
+  end
+  else begin
+    let version = Char.code (Bytes.get sc.bytes 8) in
+    if version <> 3 then begin
+      report sc ~rule:"trace.version" ~where:(Finding.Byte 8)
+        (Printf.sprintf "unsupported format version %d" version);
+      (None, None)
+    end
+    else begin
+      let stride = Char.code (Bytes.get sc.bytes 9) in
+      if stride <> 8 then begin
+        report sc ~rule:"trace.stride" ~where:(Finding.Byte 9)
+          (Printf.sprintf "unsupported event stride %d (expected 8)" stride);
+        (None, None)
+      end
+      else begin
+        let declared = Int64.to_int (Bytes.get_int64_le sc.bytes 16) in
+        sc.pos <- 24;
+        if declared < 0 then begin
+          report sc ~rule:"trace.header-count" ~where:(Finding.Byte 16)
+            (Printf.sprintf "header declares a negative event count (%d)"
+               declared);
+          (Some declared, None)
+        end
+        else begin
+          let payload = file_bytes - 24 in
+          if payload mod 8 <> 0 then
+            report sc ~rule:"trace.truncated"
+              ~where:(Finding.Byte (24 + (payload / 8 * 8)))
+              (Printf.sprintf "file ends with a partial %d-byte word"
+                 (payload mod 8));
+          let held = payload / 8 in
+          if held < declared then
+            report sc ~rule:"trace.declared-count" ~where:(Finding.Byte 16)
+              (Printf.sprintf "header declares %d events but the file holds %d"
+                 declared held)
+          else if held > declared then
+            report sc ~rule:"trace.trailing-bytes"
+              ~where:(Finding.Byte (24 + (8 * declared)))
+              (Printf.sprintf "%d byte(s) after the declared %d events"
+                 (payload - (8 * declared))
+                 declared);
+          let scanned = min held declared in
+          let recording = Memsim.Recording.create () in
+          let out = Memsim.Recording.sink recording in
+          for i = 0 to scanned - 1 do
+            let off = 24 + (8 * i) in
+            let w64 = Bytes.get_int64_le sc.bytes off in
+            let w = Int64.to_int w64 in
+            if not (Int64.equal (Int64.of_int w) w64) then
+              report sc ~rule:"trace.word-width" ~where:(Finding.Event i)
+                (Printf.sprintf
+                   "byte %d: word 0x%Lx does not fit a 63-bit native int" off
+                   w64)
+            else if w land 6 = 6 then
+              report sc ~rule:"trace.kind-bits" ~where:(Finding.Event i)
+                (Printf.sprintf "byte %d: invalid kind code 3" off)
+            else begin
+              let addr, kind, phase = Memsim.Chunk.unpack w in
+              out.Memsim.Trace.access addr kind phase
+            end
+          done;
+          sc.pos <- 24 + (8 * scanned);
+          (Some declared, Some recording)
+        end
+      end
+    end
+  end
+
 (* --- Entry point -------------------------------------------------------- *)
 
 let read_file path =
@@ -236,6 +321,7 @@ let scan path =
       let format, (declared, recording) =
         if Int64.equal tag magic_v1 then (Some V1, scan_v1 sc)
         else if Int64.equal tag magic_v2 then (Some V2, scan_v2 sc)
+        else if Int64.equal tag magic_v3 then (Some V3, scan_v3 sc)
         else begin
           report sc ~rule:"trace.magic" ~where:(Finding.Byte 0)
             (Printf.sprintf "not a trace recording (magic 0x%Lx)" tag);
@@ -253,3 +339,4 @@ let scan path =
 let format_string = function
   | V1 -> "v1"
   | V2 -> "v2"
+  | V3 -> "v3"

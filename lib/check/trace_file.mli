@@ -1,5 +1,5 @@
 (** Static verification of recorded trace files ({!Memsim.Recording}
-    v1 and v2) without sweeping them through a cache.
+    v1, v2 and v3) without sweeping them through a cache.
 
     Unlike [Recording.load], which raises on the first problem, the
     scanner collects {!Finding.t}s with byte offsets and event indices
@@ -9,21 +9,25 @@
 
     - [trace.io] — the file could not be read;
     - [trace.magic] — not a recording at all;
-    - [trace.version] — v2 magic but an unknown version byte;
-    - [trace.truncated] — short header, partial v1 word, or a v2 file
-      ending mid-event;
+    - [trace.version] — v2/v3 magic but an unknown version byte;
+    - [trace.stride] — v3 header declares an event stride other than 8;
+    - [trace.truncated] — short header, partial v1/v3 word, or a v2
+      file ending mid-event;
     - [trace.header-count] — negative declared event count;
-    - [trace.declared-count] — v1 payload disagrees with the header;
-    - [trace.word-width] — v1 word does not fit a 63-bit native int;
+    - [trace.declared-count] — v1/v3 payload disagrees with the header;
+    - [trace.word-width] — v1/v3 word does not fit a 63-bit native int
+      (for v3 this scanner is the only deep check: the mmap loader's
+      int-kind view cannot observe bit 63);
     - [trace.kind-bits] — event carries the invalid kind code 3;
     - [trace.varint] — v2 varint continues past 63 bits;
     - [trace.address-range] — v2 delta chain leaves [0, 2^60);
-    - [trace.trailing-bytes] — v2 bytes after the declared events;
+    - [trace.trailing-bytes] — bytes after the declared events;
     - [trace.suppressed] — warning noting findings beyond the cap. *)
 
 type format =
   | V1
   | V2
+  | V3
 
 type result = {
   file : string;

@@ -5,30 +5,53 @@ type pass = {
 }
 
 (* Trace once, sweep many: each workload is interpreted a single time
-   to capture its reference trace.  The write-validate grid (40 caches)
-   consumes the trace while it is produced (record-while-sweep); the
-   fetch-on-write grid then replays the completed recording,
-   chunk-batched and parallel across domains when [Runner.jobs () > 1]. *)
+   to capture its reference trace; the write-validate and
+   fetch-on-write grids (40 caches each) then replay the completed
+   recording, chunk-batched and parallel across domains when
+   [Runner.jobs () > 1].  Production itself is sharded with
+   [Runner.record_grid]: the five workload runs are independent, so
+   batches of [jobs] of them record concurrently on the domain pool
+   (batching bounds resident recordings to [jobs] at a time). *)
 let run_pass () =
-  let results =
-    List.map
-      (fun w ->
-        let grid policy =
-          Memsim.Sweep.create
-            (Memsim.Sweep.grid ~write_miss_policy:policy
-               ~cache_sizes:Memsim.Sweep.paper_cache_sizes
-               ~block_sizes:Memsim.Sweep.paper_block_sizes ())
-        in
-        let label tag = "sweep." ^ w.Workloads.Workload.name ^ "." ^ tag in
-        let sw_wv = grid Memsim.Cache.Write_validate in
-        let r, recording = Runner.record_sweep ~label:(label "wv") sw_wv w in
-        let sw_fow = grid Memsim.Cache.Fetch_on_write in
-        Runner.sweep_recording ~label:(label "fow") sw_fow recording;
-        ( r.Runner.stats.Vscheme.Machine.mutator_insns,
-          Memsim.Sweep.results sw_wv,
-          Memsim.Sweep.results sw_fow ))
-      Workloads.Workload.all
+  let jobs = Runner.jobs () in
+  let rec split i = function
+    | x :: tl when i > 0 ->
+      let now, later = split (i - 1) tl in
+      (x :: now, later)
+    | ws -> ([], ws)
   in
+  let sweep_one w (r, recording) =
+    let grid policy =
+      Memsim.Sweep.create
+        (Memsim.Sweep.grid ~write_miss_policy:policy
+           ~cache_sizes:Memsim.Sweep.paper_cache_sizes
+           ~block_sizes:Memsim.Sweep.paper_block_sizes ())
+    in
+    let label tag = "sweep." ^ w.Workloads.Workload.name ^ "." ^ tag in
+    let sw_wv = grid Memsim.Cache.Write_validate in
+    Runner.sweep_recording ~label:(label "wv") sw_wv recording;
+    let sw_fow = grid Memsim.Cache.Fetch_on_write in
+    Runner.sweep_recording ~label:(label "fow") sw_fow recording;
+    ( r.Runner.stats.Vscheme.Machine.mutator_insns,
+      Memsim.Sweep.results sw_wv,
+      Memsim.Sweep.results sw_fow )
+  in
+  let rec batches acc = function
+    | [] -> List.rev acc
+    | ws ->
+      let now, later = split jobs ws in
+      let recorded =
+        Runner.record_grid ~jobs
+          (List.map
+             (fun w ->
+               Runner.cell
+                 ~label:("sweep." ^ w.Workloads.Workload.name ^ ".wv") w)
+             now)
+      in
+      let res = List.mapi (fun i w -> sweep_one w recorded.(i)) now in
+      batches (List.rev_append res acc) later
+  in
+  let results = batches [] Workloads.Workload.all in
   { insns = List.map (fun (i, _, _) -> i) results;
     wv = List.map (fun (_, a, _) -> a) results;
     fow = List.map (fun (_, _, b) -> b) results

@@ -16,12 +16,12 @@ type measured = {
 
 let measure ?gc ?scale w =
   let sweep = sweep_64b () in
-  (* Record-while-sweep: the grid consumes the trace as it is produced. *)
-  let r, _recording =
-    Runner.record_sweep
-      ~label:("sweep." ^ w.Workloads.Workload.name ^ ".gc64b")
-      ?gc ?scale sweep w
-  in
+  (* Record via the sharded producer (pure production timing under the
+     gauge label), then replay the completed recording into the grid. *)
+  let label = "sweep." ^ w.Workloads.Workload.name ^ ".gc64b" in
+  let recorded = Runner.record_grid [ Runner.cell ?gc ?scale ~label w ] in
+  let r, recording = recorded.(0) in
+  Runner.sweep_recording ~label sweep recording;
   { insns = r.Runner.stats.Vscheme.Machine.mutator_insns;
     collector_insns = r.Runner.stats.Vscheme.Machine.collector_insns;
     collections = r.Runner.stats.Vscheme.Machine.collections;

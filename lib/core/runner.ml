@@ -145,10 +145,91 @@ let sweep_recording ?(label = "sweep") sweep recording =
   set (label ^ ".jobs") (float_of_int jobs);
   set (label ^ ".events") (float_of_int events);
   let caches = Array.length (Memsim.Sweep.caches sweep) in
-  if dt > 0.0 then
-    set
-      (label ^ ".events_per_s")
-      (float_of_int (events * caches) /. dt)
+  if dt > 0.0 then begin
+    let rate = float_of_int (events * caches) /. dt in
+    set (label ^ ".events_per_s") rate;
+    (* Same number under the name the producer-gap gauge pairs with
+       [<label>.producer_events_per_s] (see [record_grid]). *)
+    set (label ^ ".consumer_events_per_s") rate
+  end
+
+(* Sharded domain-parallel producer: one VM run is inherently serial,
+   so the unit of parallelism is a whole grid cell (workload +
+   collector + scale).  Worker domains claim cells with an atomic
+   cursor; every cell gets its own machine and its own recording, so
+   no trace state is shared and the output indexed by input order is
+   bit-identical to recording the cells one after another serially. *)
+
+type cell = {
+  cell_workload : Workloads.Workload.t;
+  cell_gc : Vscheme.Machine.gc_spec option;
+  cell_heap_bytes : int option;
+  cell_pathological_layout : bool option;
+  cell_scale : int option;
+  cell_label : string option;
+}
+
+let cell ?gc ?heap_bytes ?pathological_layout ?scale ?label w =
+  { cell_workload = w;
+    cell_gc = gc;
+    cell_heap_bytes = heap_bytes;
+    cell_pathological_layout = pathological_layout;
+    cell_scale = scale;
+    cell_label = label
+  }
+
+let record_grid ?jobs:requested cell_list =
+  let cells = Array.of_list cell_list in
+  let n = Array.length cells in
+  let jobs =
+    let j = match requested with Some j -> max 1 j | None -> jobs () in
+    min j (max 1 n)
+  in
+  (* Claimed by atomic cursor; each slot is written by exactly the one
+     domain that claimed its index. *)
+  let slots = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec claim () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let c = cells.(i) in
+        let t0 = Unix.gettimeofday () in
+        let r, recording =
+          record ?gc:c.cell_gc ?heap_bytes:c.cell_heap_bytes
+            ?pathological_layout:c.cell_pathological_layout ?scale:c.cell_scale
+            c.cell_workload
+        in
+        slots.(i) <- Some (r, recording, Unix.gettimeofday () -. t0);
+        claim ()
+      end
+    in
+    claim ()
+  in
+  let workers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join workers;
+  (* Gauges are published from this domain only, after the joins: the
+     metrics registry is not synchronized. *)
+  let reg = Obs.Metrics.default in
+  let set name v = Obs.Metrics.Gauge.set (Obs.Metrics.gauge reg name) v in
+  Array.iteri
+    (fun i c ->
+      match (c.cell_label, slots.(i)) with
+      | Some label, Some (_, recording, dt) ->
+        let events = Memsim.Recording.length recording in
+        set (label ^ ".produce_wall_s") dt;
+        set (label ^ ".jobs") (float_of_int jobs);
+        set (label ^ ".events") (float_of_int events);
+        if dt > 0.0 then
+          set (label ^ ".producer_events_per_s") (float_of_int events /. dt)
+      | _ -> ())
+    cells;
+  Array.map
+    (function
+      | Some (r, recording, _) -> (r, recording)
+      | None -> assert false)
+    slots
 
 (* Record-while-sweep: the mutator domain runs the workload with the
    fast-path recorder, every recording slab that seals is broadcast

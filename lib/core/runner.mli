@@ -95,9 +95,45 @@ val sweep_recording :
 (** Replay a recording into a sweep grid, using
     {!Memsim.Sweep.run_parallel} when {!jobs}[ () > 1] and the serial
     oracle otherwise.  Publishes [<label>.{wall_s,jobs,events,
-    events_per_s}] gauges ([label] defaults to ["sweep"]) to
-    {!Obs.Metrics.default} so exported telemetry tracks sweep wall time
-    and throughput. *)
+    events_per_s,consumer_events_per_s}] gauges ([label] defaults to
+    ["sweep"]) to {!Obs.Metrics.default} so exported telemetry tracks
+    sweep wall time and throughput; [consumer_events_per_s] duplicates
+    [events_per_s] under the name that pairs with {!record_grid}'s
+    [producer_events_per_s] for the producer-gap gauge. *)
+
+(** {1 Sharded domain-parallel producer} *)
+
+type cell
+(** One unit of trace production: a workload plus its collector, heap,
+    layout and scale options, and an optional metrics label. *)
+
+val cell :
+  ?gc:Vscheme.Machine.gc_spec ->
+  ?heap_bytes:int ->
+  ?pathological_layout:bool ->
+  ?scale:int ->
+  ?label:string ->
+  Workloads.Workload.t ->
+  cell
+(** Build a {!cell}; the options default exactly as in {!record}. *)
+
+val record_grid :
+  ?jobs:int -> cell list -> (result * Memsim.Recording.t) array
+(** Record every cell, sharding the independent runs across a pool of
+    [jobs] domains (default {!jobs}[ ()], clamped to the cell count).
+    A single VM run is inherently serial, so the whole cell is the
+    unit of parallelism: each domain claims cells off an atomic cursor
+    and records each into its own fresh machine and recording.
+    Nothing is shared between cells, so the returned array — indexed
+    in input order — is bit-for-bit identical to recording the cells
+    one after another serially, for any [jobs].
+
+    For each labelled cell, publishes
+    [<label>.{produce_wall_s,jobs,events,producer_events_per_s}]
+    gauges to {!Obs.Metrics.default} (from the calling domain only,
+    after all workers have joined); [produce_wall_s] covers that
+    cell's whole production — machine creation, load, and the traced
+    run. *)
 
 val record_sweep :
   ?label:string ->

@@ -67,10 +67,12 @@ let policy_of_string ~file = function
 let format_string = function
   | Memsim.Recording.V1 -> "v1"
   | Memsim.Recording.V2 -> "v2"
+  | Memsim.Recording.V3 -> "v3"
 
 let format_of_string ~file = function
   | "v1" -> Memsim.Recording.V1
   | "v2" -> Memsim.Recording.V2
+  | "v3" -> Memsim.Recording.V3
   | s ->
     raise (Sx.Parse_error (Printf.sprintf "%s: unknown trace format %S" file s))
 

@@ -3,11 +3,48 @@
    The codec is the historical Recording encoding: one native int per
    event, bits [63:3] byte address, [2:1] kind, [0] phase.  Recording
    slabs and live chunking producers share it, so a recording's internal
-   buffers can be consumed by [Cache.access_chunk] without copying. *)
+   buffers can be consumed by [Cache.access_chunk] without copying.
 
-type buf = int array
+   Buffers live off the OCaml heap as int-kind Bigarrays: the producer
+   fast path is one unsafe store with no write barrier and no GC
+   scanning of slab contents, and an mmap-backed v3 trace file can be
+   consumed through the very same type with zero copies. *)
+
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 let default_chunk_events = 1 lsl 16
+
+(* --- Buffers ----------------------------------------------------------- *)
+
+let create_buf n =
+  let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  Bigarray.Array1.fill b 0;
+  b
+
+(* For buffers whose written prefix is tracked by the caller (recording
+   slabs, chunking producers): every consumer reads only [0, len), so
+   the zero fill — a whole extra pass over the slab's memory — buys
+   nothing.  Contents beyond the written prefix are unspecified. *)
+let create_buf_uninit n =
+  Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let empty = create_buf 0
+
+let of_array a =
+  let n = Array.length a in
+  let b = create_buf n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set b i (Array.unsafe_get a i)
+  done;
+  b
+
+let to_array (b : buf) =
+  Array.init (Bigarray.Array1.dim b) (fun i -> Bigarray.Array1.get b i)
+
+let copy_prefix b len =
+  let c = create_buf len in
+  if len > 0 then Bigarray.Array1.blit (Bigarray.Array1.sub b 0 len) c;
+  c
 
 (* --- Codec ------------------------------------------------------------ *)
 
@@ -42,7 +79,8 @@ let unpack word =
 
 let producer ?(chunk_events = default_chunk_events) emit =
   if chunk_events <= 0 then invalid_arg "Chunk.producer: chunk_events <= 0";
-  let buf = Array.make chunk_events 0 in
+  (* [flush] hands consumers only the written prefix. *)
+  let buf = create_buf_uninit chunk_events in
   let len = ref 0 in
   let flush () =
     if !len > 0 then begin
@@ -52,7 +90,7 @@ let producer ?(chunk_events = default_chunk_events) emit =
     end
   in
   let access a kind phase =
-    Array.unsafe_set buf !len (pack a kind phase);
+    Bigarray.Array1.unsafe_set buf !len (pack a kind phase);
     incr len;
     if !len = chunk_events then flush ()
   in
@@ -65,7 +103,7 @@ module Fanout = struct
     mutex : Mutex.t;
     not_full : Condition.t;
     not_empty : Condition.t;
-    queues : (int array * int) Queue.t array;
+    queues : (buf * int) Queue.t array;
     capacity : int;
     mutable closed : bool;
   }
@@ -103,7 +141,7 @@ module Fanout = struct
 
   let push t buf len =
     (* One shared copy per broadcast: consumers only read it. *)
-    push_item t (Array.sub buf 0 len) len
+    push_item t (copy_prefix buf len) len
 
   (* No copy: only sound when the producer never writes [buf] again,
      e.g. a sealed Recording slab. *)

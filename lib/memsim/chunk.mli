@@ -2,21 +2,49 @@
 
     Per-event sinks ({!Trace.sink}) cost a closure dispatch per
     reference per consumer — the dominant host-time cost of fanning one
-    trace out to a 40-configuration sweep.  A chunk is a flat [int
-    array] of packed events (the {!Recording} encoding: bits [63:3]
-    byte address, [2:1] kind, [0] phase) that batched consumers such as
+    trace out to a 40-configuration sweep.  A chunk is a flat buffer of
+    packed events (the {!Recording} encoding: bits [63:3] byte address,
+    [2:1] kind, [0] phase) that batched consumers such as
     {!Cache.access_chunk} iterate with a tight decode loop instead.
+
+    Buffers are off-heap int-kind Bigarrays: stores skip the OCaml
+    write barrier, the GC never scans slab contents, and an mmap-backed
+    v3 trace file is consumed through the same type with zero copies.
 
     The module provides the codec, a {!producer} that turns a live
     event stream into chunks, and a bounded broadcast queue
     ({!Fanout}) for handing chunks to parallel consumer domains. *)
 
-type buf = int array
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 (** Packed events; only a prefix may be meaningful (paired with a
     length). *)
 
 val default_chunk_events : int
 (** Default events per chunk (65536; 512 KB per chunk). *)
+
+(** {1 Buffers} *)
+
+val create_buf : int -> buf
+(** [create_buf n] is a zero-filled off-heap buffer of [n] events. *)
+
+val create_buf_uninit : int -> buf
+(** [create_buf_uninit n] is an off-heap buffer of [n] events whose
+    contents are unspecified — for producers that track the written
+    prefix and never read past it, skipping {!create_buf}'s zero-fill
+    pass over the slab. *)
+
+val empty : buf
+(** The zero-length buffer. *)
+
+val of_array : int array -> buf
+(** Copy of an on-heap word array (test and bench convenience). *)
+
+val to_array : buf -> int array
+(** On-heap copy of a whole buffer (test convenience). *)
+
+val copy_prefix : buf -> int -> buf
+(** [copy_prefix b len] is a fresh buffer holding [b]'s first [len]
+    words. *)
 
 (** {1 Codec} *)
 

@@ -3,18 +3,27 @@
    long run has no transient 1.5x memory spike, and the slabs double as
    ready-made chunks for batched and domain-parallel consumers.
 
+   Slabs are off-heap Bigarray buffers (Chunk.buf): the GC never scans
+   recorded events, stores skip the write barrier, and a v3 trace file
+   mapped with [Unix.map_file] is consumed through exactly the same
+   representation — a loaded recording is one slab aliasing the file
+   pages, with no decode pass and no allocation proportional to the
+   trace.
+
    Two producers can fill a recording: the generic {!sink} (one closure
    call per event) and a *direct writer* — a hot loop that checks out
-   the current slab and cursor ({!checkout}), appends with plain array
-   stores, and goes out of line only to seal a full slab
+   the current slab and cursor ({!checkout}), appends with unsafe
+   Bigarray stores, and goes out of line only to seal a full slab
    ({!seal_full}).  Vscheme.Mem's trace fast path is the direct writer;
    the two produce bit-identical recordings. *)
 
+module BA1 = Bigarray.Array1
+
 type t = {
   chunk_events : int;              (* capacity of every full slab *)
-  mutable slabs : int array array; (* slabs.(0..nslabs-1) are full *)
+  mutable slabs : Chunk.buf array; (* slabs.(0..nslabs-1) are full *)
   mutable nslabs : int;
-  mutable cur : int array;
+  mutable cur : Chunk.buf;
   mutable cur_len : int;
   mutable direct : bool;           (* a direct writer owns [cur] *)
   on_seal : (Chunk.buf -> int -> unit) option;
@@ -22,17 +31,21 @@ type t = {
 
 let magic = 0x5243545243414345L (* "RCTRCACE" v1, arbitrary tag *)
 let magic_v2 = 0x3256545243414345L (* same tag family, "…V2" high byte pair *)
+let magic_v3 = 0x3356545243414345L (* same tag family, "…V3" high byte pair *)
 
 type format =
   | V1
   | V2
+  | V3
 
 let create ?(initial_capacity = Chunk.default_chunk_events) ?on_seal () =
   let chunk_events = max 16 initial_capacity in
   { chunk_events;
-    slabs = Array.make 8 [||];
+    slabs = Array.make 8 Chunk.empty;
     nslabs = 0;
-    cur = Array.make chunk_events 0;
+    (* The recording tracks the written prefix of every slab, so the
+       zero-fill pass is skipped. *)
+    cur = Chunk.create_buf_uninit chunk_events;
     cur_len = 0;
     direct = false;
     on_seal
@@ -42,14 +55,14 @@ let chunk_events t = t.chunk_events
 
 let seal_current t =
   if t.nslabs = Array.length t.slabs then begin
-    let bigger = Array.make (2 * t.nslabs) [||] in
+    let bigger = Array.make (2 * t.nslabs) Chunk.empty in
     Array.blit t.slabs 0 bigger 0 t.nslabs;
     t.slabs <- bigger
   end;
   t.slabs.(t.nslabs) <- t.cur;
   t.nslabs <- t.nslabs + 1;
   let sealed = t.cur in
-  t.cur <- Array.make t.chunk_events 0;
+  t.cur <- Chunk.create_buf_uninit t.chunk_events;
   t.cur_len <- 0;
   match t.on_seal with
   | None -> ()
@@ -58,7 +71,12 @@ let seal_current t =
 let append t word =
   if t.direct then
     invalid_arg "Recording.append: recording is checked out by a direct writer";
-  Array.unsafe_set t.cur t.cur_len word;
+  (* A memory-mapped recording has a zero-capacity current slab: the
+     bound check turns an append into a clean error instead of a store
+     past the mapping. *)
+  if t.cur_len >= BA1.dim t.cur then
+    invalid_arg "Recording.append: recording is read-only (memory-mapped)";
+  BA1.unsafe_set t.cur t.cur_len word;
   t.cur_len <- t.cur_len + 1;
   if t.cur_len = t.chunk_events then seal_current t
 
@@ -69,7 +87,7 @@ let length t = (t.nslabs * t.chunk_events) + t.cur_len
 
 let clear t =
   for i = 0 to t.nslabs - 1 do
-    t.slabs.(i) <- [||]
+    t.slabs.(i) <- Chunk.empty
   done;
   t.nslabs <- 0;
   t.cur_len <- 0;
@@ -102,14 +120,14 @@ let iter_chunks t f =
 let replay t sink =
   iter_chunks t (fun buf len ->
       for i = 0 to len - 1 do
-        let addr, kind, phase = Chunk.unpack (Array.unsafe_get buf i) in
+        let addr, kind, phase = Chunk.unpack (BA1.unsafe_get buf i) in
         sink.Trace.access addr kind phase
       done)
 
 let word t i =
   let slab = i / t.chunk_events in
   let off = i mod t.chunk_events in
-  if slab < t.nslabs then t.slabs.(slab).(off) else t.cur.(off)
+  if slab < t.nslabs then BA1.get t.slabs.(slab) off else BA1.get t.cur off
 
 let event t i =
   if i < 0 || i >= length t then invalid_arg "Recording.event";
@@ -122,6 +140,39 @@ let equal a b =
   let rec loop i = i >= n || (word a i = word b i && loop (i + 1)) in
   loop 0
 
+(* --- Diagnostics --------------------------------------------------------- *)
+
+(* Every load failure names the detected format version and the byte
+   offset of the offending field or event, so a corrupt multi-gigabyte
+   trace can be inspected with a hex dump straight at the reported
+   offset. *)
+let fail_at ~version ~byte fmt =
+  Printf.ksprintf
+    (fun msg ->
+      failwith (Printf.sprintf "Recording.load (%s, byte %d): %s" version byte msg))
+    fmt
+
+(* --- Fixed-stride writer (shared by v1 and v3) --------------------------- *)
+
+(* One bounded scratch buffer for the whole file, not a fresh Bytes
+   per chunk: a long recording is thousands of chunks, and an
+   mmap-backed recording is a single slab as large as the file. *)
+let output_words oc t =
+  let scratch_cap = min t.chunk_events Chunk.default_chunk_events in
+  let scratch = Bytes.create (8 * scratch_cap) in
+  iter_chunks t (fun buf len ->
+      let off = ref 0 in
+      while !off < len do
+        let n = min scratch_cap (len - !off) in
+        let base = !off in
+        for i = 0 to n - 1 do
+          Bytes.set_int64_le scratch (8 * i)
+            (Int64.of_int (BA1.unsafe_get buf (base + i)))
+        done;
+        output oc scratch 0 (8 * n);
+        off := base + n
+      done)
+
 (* --- v1 on-disk format: 8 fixed little-endian bytes per event ----------- *)
 
 let save_v1 t oc =
@@ -129,31 +180,15 @@ let save_v1 t oc =
   Bytes.set_int64_le hdr 0 magic;
   Bytes.set_int64_le hdr 8 (Int64.of_int (length t));
   output_bytes oc hdr;
-  (* One scratch buffer for the whole file, not a fresh Bytes per
-     chunk: a long recording is thousands of chunks. *)
-  let scratch = Bytes.create (8 * t.chunk_events) in
-  iter_chunks t (fun buf len ->
-      for i = 0 to len - 1 do
-        Bytes.set_int64_le scratch (8 * i) (Int64.of_int buf.(i))
-      done;
-      output oc scratch 0 (8 * len))
+  output_words oc t
 
-let load_v1 ic ~file_bytes =
-  let hdr = Bytes.create 8 in
-  really_input ic hdr 0 8;
-  let len = Int64.to_int (Bytes.get_int64_le hdr 0) in
-  if len < 0 then failwith "Recording.load: corrupt length";
-  (* Validate the declared count against what the file actually
-     holds before trusting it: a truncated or padded file fails
-     cleanly instead of producing a garbage tail. *)
-  let payload = file_bytes - 16 in
-  if payload mod 8 <> 0 || payload / 8 <> len then
-    failwith
-      (Printf.sprintf
-         "Recording.load: header declares %d events but the file holds \
-          %d%s"
-         len (payload / 8)
-         (if payload mod 8 = 0 then "" else " and a partial word"));
+(* Decode a fixed-stride 8-byte-LE payload of [len] words starting at
+   file offset [payload_base] into a fresh recording, validating that
+   each word round-trips through the native int (a file written on a
+   platform with wider ints, or a corrupt word using bit 63, would
+   otherwise be silently truncated) and that no event carries the
+   invalid kind code 3. *)
+let load_words ic ~version ~payload_base ~len =
   let t = create ~initial_capacity:Chunk.default_chunk_events () in
   let buf = Bytes.create (8 * t.chunk_events) in
   let remaining = ref len in
@@ -163,24 +198,35 @@ let load_v1 ic ~file_bytes =
     for i = 0 to n - 1 do
       let w64 = Bytes.get_int64_le buf (8 * i) in
       let w = Int64.to_int w64 in
-      (* Each packed word must round-trip through the native int:
-         a file written on a platform with wider ints (or a corrupt
-         word using bit 63) would otherwise be silently truncated. *)
       if not (Int64.equal (Int64.of_int w) w64) then
-        failwith
-          (Printf.sprintf
-             "Recording.load: event %d does not fit a native int \
-              (written on a wider platform, or corrupt)"
-             (length t));
+        fail_at ~version ~byte:(payload_base + (8 * length t))
+          "event %d does not fit a native int (written on a wider platform, \
+           or corrupt)"
+          (length t);
       if w land 6 = 6 then
-        failwith
-          (Printf.sprintf "Recording.load: event %d has corrupt kind bits"
-             (length t));
+        fail_at ~version ~byte:(payload_base + (8 * length t))
+          "event %d has corrupt kind bits" (length t);
       append t w
     done;
     remaining := !remaining - n
   done;
   t
+
+let load_v1 ic ~file_bytes =
+  let hdr = Bytes.create 8 in
+  really_input ic hdr 0 8;
+  let len = Int64.to_int (Bytes.get_int64_le hdr 0) in
+  if len < 0 then fail_at ~version:"v1" ~byte:8 "corrupt event count";
+  (* Validate the declared count against what the file actually
+     holds before trusting it: a truncated or padded file fails
+     cleanly instead of producing a garbage tail. *)
+  let payload = file_bytes - 16 in
+  if payload mod 8 <> 0 || payload / 8 <> len then
+    fail_at ~version:"v1" ~byte:8
+      "header declares %d events but the %s payload holds %d%s" len
+      (Size.to_string payload) (payload / 8)
+      (if payload mod 8 = 0 then "" else " and a partial word");
+  load_words ic ~version:"v1" ~payload_base:16 ~len
 
 (* --- v2 on-disk format: delta + varint --------------------------------- *)
 
@@ -215,7 +261,7 @@ let save_v2 t oc =
   let prev = ref 0 in
   iter_chunks t (fun slab len ->
       for i = 0 to len - 1 do
-        let w = Array.unsafe_get slab i in
+        let w = BA1.unsafe_get slab i in
         let addr = w lsr 3 in
         let tag = w land 7 in
         let delta = addr - !prev in
@@ -240,26 +286,29 @@ let max_addr = max_int lsr 3
 
 let load_v2 ic ~file_bytes =
   if file_bytes < 17 then
-    failwith "Recording.load: truncated file (missing v2 header)";
+    fail_at ~version:"v2" ~byte:file_bytes
+      "truncated file (%s of the %s header)" (Size.to_string file_bytes)
+      (Size.to_string 17);
   let hdr = Bytes.create 9 in
   really_input ic hdr 0 9;
   let version = Char.code (Bytes.get hdr 0) in
   if version <> 2 then
-    failwith
-      (Printf.sprintf "Recording.load: unsupported format version %d" version);
+    fail_at ~version:"v2" ~byte:8 "unsupported format version %d" version;
   let len = Int64.to_int (Bytes.get_int64_le hdr 1) in
-  if len < 0 then failwith "Recording.load: corrupt length";
+  if len < 0 then fail_at ~version:"v2" ~byte:9 "corrupt event count";
   let t = create ~initial_capacity:Chunk.default_chunk_events () in
   let buf = Bytes.create io_buf_bytes in
   let avail = ref 0 in
   let pos = ref 0 in
+  (* File offset of the next byte the decoder will consume: what the
+     channel has read, minus what is still buffered. *)
+  let consumed () = pos_in ic - !avail + !pos in
   let byte () =
     if !pos = !avail then begin
       let n = input ic buf 0 io_buf_bytes in
       if n = 0 then
-        failwith
-          (Printf.sprintf
-             "Recording.load: truncated file (%d of %d events)" (length t) len);
+        fail_at ~version:"v2" ~byte:file_bytes
+          "truncated file (%d of %d events)" (length t) len;
       avail := n;
       pos := 0
     end;
@@ -269,12 +318,12 @@ let load_v2 ic ~file_bytes =
   in
   let prev = ref 0 in
   for _ = 1 to len do
+    let ev_off = consumed () in
     let b0 = byte () in
     let tag = b0 land 7 in
     if tag land 6 = 6 then
-      failwith
-        (Printf.sprintf "Recording.load: event %d has corrupt kind bits"
-           (length t));
+      fail_at ~version:"v2" ~byte:ev_off "event %d has corrupt kind bits"
+        (length t);
     let zz = ref ((b0 lsr 3) land 0xf) in
     if b0 land 0x80 <> 0 then begin
       let shift = ref 4 in
@@ -282,9 +331,8 @@ let load_v2 ic ~file_bytes =
       while !continue do
         let b = byte () in
         if !shift > 62 then
-          failwith
-            (Printf.sprintf "Recording.load: event %d varint overflows"
-               (length t));
+          fail_at ~version:"v2" ~byte:ev_off "event %d varint overflows"
+            (length t);
         zz := !zz lor ((b land 0x7f) lsl !shift);
         shift := !shift + 7;
         continue := b land 0x80 <> 0
@@ -293,19 +341,112 @@ let load_v2 ic ~file_bytes =
     let delta = (!zz lsr 1) lxor (- (!zz land 1)) in
     let addr = !prev + delta in
     if addr < 0 || addr > max_addr then
-      failwith
-        (Printf.sprintf "Recording.load: event %d has corrupt address"
-           (length t));
+      fail_at ~version:"v2" ~byte:ev_off "event %d has corrupt address"
+        (length t);
     prev := addr;
     append t ((addr lsl 3) lor tag)
   done;
   if !avail - !pos > 0 || pos_in ic < file_bytes then
-    failwith
-      (Printf.sprintf
-         "Recording.load: %d trailing bytes after the declared %d events"
-         ((!avail - !pos) + (file_bytes - pos_in ic))
-         len);
+    fail_at ~version:"v2" ~byte:(consumed ())
+      "%d trailing bytes after the declared %d events"
+      ((!avail - !pos) + (file_bytes - pos_in ic))
+      len;
   t
+
+(* --- v3 on-disk format: mmap-native fixed stride ------------------------ *)
+
+(* Header (24 bytes = 3 words, so the payload starts word-aligned):
+     bytes  0..7   magic (LE)
+     byte   8      version (3)
+     byte   9      stride in bytes per event (8)
+     bytes 10..15  reserved (zero)
+     bytes 16..23  event count (LE)
+   Payload: count * 8-byte LE packed words — the in-memory slab
+   representation verbatim.  On a little-endian host the whole payload
+   is mapped with [Unix.map_file] and consumed in place: load is O(1),
+   allocates nothing proportional to the trace, and the sweep reads
+   cache-cold events straight off the page cache.
+
+   The int-kind Bigarray view cannot observe bit 63 of a mapped word
+   (OCaml ints are 63-bit), so the mmap path validates the header and
+   geometry only; the deep per-word audit (word width, kind bits)
+   lives in the heap fallback decoder and in the raw-byte scanner of
+   [repro check] (Check.Trace_file.scan_v3). *)
+
+let v3_header_bytes = 24
+let v3_stride = 8
+
+let save_v3 t oc =
+  let hdr = Bytes.create v3_header_bytes in
+  Bytes.fill hdr 0 v3_header_bytes '\000';
+  Bytes.set_int64_le hdr 0 magic_v3;
+  Bytes.set hdr 8 '\003';
+  Bytes.set hdr 9 (Char.chr v3_stride);
+  Bytes.set_int64_le hdr 16 (Int64.of_int (length t));
+  output_bytes oc hdr;
+  output_words oc t
+
+(* A mapped recording is a single full slab aliasing the file pages;
+   its current slab has zero capacity, so appends fail cleanly (see
+   [append]) and every read path works unchanged. *)
+let of_mapped payload count =
+  if count = 0 then create ()
+  else
+    { chunk_events = count;
+      slabs = [| payload |];
+      nslabs = 1;
+      cur = Chunk.empty;
+      cur_len = 0;
+      direct = false;
+      on_seal = None
+    }
+
+let map_v3 path count =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let payload =
+    (* Map header and payload (3 + count words) and drop the header by
+       sub-view: map_file offsets must be page-aligned, a word-aligned
+       sub costs nothing. *)
+    match Unix.map_file fd Bigarray.int Bigarray.c_layout false [| 3 + count |] with
+    | map -> Some (BA1.sub (Bigarray.array1_of_genarray map) 3 count)
+    | exception _ -> None
+  in
+  Unix.close fd;
+  payload
+
+let load_v3 ic ~path ~file_bytes =
+  if file_bytes < v3_header_bytes then
+    fail_at ~version:"v3" ~byte:file_bytes
+      "truncated file (%s of the %s header)" (Size.to_string file_bytes)
+      (Size.to_string v3_header_bytes);
+  let hdr = Bytes.create 16 in
+  really_input ic hdr 0 16;
+  let version = Char.code (Bytes.get hdr 0) in
+  if version <> 3 then
+    fail_at ~version:"v3" ~byte:8 "unsupported format version %d" version;
+  let stride = Char.code (Bytes.get hdr 1) in
+  if stride <> v3_stride then
+    fail_at ~version:"v3" ~byte:9 "unsupported event stride %d (expected %d)"
+      stride v3_stride;
+  let count = Int64.to_int (Bytes.get_int64_le hdr 8) in
+  if count < 0 then fail_at ~version:"v3" ~byte:16 "corrupt event count";
+  let payload = file_bytes - v3_header_bytes in
+  if payload mod 8 <> 0 || payload / 8 <> count then
+    fail_at ~version:"v3" ~byte:16
+      "header declares %d events but the %s payload holds %d%s" count
+      (Size.to_string payload) (payload / 8)
+      (if payload mod 8 = 0 then "" else " and a partial word");
+  (* The payload bytes are little-endian; mapping them as native words
+     is only a decode on a little-endian host.  Big-endian hosts (and
+     filesystems that refuse mmap) fall back to the byte-swapping heap
+     decoder, which also performs the per-word audit. *)
+  if Sys.big_endian then
+    load_words ic ~version:"v3" ~payload_base:v3_header_bytes ~len:count
+  else
+    match map_v3 path count with
+    | Some mapped -> of_mapped mapped count
+    | None ->
+      load_words ic ~version:"v3" ~payload_base:v3_header_bytes ~len:count
 
 (* --- Entry points ------------------------------------------------------- *)
 
@@ -316,7 +457,8 @@ let save ?(format = V2) t path =
     (fun () ->
       match format with
       | V1 -> save_v1 t oc
-      | V2 -> save_v2 t oc)
+      | V2 -> save_v2 t oc
+      | V3 -> save_v3 t oc)
 
 let load path =
   let ic = open_in_bin path in
@@ -325,10 +467,18 @@ let load path =
     (fun () ->
       let file_bytes = in_channel_length ic in
       if file_bytes < 16 then
-        failwith "Recording.load: truncated file (missing header)";
+        failwith
+          (Printf.sprintf
+             "Recording.load (byte 0): truncated file (%s, smaller than any \
+              header)"
+             (Size.to_string file_bytes));
       let tag = Bytes.create 8 in
       really_input ic tag 0 8;
       let tag = Bytes.get_int64_le tag 0 in
       if Int64.equal tag magic then load_v1 ic ~file_bytes
       else if Int64.equal tag magic_v2 then load_v2 ic ~file_bytes
-      else failwith "Recording.load: not a trace recording")
+      else if Int64.equal tag magic_v3 then load_v3 ic ~path ~file_bytes
+      else
+        failwith
+          (Printf.sprintf
+             "Recording.load (byte 0): not a trace recording (magic 0x%Lx)" tag))

@@ -10,28 +10,33 @@
     Events are packed one per native int (61-bit byte address, 2-bit
     kind, 1-bit phase — the {!Chunk} codec), so a recording costs 8
     host bytes per reference in memory.  Storage is a list of
-    fixed-size slabs: appending never copies already-recorded events,
-    and the slabs are exposed as ready-made chunks ({!iter_chunks})
-    for {!Cache.access_chunk} and the domain-parallel sweep, which
-    share a completed recording across domains without copying.
+    fixed-size off-heap slabs ({!Chunk.buf}): appending never copies
+    already-recorded events, the GC never scans trace contents, and
+    the slabs are exposed as ready-made chunks ({!iter_chunks}) for
+    {!Cache.access_chunk} and the domain-parallel sweep, which share a
+    completed recording across domains without copying.
 
     Two producers can fill a recording: the generic {!sink}, and a
     {e direct writer} ({!checkout}/{!seal_full}/{!set_tail}) — a hot
-    loop that owns the current slab and cursor and appends with plain
-    array stores, going out of line only when a slab fills.
+    loop that owns the current slab and cursor and appends with unsafe
+    Bigarray stores, going out of line only when a slab fills.
     [Vscheme.Mem]'s trace fast path is the direct writer; both
     producers yield bit-identical recordings.
 
     On disk, recordings are saved in format v2 by default — a
     delta+varint encoding exploiting the sequential allocation sweeps
-    of §7, typically 3–6x smaller than the v1 fixed-8-byte format —
-    and {!load} reads either format transparently. *)
+    of §7, typically 3–6x smaller than the v1 fixed-8-byte format.
+    Format v3 trades that compression for zero-cost loading: the
+    payload is the slab representation verbatim, and {!load} maps it
+    with [Unix.map_file] so the sweep consumes the file pages in
+    place.  {!load} reads all three formats transparently. *)
 
 type t
 
 type format =
   | V1  (** 8 fixed little-endian bytes per event *)
   | V2  (** zigzag address delta + kind/phase tag, LEB128 varint *)
+  | V3  (** mmap-native: fixed 8-byte stride, loaded zero-copy *)
 
 val create :
   ?initial_capacity:int -> ?on_seal:(Chunk.buf -> int -> unit) -> unit -> t
@@ -121,12 +126,22 @@ val save : ?format:format -> t -> string -> unit
     varint-coded event each — the zigzag delta of the byte address
     from the previous event with kind and phase folded into the low
     bits of the first byte.  Sequential traces cost 1–2 bytes per
-    event.  {!V1} writes the legacy fixed 8-bytes-per-event layout. *)
+    event.  {!V1} writes the legacy fixed 8-bytes-per-event layout.
+    {!V3} writes a 24-byte header (magic; version 3; stride 8; event
+    count) followed by the packed words verbatim, 8 LE bytes each —
+    the layout {!load} can memory-map. *)
 
 val load : string -> t
-(** Read a recording written by {!save}, either format (distinguished
-    by magic).  Malformed input — wrong magic, bad version, truncated
-    or padded payload, event counts that disagree with the payload,
-    corrupt kind bits, varint or address overflow, v1 words that do
-    not round-trip through the native int — fails cleanly.
+(** Read a recording written by {!save}, any format (distinguished by
+    magic).  A v3 file on a little-endian host is memory-mapped and
+    consumed zero-copy; the resulting recording is read-only (appends
+    raise [Invalid_argument]) and aliases the file pages, so the file
+    must outlive it.  Big-endian hosts and unmappable files fall back
+    to a heap decode with full per-word validation.  Malformed input —
+    wrong magic, bad version or stride, truncated or padded payload,
+    event counts that disagree with the payload, corrupt kind bits,
+    varint or address overflow, fixed-stride words that do not
+    round-trip through the native int — fails cleanly, and every
+    failure message names the format version and the byte offset of
+    the fault.
     @raise Failure on a malformed file. *)

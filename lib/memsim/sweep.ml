@@ -6,14 +6,7 @@ let paper_cache_sizes =
 
 let paper_block_sizes = [ 16; 32; 64; 128; 256 ]
 
-let pp_size ppf n =
-  let k = 1024 in
-  let m = 1024 * 1024 in
-  if n >= m && n mod (m / 4) = 0 then
-    if n mod m = 0 then Format.fprintf ppf "%dm" (n / m)
-    else Format.fprintf ppf "%gm" (float_of_int n /. float_of_int m)
-  else if n >= k && n mod k = 0 then Format.fprintf ppf "%dk" (n / k)
-  else Format.fprintf ppf "%db" n
+let pp_size = Size.pp
 
 type t = { caches : Cache.t array }
 

@@ -89,7 +89,7 @@ let words_allocated t = t.words_allocated
 let bytes_allocated t = t.words_allocated * Memsim.Trace.word_bytes
 
 let mutator_insns t = t.mutator_insns
-let charge_mutator t n = t.mutator_insns <- t.mutator_insns + n
+let[@inline] charge_mutator t n = t.mutator_insns <- t.mutator_insns + n
 let collector_insns t = t.collector_insns
 let charge_collector t n = t.collector_insns <- t.collector_insns + n
 let collections t = t.collections

@@ -1,7 +1,9 @@
 (** Simulated flat memory.
 
-    One word-addressed array of simulated 4-byte words backs the whole
-    vscheme address space.  Every traced access is reported with the
+    One word-addressed off-heap buffer of simulated 4-byte words backs
+    the whole vscheme address space — a private mapping of /dev/zero,
+    so creating even a large memory costs no up-front zeroing and the
+    OCaml GC never scans it.  Every traced access is reported with the
     current execution phase; the machine flips the phase to
     [Collector] around collections.
 

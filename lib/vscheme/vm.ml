@@ -11,6 +11,7 @@ let stack_headroom = 256
 type t = {
   heap : Heap.t;
   mem : Mem.t;
+  stack_limit : int; (* Heap.stack_limit, immutable: cached for push *)
   ctx : Primitives.ctx;
   globals_base : int;
   globals_limit : int;
@@ -52,6 +53,7 @@ let create ~heap ~ctx ~globals_base ~globals_limit ~runtime_vec =
   let stack_base = Heap.stack_base heap in
   { heap;
     mem = Heap.mem heap;
+    stack_limit = Heap.stack_limit heap;
     ctx;
     globals_base;
     globals_limit;
@@ -219,10 +221,8 @@ let note_prim_site t pid =
 
 (* --- Stack operations ------------------------------------------------ *)
 
-let stack_limit_of t = Heap.stack_limit t.heap
-
-let push t v =
-  if t.sp >= stack_limit_of t then Heap.error "stack overflow";
+let[@inline] push t v =
+  if t.sp >= t.stack_limit then Heap.error "stack overflow";
   Mem.write t.mem t.sp v;
   t.sp <- t.sp + 1
 
@@ -279,7 +279,7 @@ let build_rest t base arity n =
    vector, the busiest static block in the system (§7). *)
 let runtime_check t =
   let _limit_word = Mem.read t.mem t.runtime_vec in
-  if t.sp + stack_headroom >= stack_limit_of t then Heap.error "stack overflow"
+  if t.sp + stack_headroom >= t.stack_limit then Heap.error "stack overflow"
 
 let exec_primitive t pid base n =
   let spec = Primitives.spec pid in
@@ -514,11 +514,18 @@ let execute t code_id =
   t.cur <- code;
   t.pc <- 0;
   t.ctx.Primitives.reg.(reg_closure) <- Value.unspecified;
+  (* The dispatch loop, specialized on whether an instruction limit is
+     armed: the common unlimited run skips the per-step counter
+     comparison entirely (against max_int it can never fire). *)
   let rec loop () =
     if Heap.mutator_insns t.heap > t.limit then
       raise Instruction_limit_exceeded;
     step t;
     loop ()
   in
-  try loop () with
+  let rec loop_unlimited () =
+    step t;
+    loop_unlimited ()
+  in
+  try if t.limit = max_int then loop_unlimited () else loop () with
   | Halt v -> v

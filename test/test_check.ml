@@ -110,7 +110,7 @@ let test_workloads_scan_clean () =
                     ~file:path decoded
                 in
                 check_clean (w.Workloads.Workload.name ^ " stream") findings))
-        [ Memsim.Recording.V1; Memsim.Recording.V2 ])
+        [ Memsim.Recording.V1; Memsim.Recording.V2; Memsim.Recording.V3 ])
     Workloads.Workload.all
 
 let test_cheney_scan_clean () =
@@ -212,6 +212,48 @@ let test_trailing_bytes_v2 () =
       let scan = Check.Trace_file.scan bad in
       check_has "trace.trailing-bytes" scan.Check.Trace_file.findings);
   Sys.remove path
+
+(* --- v3 negatives: every header field and both word-level rules ---------- *)
+
+(* Patch one byte of a freshly saved v3 file and expect one rule. *)
+let patch_v3 rule patch =
+  let path = save_recording ~format:Memsim.Recording.V3 (sample_recording ()) in
+  let b = read_bytes path in
+  Sys.remove path;
+  with_tmp ".trace" (fun bad ->
+      write_bytes bad (patch b);
+      let scan = Check.Trace_file.scan bad in
+      check_has rule scan.Check.Trace_file.findings)
+
+let test_bad_version_v3 () =
+  patch_v3 "trace.version" (fun b -> Bytes.set b 8 '\004'; b)
+
+let test_bad_stride_v3 () =
+  patch_v3 "trace.stride" (fun b -> Bytes.set b 9 '\016'; b)
+
+let test_truncated_v3 () =
+  (* Cutting three bytes leaves a partial trailing word. *)
+  patch_v3 "trace.truncated" (fun b -> Bytes.sub b 0 (Bytes.length b - 3))
+
+let test_trailing_bytes_v3 () =
+  (* One whole word past the declared count. *)
+  patch_v3 "trace.trailing-bytes" (fun b -> Bytes.cat b (Bytes.make 8 '\000'))
+
+let test_declared_count_v3 () =
+  patch_v3 "trace.declared-count" (fun b -> Bytes.set_int64_le b 16 7L; b)
+
+let test_corrupt_kind_v3 () =
+  (* Both kind bits of the first event: code 3 is unassigned. *)
+  patch_v3 "trace.kind-bits" (fun b ->
+      Bytes.set b 24 (Char.chr (Char.code (Bytes.get b 24) lor 6));
+      b)
+
+let test_word_width_v3 () =
+  (* Bit 63 of the first event cannot fit a 63-bit native int — the
+     one check the mmap load path cannot perform itself. *)
+  patch_v3 "trace.word-width" (fun b ->
+      Bytes.set b 31 (Char.chr (Char.code (Bytes.get b 31) lor 0x80));
+      b)
 
 let test_declared_count_v1 () =
   let path = save_recording ~format:Memsim.Recording.V1 (sample_recording ()) in
@@ -416,7 +458,27 @@ let prop_save_scan_roundtrip =
           match scan.Check.Trace_file.recording with
           | Some decoded -> Memsim.Recording.equal r decoded
           | None -> false)
-        [ Memsim.Recording.V1; Memsim.Recording.V2 ])
+        [ Memsim.Recording.V1; Memsim.Recording.V2; Memsim.Recording.V3 ])
+
+(* The packed stream survives a change of container: v2's
+   delta+varint encoding and v3's fixed-stride mmap layout agree on
+   every arbitrary event stream, in both directions. *)
+let prop_v2_v3_roundtrip =
+  QCheck.Test.make ~name:"v2 <-> v3 round trip" ~count:60 arbitrary_events
+    (fun events ->
+      let r = recording_of_events events in
+      let load_via format r =
+        let path = save_recording ~format r in
+        let loaded = Memsim.Recording.load path in
+        Sys.remove path;
+        loaded
+      in
+      let as_v3 = load_via Memsim.Recording.V3 r in
+      let back = load_via Memsim.Recording.V2 as_v3 in
+      let again = load_via Memsim.Recording.V3 back in
+      Memsim.Recording.equal r as_v3
+      && Memsim.Recording.equal r back
+      && Memsim.Recording.equal r again)
 
 let prop_record_passes_checker =
   QCheck.Test.make ~name:"Runner.record output passes the checker" ~count:4
@@ -454,7 +516,14 @@ let () =
          Alcotest.test_case "address range v2" `Quick test_address_range_v2;
          Alcotest.test_case "corrupt kind bits v1" `Quick test_corrupt_kind_v1;
          Alcotest.test_case "trailing bytes v2" `Quick test_trailing_bytes_v2;
-         Alcotest.test_case "declared count v1" `Quick test_declared_count_v1
+         Alcotest.test_case "declared count v1" `Quick test_declared_count_v1;
+         Alcotest.test_case "bad version v3" `Quick test_bad_version_v3;
+         Alcotest.test_case "bad stride v3" `Quick test_bad_stride_v3;
+         Alcotest.test_case "truncated v3" `Quick test_truncated_v3;
+         Alcotest.test_case "trailing bytes v3" `Quick test_trailing_bytes_v3;
+         Alcotest.test_case "declared count v3" `Quick test_declared_count_v3;
+         Alcotest.test_case "corrupt kind bits v3" `Quick test_corrupt_kind_v3;
+         Alcotest.test_case "word width v3" `Quick test_word_width_v3
        ]);
       ("stream",
        [ Alcotest.test_case "alloc monotonicity violation" `Quick
@@ -475,6 +544,7 @@ let () =
        ]);
       ("properties",
        [ QCheck_alcotest.to_alcotest prop_save_scan_roundtrip;
+         QCheck_alcotest.to_alcotest prop_v2_v3_roundtrip;
          QCheck_alcotest.to_alcotest prop_record_passes_checker
        ])
     ]

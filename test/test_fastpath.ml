@@ -63,7 +63,8 @@ let test_record_sweep w () =
         [ 1; 3 ])
 
 let test_format_roundtrip () =
-  (* a real trace survives v1 -> load -> v2 -> load unchanged *)
+  (* a real trace survives v1 -> load -> v2 -> load -> v3 -> load
+     unchanged (the v3 leg exercises the mmap loader) *)
   let _, recording = Core.Runner.record ~scale:1 Workloads.Workload.nbody in
   let path = Filename.temp_file "repro" ".trace" in
   Fun.protect
@@ -75,7 +76,77 @@ let test_format_roundtrip () =
       let as_v2 = Memsim.Recording.load path in
       Alcotest.(check bool)
         "v1 -> v2 round trip" true
-        (Memsim.Recording.equal recording as_v2))
+        (Memsim.Recording.equal recording as_v2);
+      Memsim.Recording.save ~format:Memsim.Recording.V3 as_v2 path;
+      let as_v3 = Memsim.Recording.load path in
+      Alcotest.(check bool)
+        "v2 -> v3 round trip" true
+        (Memsim.Recording.equal recording as_v3))
+
+(* The mmap load path (v3) and the heap decode path (v2) must hand
+   back the same events for the same trace — and both must match the
+   recording that produced the files.  Also pins the mmap recording's
+   read-only contract: appends must fail loudly, never corrupt the
+   mapped file pages. *)
+let test_mmap_vs_heap w () =
+  let _, recording = Core.Runner.record ~scale:1 w in
+  let load_via format =
+    let path = Filename.temp_file "repro" ".trace" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Memsim.Recording.save ~format recording path;
+        Memsim.Recording.load path)
+  in
+  let mapped = load_via Memsim.Recording.V3 in
+  let heap = load_via Memsim.Recording.V2 in
+  Alcotest.(check bool)
+    "mmap load = original" true
+    (Memsim.Recording.equal recording mapped);
+  Alcotest.(check bool)
+    "mmap load = heap load" true
+    (Memsim.Recording.equal mapped heap);
+  let out = Memsim.Recording.sink mapped in
+  Alcotest.check_raises "mapped recording is read-only"
+    (Invalid_argument
+       "Recording.append: recording is read-only (memory-mapped)")
+    (fun () ->
+      out.Memsim.Trace.access 0 Memsim.Trace.Read Memsim.Trace.Mutator)
+
+(* Sharded production: for any job count, record_grid's output indexed
+   by input order must be bit-for-bit what recording the cells one
+   after another produces. *)
+let test_record_grid () =
+  let serial =
+    List.map (fun w -> Core.Runner.record ~scale:1 w) Workloads.Workload.all
+  in
+  List.iter
+    (fun jobs ->
+      let recorded =
+        Core.Runner.record_grid ~jobs
+          (List.map
+             (fun w -> Core.Runner.cell ~scale:1 w)
+             Workloads.Workload.all)
+      in
+      List.iteri
+        (fun i ((sr : Core.Runner.result), srec) ->
+          let r, recording = recorded.(i) in
+          let name =
+            Printf.sprintf "jobs=%d %s" jobs
+              sr.Core.Runner.workload.Workloads.Workload.name
+          in
+          Alcotest.(check string)
+            (name ^ ": result value") sr.Core.Runner.value r.Core.Runner.value;
+          Alcotest.(check int)
+            (name ^ ": mutator refs") sr.Core.Runner.refs r.Core.Runner.refs;
+          Alcotest.(check int)
+            (name ^ ": collector refs") sr.Core.Runner.collector_refs
+            r.Core.Runner.collector_refs;
+          Alcotest.(check bool)
+            (name ^ ": recording bit-identical") true
+            (Memsim.Recording.equal srec recording))
+        serial)
+    [ 1; 2; 4 ]
 
 let () =
   Alcotest.run "trace fast path"
@@ -91,8 +162,17 @@ let () =
             Alcotest.test_case w.Workloads.Workload.name `Slow
               (test_record_sweep w))
           Workloads.Workload.all );
+      ( "sharded producer",
+        [ Alcotest.test_case "record_grid = serial, jobs 1/2/4" `Slow
+            test_record_grid
+        ] );
       ( "formats",
-        [ Alcotest.test_case "v1 -> v2 round trip on a real trace" `Slow
-            test_format_roundtrip
-        ] )
+        Alcotest.test_case "v1 -> v2 -> v3 round trip on a real trace" `Slow
+          test_format_roundtrip
+        :: List.map
+             (fun w ->
+               Alcotest.test_case
+                 ("mmap = heap load, " ^ w.Workloads.Workload.name)
+                 `Slow (test_mmap_vs_heap w))
+             Workloads.Workload.all )
     ]

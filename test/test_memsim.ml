@@ -418,7 +418,7 @@ let test_hierarchy_chunk_equiv () =
   let per_event = mk_hierarchy () in
   List.iter (fun (a, k, p) -> Memsim.Hierarchy.access per_event a k p) events;
   let chunked = mk_hierarchy () in
-  let buf = Array.make 512 0 in
+  let buf = Memsim.Chunk.create_buf 512 in
   let n = ref 0 in
   let flush () =
     Memsim.Hierarchy.access_chunk chunked buf 0 !n;
@@ -426,7 +426,7 @@ let test_hierarchy_chunk_equiv () =
   in
   List.iter
     (fun (a, k, p) ->
-      buf.(!n) <- Memsim.Chunk.pack a k p;
+      Bigarray.Array1.set buf !n (Memsim.Chunk.pack a k p);
       incr n;
       if !n = 512 then flush ())
     events;
@@ -750,6 +750,138 @@ let test_recording_v2_corrupt () =
       write_file path (v2_file ~count:1 (Bytes.make 1 (Char.chr neg)));
       expect_failure path "negative address")
 
+let v3_magic = 0x3356545243414345L
+
+let v3_file ?(version = '\003') ?(stride = '\008') ~count payload =
+  let n = Bytes.length payload in
+  let b = Bytes.make (24 + n) '\000' in
+  Bytes.set_int64_le b 0 v3_magic;
+  Bytes.set b 8 version;
+  Bytes.set b 9 stride;
+  Bytes.set_int64_le b 16 (Int64.of_int count);
+  Bytes.blit payload 0 b 24 n;
+  b
+
+let test_recording_v3_spec () =
+  let rec_ = Memsim.Recording.create () in
+  let sink = Memsim.Recording.sink rec_ in
+  for i = 0 to 99 do
+    sink.Memsim.Trace.access (i * 16)
+      (match i mod 3 with
+       | 0 -> Memsim.Trace.Read
+       | 1 -> Memsim.Trace.Write
+       | _ -> Memsim.Trace.Alloc_write)
+      (if i land 1 = 0 then mutator else collector)
+  done;
+  let path = Filename.temp_file "repro" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* fixed stride: exactly 24 header bytes + 8 per event *)
+      Memsim.Recording.save ~format:Memsim.Recording.V3 rec_ path;
+      Alcotest.(check int) "v3 file size" (24 + (8 * 100))
+        (Unix.stat path).Unix.st_size;
+      let back = Memsim.Recording.load path in
+      Alcotest.(check bool)
+        "v3 load = original" true
+        (Memsim.Recording.equal rec_ back);
+      (* and a v3 file built byte by byte from the spec: 24-byte header
+         (magic, version 3, stride 8, reserved zeros, count), then 8 LE
+         bytes per event of the same packed word as v1 *)
+      let payload = Bytes.create 16 in
+      Bytes.set_int64_le payload 0 (Int64.of_int (64 lsl 3));
+      Bytes.set_int64_le payload 8 (Int64.of_int ((68 lsl 3) lor 2 lor 1));
+      write_file path (v3_file ~count:2 payload);
+      let crafted = Memsim.Recording.load path in
+      Alcotest.(check int) "crafted length" 2 (Memsim.Recording.length crafted);
+      Alcotest.(check bool)
+        "crafted event 0" true
+        (Memsim.Recording.event crafted 0
+         = (64, Memsim.Trace.Read, Memsim.Trace.Mutator));
+      Alcotest.(check bool)
+        "crafted event 1" true
+        (Memsim.Recording.event crafted 1
+         = (68, Memsim.Trace.Write, Memsim.Trace.Collector)))
+
+let test_recording_v3_corrupt () =
+  let path = Filename.temp_file "repro" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let payload = Bytes.create 8 in
+      Bytes.set_int64_le payload 0 (Int64.of_int (64 lsl 3));
+      (* unknown version byte under the v3 magic *)
+      write_file path (v3_file ~version:'\004' ~count:1 payload);
+      expect_failure path "unsupported v3 version";
+      (* an event stride the loader does not speak *)
+      write_file path (v3_file ~stride:'\016' ~count:1 payload);
+      expect_failure path "unsupported v3 stride";
+      (* header cut short *)
+      write_file path (Bytes.sub (v3_file ~count:1 payload) 0 20);
+      expect_failure path "short v3 header";
+      (* payload shorter than the declared count *)
+      write_file path (v3_file ~count:2 payload);
+      expect_failure path "truncated v3 payload";
+      (* trailing bytes after the declared events *)
+      write_file path (Bytes.cat (v3_file ~count:1 payload) (Bytes.make 4 'x'));
+      expect_failure path "v3 trailing bytes";
+      (* negative declared count *)
+      let neg = v3_file ~count:1 payload in
+      Bytes.set_int64_le neg 16 (-1L);
+      write_file path neg;
+      expect_failure path "negative v3 count")
+
+(* mmap-loaded recordings alias the file's pages: they must refuse
+   appends instead of writing through to disk. *)
+let test_recording_v3_read_only () =
+  let rec_ = Memsim.Recording.create () in
+  let sink = Memsim.Recording.sink rec_ in
+  for i = 0 to 9 do
+    sink.Memsim.Trace.access (i * 8) Memsim.Trace.Read mutator
+  done;
+  let path = Filename.temp_file "repro" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Memsim.Recording.save ~format:Memsim.Recording.V3 rec_ path;
+      let mapped = Memsim.Recording.load path in
+      let out = Memsim.Recording.sink mapped in
+      (match out.Memsim.Trace.access 0 Memsim.Trace.Read mutator with
+       | exception Invalid_argument _ -> ()
+       | () -> Alcotest.fail "append to a mapped recording must fail");
+      (* the failed append corrupted nothing *)
+      Alcotest.(check bool)
+        "mapped recording intact" true
+        (Memsim.Recording.equal rec_ mapped))
+
+(* Error messages name the detected format and the failing byte, so a
+   corrupt trace can be diagnosed with `dd'. *)
+let test_recording_error_messages () =
+  let path = Filename.temp_file "repro" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let expect_prefix what prefix =
+        match Memsim.Recording.load path with
+        | exception Failure msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %S starts with %S" what msg prefix)
+            true
+            (String.length msg >= String.length prefix
+             && String.sub msg 0 (String.length prefix) = prefix)
+        | _ -> Alcotest.fail (what ^ " must be rejected")
+      in
+      write_file path (Bytes.make 10 '\xab');
+      expect_prefix "short file" "Recording.load (byte 0): truncated file";
+      write_file path (Bytes.make 32 '\xab');
+      expect_prefix "bad magic" "Recording.load (byte 0): not a trace";
+      let payload = Bytes.create 8 in
+      Bytes.set_int64_le payload 0 (Int64.of_int (64 lsl 3));
+      write_file path (v3_file ~stride:'\016' ~count:1 payload);
+      expect_prefix "bad stride" "Recording.load (v3, byte 9):";
+      write_file path (v3_file ~count:2 payload);
+      expect_prefix "truncated v3" "Recording.load (v3, byte 16):")
+
 (* --- Chunks ------------------------------------------------------------- *)
 
 let all_kinds = [ Memsim.Trace.Read; Memsim.Trace.Write; Memsim.Trace.Alloc_write ]
@@ -778,7 +910,9 @@ let test_chunk_producer () =
   let emitted = ref [] in
   let sink, flush =
     Memsim.Chunk.producer ~chunk_events:8 (fun buf len ->
-        emitted := Array.to_list (Array.sub buf 0 len) :: !emitted)
+        emitted :=
+          Array.to_list (Array.sub (Memsim.Chunk.to_array buf) 0 len)
+          :: !emitted)
   in
   for i = 0 to 19 do
     sink.Memsim.Trace.access (i * 4) Memsim.Trace.Read mutator
@@ -798,7 +932,7 @@ let test_chunk_producer () =
 
 let test_fanout () =
   let fan = Memsim.Chunk.Fanout.create ~consumers:2 ~capacity:4 in
-  let chunk = [| 1; 2; 3 |] in
+  let chunk = Memsim.Chunk.of_array [| 1; 2; 3 |] in
   Memsim.Chunk.Fanout.push fan chunk 3;
   Memsim.Chunk.Fanout.push fan chunk 2;
   Memsim.Chunk.Fanout.close fan;
@@ -1046,10 +1180,11 @@ let chunk_equivalence_prop =
       in
       let events = List.map decode events in
       let packed =
-        Array.of_list
-          (List.map (fun (a, k, p) -> Memsim.Chunk.pack a k p) events)
+        Memsim.Chunk.of_array
+          (Array.of_list
+             (List.map (fun (a, k, p) -> Memsim.Chunk.pack a k p) events))
       in
-      let n = Array.length packed in
+      let n = Bigarray.Array1.dim packed in
       List.for_all
         (fun (policy, block_stats) ->
           let reference = mk ~policy ~block_stats ~size:512 ~block:32 () in
@@ -1179,7 +1314,15 @@ let () =
           Alcotest.test_case "v1 corrupt word rejected" `Quick
             test_recording_v1_corrupt_word;
           Alcotest.test_case "v2 corrupt file rejected" `Quick
-            test_recording_v2_corrupt
+            test_recording_v2_corrupt;
+          Alcotest.test_case "v3 on-disk layout pinned" `Quick
+            test_recording_v3_spec;
+          Alcotest.test_case "v3 corrupt file rejected" `Quick
+            test_recording_v3_corrupt;
+          Alcotest.test_case "v3 mapped recording is read-only" `Quick
+            test_recording_v3_read_only;
+          Alcotest.test_case "load errors name format and byte" `Quick
+            test_recording_error_messages
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest invariants_prop;
