@@ -24,6 +24,45 @@ let gc_conv =
   let print fmt gc = Format.pp_print_string fmt (Core.Units.format_gc gc) in
   Cmdliner.Arg.conv (parse, print)
 
+let hier_conv =
+  let parse s =
+    match Core.Units.parse_hier s with
+    | Ok cpu -> Ok cpu
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt cpu = Format.pp_print_string fmt (Core.Units.format_hier cpu) in
+  Cmdliner.Arg.conv (parse, print)
+
+(* Per-level report shared by `repro run --hier' and `repro replay
+   --hier'. *)
+let hier_report h =
+  let cfg = Memsim.Hier.geometry h in
+  let stats = Memsim.Hier.stats h in
+  Core.Report.table ppf
+    ~headers:[ "level"; "geometry"; "refs"; "misses"; "fetches"; "miss ratio" ]
+    ~rows:
+      (List.mapi
+         (fun i (s : Memsim.Cache.stats) ->
+           let l = cfg.Memsim.Hier.levels.(i) in
+           let refs = s.Memsim.Cache.refs + s.Memsim.Cache.collector_refs in
+           let misses =
+             s.Memsim.Cache.misses + s.Memsim.Cache.collector_misses
+           in
+           [ Printf.sprintf "L%d" (i + 1);
+             Printf.sprintf "%s/%dw/%s %s"
+               (Core.Units.format_size l.Memsim.Level.size_bytes)
+               l.Memsim.Level.ways
+               (Core.Units.format_size l.Memsim.Level.block_bytes)
+               (Memsim.Level.policy_label l.Memsim.Level.policy);
+             Core.Report.eng refs;
+             Core.Report.eng misses;
+             Core.Report.eng
+               (s.Memsim.Cache.fetches + s.Memsim.Cache.collector_fetches);
+             Format.sprintf "%.4f"
+               (float_of_int misses /. float_of_int (max 1 refs))
+           ])
+         (Array.to_list stats))
+
 (* --- telemetry exports ------------------------------------------------- *)
 
 let write_telemetry tel ~metrics ~trace_events =
@@ -140,8 +179,53 @@ let list_workloads () =
          Workloads.Workload.all);
   0
 
-let run_workload w cache_bytes block_bytes policy gc scale metrics trace_events
-    =
+(* A workload through a full per-CPU hierarchy preset: the fused
+   engine consumes the live trace through a chunked sink, then the
+   per-level table and disjoint overheads are printed. *)
+let run_workload_hier w cpu policy gc scale metrics trace_events =
+  let tel =
+    if metrics <> None || trace_events <> None then
+      Some (Core.Telemetry.create ())
+    else None
+  in
+  let events = Option.map Core.Telemetry.timeline tel in
+  let h = Memsim.Hier.create (Memsim.Hier.preset ~write_miss_policy:policy cpu) in
+  let sink, flush = Memsim.Hier.chunked_sink h in
+  let r = Core.Runner.run ~gc ?events ?scale ~sinks:[ sink ] w in
+  flush ();
+  let insns = r.Core.Runner.stats.Vscheme.Machine.mutator_insns in
+  Core.Report.table ppf ~headers:[ "metric"; "value" ]
+    ~rows:
+      [ [ "workload"; w.Workloads.Workload.name ];
+        [ "hierarchy";
+          Printf.sprintf "%s (%s)" (Memsim.Hier.cpu_label cpu)
+            (Memsim.Hier.cpu_title cpu) ];
+        [ "scale"; string_of_int r.Core.Runner.scale ];
+        [ "result"; r.Core.Runner.value ];
+        [ "instructions"; Core.Report.eng insns ];
+        [ "references"; Core.Report.eng r.Core.Runner.refs ];
+        [ "O_cache slow";
+          Core.Report.pct
+            (Memsim.Hier.overhead h Memsim.Timing.Slow ~instructions:insns) ];
+        [ "O_cache fast";
+          Core.Report.pct
+            (Memsim.Hier.overhead h Memsim.Timing.Fast ~instructions:insns) ]
+      ];
+  hier_report h;
+  (match tel with
+   | None -> ()
+   | Some t ->
+     Core.Telemetry.record_run t r;
+     Core.Telemetry.record_hier t h;
+     Core.Telemetry.set_meta t "hier"
+       (Obs.Json.Str (Memsim.Hier.cpu_label cpu)));
+  write_telemetry tel ~metrics ~trace_events
+
+let run_workload w hier cache_bytes block_bytes policy gc scale metrics
+    trace_events =
+  match hier with
+  | Some cpu -> run_workload_hier w cpu policy gc scale metrics trace_events
+  | None ->
   let tel =
     if metrics <> None || trace_events <> None then
       Some (Core.Telemetry.create ())
@@ -198,17 +282,19 @@ let run_workload w cache_bytes block_bytes policy gc scale metrics trace_events
      Core.Telemetry.set_meta t "block_bytes" (Obs.Json.Int block_bytes));
   write_telemetry tel ~metrics ~trace_events
 
-let simulate name cache_bytes block_bytes policy gc scale metrics trace_events =
+let simulate name hier cache_bytes block_bytes policy gc scale metrics
+    trace_events =
   match Workloads.Workload.find name with
   | None ->
     Format.eprintf "unknown workload %S (try `repro workloads')@." name;
     1
   | Some w ->
-    run_workload w cache_bytes block_bytes policy gc scale metrics trace_events
+    run_workload w hier cache_bytes block_bytes policy gc scale metrics
+      trace_events
 
 (* [repro run] targets are experiment ids or workload names; workloads
    go through the simulated cache with the telemetry flags. *)
-let run_targets targets cache_bytes block_bytes policy gc scale metrics
+let run_targets targets hier cache_bytes block_bytes policy gc scale metrics
     trace_events jobs =
   Option.iter Core.Runner.set_jobs jobs;
   match targets with
@@ -251,8 +337,8 @@ let run_targets targets cache_bytes block_bytes policy gc scale metrics
             rc
           | `Workload w ->
             max rc
-              (run_workload w cache_bytes block_bytes policy gc scale metrics
-                 trace_events)
+              (run_workload w hier cache_bytes block_bytes policy gc scale
+                 metrics trace_events)
           | `Unknown _ -> assert false)
         0 classified
 
@@ -323,11 +409,45 @@ let record names out_path scale format gc heap_bytes attr_out jobs =
         ws;
       0
 
-let replay path cache_bytes block_bytes policy checkpoint checkpoint_every =
+(* Replay through a fused per-CPU hierarchy instead of a single
+   cache; the checkpoint machinery snapshots every level. *)
+let replay_hier recording cpu policy checkpoint checkpoint_every =
+  let h = Memsim.Hier.create (Memsim.Hier.preset ~write_miss_policy:policy cpu) in
+  match
+    match checkpoint with
+    | None ->
+      Memsim.Recording.iter_chunks recording (fun buf len ->
+          Memsim.Hier.access_chunk h buf 0 len)
+    | Some ck ->
+      let resumed = Sys.file_exists ck in
+      Memsim.Sweep.hier_run_resumable ?checkpoint_every ~checkpoint:ck
+        [| h |] recording;
+      Format.fprintf ppf
+        "%s checkpoint %s (remove it to replay from the start)@."
+        (if resumed then "resumed from" else "wrote")
+        ck
+  with
+  | exception Failure msg ->
+    Format.eprintf "replay: %s@." msg;
+    1
+  | () ->
+    Format.fprintf ppf "%s events through %s (%s)@."
+      (Core.Report.eng (Memsim.Recording.length recording))
+      (Memsim.Hier.cpu_label cpu)
+      (Memsim.Hier.cpu_title cpu);
+    hier_report h;
+    0
+
+let replay path hier cache_bytes block_bytes policy checkpoint checkpoint_every
+    =
   match Memsim.Recording.load path with
   | exception Sys_error msg | exception Failure msg ->
     Format.eprintf "replay: %s@." msg;
     1
+  | recording when hier <> None ->
+    (match hier with
+     | Some cpu -> replay_hier recording cpu policy checkpoint checkpoint_every
+     | None -> assert false)
   | recording ->
     let sweep =
       Memsim.Sweep.create
@@ -846,6 +966,13 @@ let policy_arg =
   Arg.(value & opt policy_conv Memsim.Cache.Write_validate
        & info [ "policy" ] ~docv:"POLICY" ~doc:"Write-miss policy")
 
+let hier_arg =
+  Arg.(value & opt (some hier_conv) None
+       & info [ "hier" ] ~docv:"CPU"
+           ~doc:"Simulate a full 3-level hierarchy preset (nhm, ivb, hsw, \
+                 skl, cfl) through the fused miss-stream engine instead of \
+                 the single simulated cache; --cache/--block are ignored")
+
 let gc_arg =
   Arg.(value & opt gc_conv Vscheme.Machine.No_gc
        & info [ "gc" ] ~docv:"GC" ~doc:"Collector: none, cheney:SIZE, gen:NURSERY:OLD, marksweep:NURSERY:OLD")
@@ -888,8 +1015,9 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Run experiments (print their tables/figures) or workloads \
              through the simulated cache; REPRO_SCALE lengthens the runs")
-    Term.(const run_targets $ ids $ cache_arg $ block_arg $ policy_arg
-          $ gc_arg $ scale_arg $ metrics_arg $ trace_events_arg $ jobs_arg)
+    Term.(const run_targets $ ids $ hier_arg $ cache_arg $ block_arg
+          $ policy_arg $ gc_arg $ scale_arg $ metrics_arg $ trace_events_arg
+          $ jobs_arg)
 
 let scheme_cmd =
   let file =
@@ -923,8 +1051,8 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one workload through one cache configuration")
-    Term.(const simulate $ workload_arg $ cache_arg $ block_arg $ policy_arg
-          $ gc_arg $ scale_arg $ metrics_arg $ trace_events_arg)
+    Term.(const simulate $ workload_arg $ hier_arg $ cache_arg $ block_arg
+          $ policy_arg $ gc_arg $ scale_arg $ metrics_arg $ trace_events_arg)
 
 let record_cmd =
   let workload_arg =
@@ -997,7 +1125,7 @@ let replay_cmd =
     (Cmd.info "replay"
        ~doc:"Replay a recorded trace through a cache configuration, \
              optionally checkpoint/resumable")
-    Term.(const replay $ path $ cache_arg $ block_arg $ policy_arg
+    Term.(const replay $ path $ hier_arg $ cache_arg $ block_arg $ policy_arg
           $ checkpoint $ checkpoint_every)
 
 let stats_cmd =

@@ -1,0 +1,156 @@
+(* E-H1: the paper's single-level results under the modern three-level
+   hierarchies of sec. 4's closing remark ("we expect these results to
+   extend to the two- and even three-level caches that are becoming
+   common") — five workloads across five per-CPU presets, GC'd runs
+   against no-GC baselines, all through the fused miss-stream
+   engine. *)
+
+type measured = {
+  insns : int;
+  collector_insns : int;
+  collections : int;
+  bytes_allocated : int;
+  per_cpu : (Memsim.Hier.cpu * Memsim.Hier.t) list;
+}
+
+(* Disjoint-charged service time of the recorded traffic, in cycles:
+   a fetch that hits level i+1 costs that level's latency; only
+   fetches missing every level pay the memory penalty of the last
+   level's block.  [collector] selects which phase's fetches are
+   charged. *)
+let service_cycles cpu h ~collector =
+  let cfg = Memsim.Hier.geometry h in
+  let stats = Memsim.Hier.stats h in
+  let n = Array.length stats in
+  let fetches i =
+    let s = stats.(i) in
+    if collector then s.Memsim.Cache.collector_fetches
+    else s.Memsim.Cache.fetches
+  in
+  let total = ref 0.0 in
+  for i = 0 to n - 2 do
+    let hits = fetches i - fetches (i + 1) in
+    total :=
+      !total
+      +. (float_of_int hits *. cfg.Memsim.Hier.hit_ns.(i)
+          /. Memsim.Timing.cycle_ns cpu)
+  done;
+  let last = cfg.Memsim.Hier.levels.(n - 1) in
+  !total
+  +. (float_of_int (fetches (n - 1))
+      *. Memsim.Timing.miss_penalty cpu
+           ~block_bytes:last.Memsim.Level.block_bytes)
+
+(* The sec. 6 O_gc formula lifted to hierarchies: collector stalls,
+   the change in program stalls, and the collector's instructions,
+   all relative to the baseline program's instruction count. *)
+let gc_overhead cpu ~baseline ~collected ~hier_cpu =
+  let base = List.assoc hier_cpu baseline.per_cpu in
+  let run = List.assoc hier_cpu collected.per_cpu in
+  let stall =
+    service_cycles cpu run ~collector:true
+    +. service_cycles cpu run ~collector:false
+    -. service_cycles cpu base ~collector:false
+  in
+  let work =
+    float_of_int (collected.collector_insns + collected.insns - baseline.insns)
+  in
+  (stall +. work) /. float_of_int baseline.insns
+
+let measure ?gc w =
+  let label = "hier." ^ w.Workloads.Workload.name in
+  let recorded = Runner.record_grid [ Runner.cell ?gc ~label w ] in
+  let r, recording = recorded.(0) in
+  let hiers =
+    List.map
+      (fun cpu -> (cpu, Memsim.Hier.create (Memsim.Hier.preset cpu)))
+      Memsim.Hier.all_cpus
+  in
+  Memsim.Sweep.hier_run_parallel ~jobs:(Runner.jobs ())
+    (Array.of_list (List.map snd hiers))
+    recording;
+  (* Per-level miss counts land in the metrics registry so a --metrics
+     export of an experiment run carries the whole grid. *)
+  List.iter
+    (fun (cpu, h) ->
+      Array.iteri
+        (fun i (s : Memsim.Cache.stats) ->
+          let name part =
+            Printf.sprintf "hier.%s.%s.l%d.%s" w.Workloads.Workload.name
+              (Memsim.Hier.cpu_label cpu) (i + 1) part
+          in
+          let refs = s.Memsim.Cache.refs + s.Memsim.Cache.collector_refs in
+          let misses =
+            s.Memsim.Cache.misses + s.Memsim.Cache.collector_misses
+          in
+          Obs.Metrics.Gauge.set
+            (Obs.Metrics.gauge Obs.Metrics.default (name "miss_ratio"))
+            (float_of_int misses /. float_of_int (max 1 refs));
+          Obs.Metrics.Counter.set
+            (Obs.Metrics.counter Obs.Metrics.default (name "misses"))
+            misses)
+        (Memsim.Hier.stats h))
+    hiers;
+  { insns = r.Runner.stats.Vscheme.Machine.mutator_insns;
+    collector_insns = r.Runner.stats.Vscheme.Machine.collector_insns;
+    collections = r.Runner.stats.Vscheme.Machine.collections;
+    bytes_allocated = r.Runner.stats.Vscheme.Machine.bytes_allocated;
+    per_cpu = hiers
+  }
+
+let miss_ratio (s : Memsim.Cache.stats) =
+  let refs = s.Memsim.Cache.refs + s.Memsim.Cache.collector_refs in
+  let misses = s.Memsim.Cache.misses + s.Memsim.Cache.collector_misses in
+  Format.sprintf "%.4f" (float_of_int misses /. float_of_int (max 1 refs))
+
+let grid ppf =
+  Report.heading ppf
+    "E-H1 (extension of sec. 4): GC overhead under modern 3-level \
+     hierarchies (fused engine)";
+  List.iter
+    (fun w ->
+      let baseline = measure w in
+      let semispace_bytes =
+        max (512 * 1024) (baseline.bytes_allocated / 8)
+      in
+      let collected =
+        measure ~gc:(Vscheme.Machine.Cheney { semispace_bytes }) w
+      in
+      Format.fprintf ppf
+        "@.%s: %s allocated, %s semispaces, %d collections@."
+        w.Workloads.Workload.name
+        (Report.mb baseline.bytes_allocated)
+        (Report.mb semispace_bytes) collected.collections;
+      let rows =
+        List.map
+          (fun cpu ->
+            let h = List.assoc cpu collected.per_cpu in
+            let stats = Memsim.Hier.stats h in
+            [ Memsim.Hier.cpu_label cpu;
+              miss_ratio stats.(0);
+              miss_ratio stats.(1);
+              miss_ratio stats.(2);
+              Report.pct
+                (gc_overhead Memsim.Timing.Slow ~baseline ~collected
+                   ~hier_cpu:cpu);
+              Report.pct
+                (gc_overhead Memsim.Timing.Fast ~baseline ~collected
+                   ~hier_cpu:cpu)
+            ])
+          Memsim.Hier.all_cpus
+      in
+      Report.table ppf
+        ~headers:[ "cpu"; "L1 miss"; "L2 miss"; "L3 miss";
+                   "O_gc slow"; "O_gc fast" ]
+        ~rows)
+    Workloads.Workload.all;
+  Format.fprintf ppf
+    "@.paper shape: the sec. 6 conclusion (fast-processor O_gc of 5-8%% \
+     at paper-sized caches) softens@.under these hierarchies - the 256k \
+     L2 behind the 32k L1 absorbs most of the nursery's reuse and@.the \
+     MRU/QLRU L3s hold the survivors, so O_gc lands under 1%% for most \
+     workloads (nbody again@.slightly negative, as in the paper).  The \
+     exception is lred, whose growing trail recopies on@.every \
+     collection (sec. 6's lp pathology): it still pays ~5%% on the fast \
+     processor behind any@.of the L3s.  The QLRU-R0U0 Coffee Lake L3 \
+     tracks the QLRU-R1U2 parts within noise.@."

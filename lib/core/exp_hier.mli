@@ -1,0 +1,12 @@
+(** E-H1: the modern-hierarchy experiment grid — five workloads
+    through the five per-CPU three-level presets ({!Memsim.Hier}),
+    GC'd runs against no-GC baselines, simulated with the fused
+    miss-stream engine. *)
+
+val grid : Format.formatter -> unit
+(** Print the full grid: per workload, per CPU preset, the three
+    per-level miss ratios of the collected run and the sec. 6 O_gc
+    overheads (slow and fast processors) charged disjointly across
+    the hierarchy.  Per-level miss counters and ratios are also
+    published to the default {!Obs.Metrics} registry as
+    [hier.<workload>.<cpu>.l<n>.*]. *)

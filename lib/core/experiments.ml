@@ -105,6 +105,11 @@ let all =
       title = "ablation: two-level cache hierarchy";
       paper_artifact = "extension of sec. 4";
       run = Exp_ablation.table_two_level
+    };
+    { id = "H1";
+      title = "modern 3-level hierarchies: does the conclusion hold?";
+      paper_artifact = "extension of sec. 4";
+      run = Exp_hier.grid
     }
   ]
 

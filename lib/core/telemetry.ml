@@ -37,6 +37,11 @@ let record_cache t ?(name = "cache") (s : Memsim.Cache.stats) =
   c "collector.writebacks" s.collector_writebacks;
   c "collector.writes" s.collector_writes
 
+let record_hier t ?(name = "hier") h =
+  Array.iteri
+    (fun i s -> record_cache t ~name:(Printf.sprintf "%s.l%d" name (i + 1)) s)
+    (Memsim.Hier.stats h)
+
 let record_run t (r : Runner.result) =
   set_meta t "workload" (Obs.Json.Str r.workload.Workloads.Workload.name);
   set_meta t "value" (Obs.Json.Str r.value);

@@ -26,6 +26,10 @@ val record_cache : t -> ?name:string -> Memsim.Cache.stats -> unit
     (plus [mutator.alloc_misses]).  [name] defaults to ["cache"]; pass
     ["l1"]/["l2"] when exporting a hierarchy. *)
 
+val record_hier : t -> ?name:string -> Memsim.Hier.t -> unit
+(** Publish every level of a hierarchy via {!record_cache} as
+    [<name>.l1], [<name>.l2], ...; [name] defaults to ["hier"]. *)
+
 val record_run : t -> Runner.result -> unit
 (** Publish run statistics ([run.*] counters, workload/collector meta)
     and collector-specific extras (write-barrier hits, SSB overflows,

@@ -57,6 +57,19 @@ let parse_gc s =
          "bad collector %S (none | cheney:SIZE | gen:NURSERY:OLD | \
           marksweep:NURSERY:OLD)" s)
 
+(* Hierarchy presets share the same convention: the CLI token is the
+   CPU label the presets are keyed by. *)
+let parse_hier s =
+  match Memsim.Hier.cpu_of_label (String.trim s) with
+  | Some cpu -> Ok cpu
+  | None ->
+    Error
+      (Printf.sprintf "bad hierarchy %S (expected one of %s)" s
+         (String.concat " | "
+            (List.map Memsim.Hier.cpu_label Memsim.Hier.all_cpus)))
+
+let format_hier = Memsim.Hier.cpu_label
+
 let format_gc = function
   | Vscheme.Machine.No_gc -> "none"
   | Vscheme.Machine.Cheney { semispace_bytes } ->

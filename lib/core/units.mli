@@ -18,3 +18,10 @@ val parse_gc : string -> (Vscheme.Machine.gc_spec, string) result
 
 val format_gc : Vscheme.Machine.gc_spec -> string
 (** Inverse of {!parse_gc}; the result re-parses to the same spec. *)
+
+val parse_hier : string -> (Memsim.Hier.cpu, string) result
+(** Parse a hierarchy preset by its CPU label ([nhm], [ivb], [hsw],
+    [skl], [cfl]); the error message lists the valid labels. *)
+
+val format_hier : Memsim.Hier.cpu -> string
+(** Inverse of {!parse_hier}; the result re-parses to the same cpu. *)

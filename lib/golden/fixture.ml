@@ -48,37 +48,59 @@ let measure (run : Manifest.run) =
     Core.Runner.record ~gc:run.Manifest.gc ?heap_bytes:run.Manifest.heap_bytes
       ~scale:run.Manifest.scale w
   in
-  let sweep =
-    Memsim.Sweep.create
-      (Memsim.Sweep.grid ~write_miss_policy:run.Manifest.write_miss_policy
-         ~cache_sizes:run.Manifest.cache_sizes
-         ~block_sizes:run.Manifest.block_sizes ())
-  in
-  if run.Manifest.jobs > 1 then
-    Memsim.Sweep.run_parallel ~jobs:run.Manifest.jobs sweep recording
-  else Memsim.Sweep.run_serial sweep recording;
   let stats = r.Core.Runner.stats in
   let instructions = stats.Vscheme.Machine.mutator_insns in
+  let result_of (size_bytes, block_bytes, (s : Memsim.Cache.stats)) =
+    let ratio num den = float_of_int num /. float_of_int (max 1 den) in
+    { size_bytes;
+      block_bytes;
+      stats = s;
+      miss_ratio = ratio s.Memsim.Cache.misses s.Memsim.Cache.refs;
+      collector_miss_ratio =
+        ratio s.Memsim.Cache.collector_misses s.Memsim.Cache.collector_refs;
+      overhead_slow =
+        Memsim.Timing.cache_overhead Memsim.Timing.Slow ~block_bytes
+          ~fetches:s.Memsim.Cache.fetches ~instructions;
+      overhead_fast =
+        Memsim.Timing.cache_overhead Memsim.Timing.Fast ~block_bytes
+          ~fetches:s.Memsim.Cache.fetches ~instructions
+    }
+  in
   let caches =
-    List.map
-      (fun (cfg, s) ->
-        let block_bytes = cfg.Memsim.Cache.block_bytes in
-        let ratio num den = float_of_int num /. float_of_int (max 1 den) in
-        { size_bytes = cfg.Memsim.Cache.size_bytes;
-          block_bytes;
-          stats = s;
-          miss_ratio = ratio s.Memsim.Cache.misses s.Memsim.Cache.refs;
-          collector_miss_ratio =
-            ratio s.Memsim.Cache.collector_misses
-              s.Memsim.Cache.collector_refs;
-          overhead_slow =
-            Memsim.Timing.cache_overhead Memsim.Timing.Slow ~block_bytes
-              ~fetches:s.Memsim.Cache.fetches ~instructions;
-          overhead_fast =
-            Memsim.Timing.cache_overhead Memsim.Timing.Fast ~block_bytes
-              ~fetches:s.Memsim.Cache.fetches ~instructions
-        })
-      (Memsim.Sweep.results sweep)
+    match run.Manifest.hier with
+    | Some cpu ->
+      (* Hierarchy run: the fused engine replaces the sweep grid and
+         the per-level counters become the fixture's cache entries,
+         keyed by each level's (distinct) capacity. *)
+      let h =
+        Memsim.Hier.create
+          (Memsim.Hier.preset
+             ~write_miss_policy:run.Manifest.write_miss_policy cpu)
+      in
+      Memsim.Sweep.hier_run_serial [| h |] recording;
+      let cfg = Memsim.Hier.geometry h in
+      List.mapi
+        (fun i s ->
+          let l = cfg.Memsim.Hier.levels.(i) in
+          result_of
+            (l.Memsim.Level.size_bytes, l.Memsim.Level.block_bytes, s))
+        (Array.to_list (Memsim.Hier.stats h))
+    | None ->
+      let sweep =
+        Memsim.Sweep.create
+          (Memsim.Sweep.grid
+             ~write_miss_policy:run.Manifest.write_miss_policy
+             ~cache_sizes:run.Manifest.cache_sizes
+             ~block_sizes:run.Manifest.block_sizes ())
+      in
+      if run.Manifest.jobs > 1 then
+        Memsim.Sweep.run_parallel ~jobs:run.Manifest.jobs sweep recording
+      else Memsim.Sweep.run_serial sweep recording;
+      List.map
+        (fun (cfg, s) ->
+          result_of
+            (cfg.Memsim.Cache.size_bytes, cfg.Memsim.Cache.block_bytes, s))
+        (Memsim.Sweep.results sweep)
   in
   { run;
     value = r.Core.Runner.value;

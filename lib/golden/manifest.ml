@@ -9,6 +9,7 @@ type run = {
   write_miss_policy : Memsim.Cache.write_miss_policy;
   jobs : int;
   trace_format : Memsim.Recording.format;
+  hier : Memsim.Hier.cpu option;
 }
 
 type t = {
@@ -36,7 +37,8 @@ let default =
       block_sizes = [ 32; 128 ];
       write_miss_policy = Memsim.Cache.Write_validate;
       jobs = 2;
-      trace_format = Memsim.Recording.V2
+      trace_format = Memsim.Recording.V2;
+      hier = None
     }
   in
   let cheney semi = Vscheme.Machine.Cheney { semispace_bytes = kb semi } in
@@ -47,7 +49,17 @@ let default =
         smoke "lred" (cheney 256);
         smoke "nbody" (cheney 64);
         smoke "mexpr" (cheney 64);
-        { (smoke "nbody" Vscheme.Machine.No_gc) with name = "nbody-nogc" }
+        { (smoke "nbody" Vscheme.Machine.No_gc) with name = "nbody-nogc" };
+        (* One run through the fused 3-level Coffee Lake hierarchy:
+           the per-level counters become the fixture's cache entries
+           (the plain sweep grid is skipped). *)
+        { (smoke "nbody" (cheney 64)) with
+          name = "nbody-cfl-hier";
+          cache_sizes = [];
+          block_sizes = [];
+          jobs = 1;
+          hier = Some Memsim.Hier.Cfl
+        }
       ]
   }
 
@@ -91,7 +103,12 @@ let run_to_datum r =
          Sx.str "policy" (policy_string r.write_miss_policy);
          Sx.int "jobs" r.jobs;
          Sx.str "format" (format_string r.trace_format)
-       ])
+       ]
+     (* Optional so fixtures recorded before hierarchies existed parse
+        and re-serialize byte-identically. *)
+     @ (match r.hier with
+        | None -> []
+        | Some cpu -> [ Sx.str "hier" (Memsim.Hier.cpu_label cpu) ]))
 
 let run_of_fields ~file fields =
   let gc_string = Sx.get_str ~file fields "gc" in
@@ -117,7 +134,18 @@ let run_of_fields ~file fields =
     block_sizes = Sx.get_int_list ~file fields "block-sizes";
     write_miss_policy = policy_of_string ~file (Sx.get_str ~file fields "policy");
     jobs = Sx.get_int ~file fields "jobs";
-    trace_format = format_of_string ~file (Sx.get_str ~file fields "format")
+    trace_format = format_of_string ~file (Sx.get_str ~file fields "format");
+    hier =
+      (match Sx.get_opt fields "hier" with
+       | None -> None
+       | Some _ -> (
+         let label = Sx.get_str ~file fields "hier" in
+         match Memsim.Hier.cpu_of_label label with
+         | Some cpu -> Some cpu
+         | None ->
+           raise
+             (Sx.Parse_error
+                (Printf.sprintf "%s: unknown hierarchy %S" file label))))
   }
 
 let run_of_datum ~file d =

@@ -19,6 +19,13 @@ type run = {
   write_miss_policy : Memsim.Cache.write_miss_policy;
   jobs : int;
   trace_format : Memsim.Recording.format;
+  hier : Memsim.Hier.cpu option;
+      (** [Some cpu]: replay through the fused 3-level {!Memsim.Hier}
+          preset instead of the cache grid — the fixture's cache
+          entries become the per-level counters and
+          [cache_sizes]/[block_sizes] are ignored (conventionally
+          empty).  Serialized only when present, so pre-hierarchy
+          manifests and fixtures round-trip byte-identically. *)
 }
 
 type t = {
@@ -31,7 +38,8 @@ val current_version : int
 val default : t
 (** The committed smoke suite: all five workloads at scale 1 under a
     Cheney collector sized to force several collections, over a 2×2
-    corner of the paper grid, plus one no-GC control run. *)
+    corner of the paper grid, plus one no-GC control run and one run
+    through the fused Coffee Lake 3-level hierarchy. *)
 
 val find : t -> string -> run option
 

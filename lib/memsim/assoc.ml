@@ -1,3 +1,12 @@
+(* Set-associative LRU cache: a thin veneer over {!Level}.
+
+   Historically this module kept exact LRU order in a per-line
+   [last_used] timestamp array driven by a monotonically growing
+   [tick] — unbounded state that was copied wholesale and capped the
+   design at 16 ways.  {!Level} packs exact recency ranks into
+   per-set bit words (5 bits per way), so the same replacement
+   decisions need no timestamps, no tick, and extend to 32 ways. *)
+
 type config = {
   size_bytes : int;
   block_bytes : int;
@@ -12,197 +21,28 @@ let config ?(write_miss_policy = Cache.Write_validate)
 
 type t = {
   cfg : config;
-  nsets : int;
-  block_shift : int;
-  set_mask : int;
-  word_mask : int;
-  full_lo : int;
-  full_hi : int;
-  (* Line arrays indexed by [set * ways + way]. *)
-  tags : int array;
-  valid_lo : int array;
-  valid_hi : int array;
-  dirty : Bytes.t;
-  last_used : int array;
-  mutable tick : int;
-  mutable refs : int;
-  mutable collector_refs : int;
-  mutable misses : int;
-  mutable collector_misses : int;
-  mutable alloc_misses : int;
-  mutable fetches : int;
-  mutable collector_fetches : int;
-  mutable writebacks : int;
-  mutable collector_writebacks : int;
-  mutable writes : int;
-  mutable collector_writes : int;
+  level : Level.t;
 }
 
-let is_power_of_two n = n > 0 && n land (n - 1) = 0
-
-let log2 n =
-  let rec loop k n = if n = 1 then k else loop (k + 1) (n lsr 1) in
-  loop 0 n
-
 let create cfg =
-  if not (is_power_of_two cfg.size_bytes) then
-    invalid_arg "Assoc.create: size_bytes must be a power of two";
-  if not (is_power_of_two cfg.block_bytes) then
-    invalid_arg "Assoc.create: block_bytes must be a power of two";
-  if not (is_power_of_two cfg.ways) || cfg.ways < 1 || cfg.ways > 16 then
-    invalid_arg "Assoc.create: ways must be a power of two in 1..16";
-  if cfg.block_bytes < Trace.word_bytes || cfg.block_bytes > 256 then
-    invalid_arg "Assoc.create: unsupported block size";
-  let lines = cfg.size_bytes / cfg.block_bytes in
-  if lines < cfg.ways then invalid_arg "Assoc.create: fewer lines than ways";
-  let nsets = lines / cfg.ways in
-  let words_per_block = cfg.block_bytes / Trace.word_bytes in
-  { cfg;
-    nsets;
-    block_shift = log2 cfg.block_bytes;
-    set_mask = nsets - 1;
-    word_mask = words_per_block - 1;
-    full_lo = (1 lsl min words_per_block 32) - 1;
-    full_hi =
-      (if words_per_block > 32 then (1 lsl (words_per_block - 32)) - 1 else 0);
-    tags = Array.make lines (-1);
-    valid_lo = Array.make lines 0;
-    valid_hi = Array.make lines 0;
-    dirty = Bytes.make lines '\000';
-    last_used = Array.make lines 0;
-    tick = 0;
-    refs = 0;
-    collector_refs = 0;
-    misses = 0;
-    collector_misses = 0;
-    alloc_misses = 0;
-    fetches = 0;
-    collector_fetches = 0;
-    writebacks = 0;
-    collector_writebacks = 0;
-    writes = 0;
-    collector_writes = 0
-  }
+  if cfg.ways < 1 || cfg.ways > 32 then
+    invalid_arg "Assoc.create: ways must be in 1..32";
+  let level =
+    try
+      Level.create
+        (Level.config ~policy:Level.Lru
+           ~write_miss_policy:cfg.write_miss_policy
+           ~collector_fetch_on_write:cfg.collector_fetch_on_write
+           ~size_bytes:cfg.size_bytes ~block_bytes:cfg.block_bytes
+           ~ways:cfg.ways ())
+    with Invalid_argument msg ->
+      (* keep the historical error prefix for callers matching on it *)
+      invalid_arg ("Assoc.create: " ^ msg)
+  in
+  { cfg; level }
 
 let geometry t = t.cfg
-
-let access t addr kind phase =
-  let mem_block = addr lsr t.block_shift in
-  let set = mem_block land t.set_mask in
-  let base = set * t.cfg.ways in
-  let word = (addr lsr 2) land t.word_mask in
-  let high = word >= 32 in
-  let wbit = 1 lsl (word land 31) in
-  let valid = if high then t.valid_hi else t.valid_lo in
-  let mutator =
-    match (phase : Trace.phase) with
-    | Trace.Mutator -> true
-    | Trace.Collector -> false
-  in
-  t.tick <- t.tick + 1;
-  if mutator then t.refs <- t.refs + 1
-  else t.collector_refs <- t.collector_refs + 1;
-  let is_store =
-    match (kind : Trace.kind) with
-    | Trace.Read -> false
-    | Trace.Write | Trace.Alloc_write -> true
-  in
-  if is_store then begin
-    t.writes <- t.writes + 1;
-    if not mutator then t.collector_writes <- t.collector_writes + 1
-  end;
-  (* find the line holding this block, if any *)
-  let line = ref (-1) in
-  for w = base to base + t.cfg.ways - 1 do
-    if t.tags.(w) = mem_block then line := w
-  done;
-  let fetch_into w =
-    if mutator then t.fetches <- t.fetches + 1
-    else t.collector_fetches <- t.collector_fetches + 1;
-    t.valid_lo.(w) <- t.full_lo;
-    t.valid_hi.(w) <- t.full_hi
-  in
-  if !line >= 0 then begin
-    let w = !line in
-    t.last_used.(w) <- t.tick;
-    if valid.(w) land wbit <> 0 then begin
-      if is_store then Bytes.set t.dirty w '\001'
-    end
-    else if is_store then begin
-      valid.(w) <- valid.(w) lor wbit;
-      Bytes.set t.dirty w '\001'
-    end
-    else begin
-      (* read of an unvalidated word in a resident block *)
-      if mutator then t.misses <- t.misses + 1
-      else t.collector_misses <- t.collector_misses + 1;
-      fetch_into w;
-      if is_store then Bytes.set t.dirty w '\001'
-    end
-  end
-  else begin
-    (* miss: pick the LRU victim (preferring an empty line) *)
-    let alloc =
-      mutator
-      && (match (kind : Trace.kind) with
-          | Trace.Alloc_write -> true
-          | Trace.Read | Trace.Write -> false)
-    in
-    if mutator then begin
-      t.misses <- t.misses + 1;
-      if alloc then t.alloc_misses <- t.alloc_misses + 1
-    end
-    else t.collector_misses <- t.collector_misses + 1;
-    let victim = ref base in
-    for w = base to base + t.cfg.ways - 1 do
-      if t.tags.(w) = -1 && t.tags.(!victim) <> -1 then victim := w
-      else if t.tags.(w) <> -1 && t.tags.(!victim) <> -1
-              && t.last_used.(w) < t.last_used.(!victim)
-      then victim := w
-    done;
-    let w = !victim in
-    if t.tags.(w) >= 0 && Bytes.get t.dirty w = '\001' then begin
-      t.writebacks <- t.writebacks + 1;
-      if not mutator then
-        t.collector_writebacks <- t.collector_writebacks + 1
-    end;
-    Bytes.set t.dirty w '\000';
-    t.tags.(w) <- mem_block;
-    t.last_used.(w) <- t.tick;
-    let policy =
-      if (not mutator) && t.cfg.collector_fetch_on_write then
-        Cache.Fetch_on_write
-      else t.cfg.write_miss_policy
-    in
-    match policy, is_store with
-    | Cache.Write_validate, true ->
-      if high then begin
-        t.valid_lo.(w) <- 0;
-        t.valid_hi.(w) <- wbit
-      end
-      else begin
-        t.valid_lo.(w) <- wbit;
-        t.valid_hi.(w) <- 0
-      end;
-      Bytes.set t.dirty w '\001'
-    | (Cache.Write_validate | Cache.Fetch_on_write), false
-    | Cache.Fetch_on_write, true ->
-      fetch_into w;
-      if is_store then Bytes.set t.dirty w '\001'
-  end
-
+let access t addr kind phase = Level.access t.level addr kind phase
+let access_chunk t buf off len = Level.access_chunk t.level buf off len
 let sink t = { Trace.access = (fun addr kind phase -> access t addr kind phase) }
-
-let stats t : Cache.stats =
-  { Cache.refs = t.refs;
-    collector_refs = t.collector_refs;
-    misses = t.misses;
-    collector_misses = t.collector_misses;
-    alloc_misses = t.alloc_misses;
-    fetches = t.fetches;
-    collector_fetches = t.collector_fetches;
-    writebacks = t.writebacks;
-    collector_writebacks = t.collector_writebacks;
-    writes = t.writes;
-    collector_writes = t.collector_writes
-  }
+let stats t = Level.stats t.level

@@ -11,12 +11,18 @@
 
     Write-miss policies and the write-validate sub-block model match
     {!Cache}; a direct-mapped {!Cache} and a 1-way {!t} behave
-    identically (a property the test suite checks). *)
+    identically (a property the test suite checks).
+
+    Replacement state lives in {!Level}'s packed per-set rank words
+    (exact LRU, 5 bits per way) rather than the historical per-line
+    timestamp array with its unboundedly growing tick, which is what
+    lifts the old 16-way cap to 32. *)
 
 type config = {
-  size_bytes : int;   (** total capacity; power of two *)
+  size_bytes : int;   (** total capacity; the set count must come out
+                          a power of two *)
   block_bytes : int;  (** power of two, 4–256 *)
-  ways : int;         (** associativity; power of two, 1–16 *)
+  ways : int;         (** associativity, 1–32 *)
   write_miss_policy : Cache.write_miss_policy;
   collector_fetch_on_write : bool;
 }
@@ -40,6 +46,11 @@ val geometry : t -> config
 
 val access : t -> int -> Trace.kind -> Trace.phase -> unit
 val sink : t -> Trace.sink
+
+val access_chunk : t -> Chunk.buf -> int -> int -> unit
+(** Deliver packed events ({!Chunk} codec) through the cache's fused
+    loop; equivalent to calling {!access} per event.
+    @raise Invalid_argument when the range is out of bounds. *)
 
 val stats : t -> Cache.stats
 (** Same counters as the direct-mapped cache. *)

@@ -39,8 +39,13 @@ let overhead t cpu ~instructions =
   if instructions <= 0 then invalid_arg "Hierarchy.overhead";
   let s1 = Cache.stats t.l1 in
   let s2 = Cache.stats t.l2 in
+  (* Charge the two services disjointly: an L1 fetch that hits L2
+     stalls for the L2 access, and only the L1 fetches that also miss
+     L2 — exactly L2's own fetches, since L2 sees each L1 fetch as
+     one read — pay the main-memory penalty instead. *)
+  let l2_hits = s1.Cache.fetches - s2.Cache.fetches in
   let l2_service =
-    float_of_int s1.Cache.fetches *. t.cfg.l2_hit_ns /. Timing.cycle_ns cpu
+    float_of_int l2_hits *. t.cfg.l2_hit_ns /. Timing.cycle_ns cpu
   in
   let memory_service =
     float_of_int s2.Cache.fetches

@@ -42,6 +42,7 @@ val l1_stats : t -> Cache.stats
 val l2_stats : t -> Cache.stats
 
 val overhead : t -> Timing.processor -> instructions:int -> float
-(** Total stall time — L1 fetches at L2 speed plus L2 fetches at
-    main-memory speed — as a fraction of the idealized running time
-    (mutator traffic only). *)
+(** Total stall time as a fraction of the idealized running time
+    (mutator traffic only), charged disjointly: L1 fetches that hit
+    L2 stall for [l2_hit_ns], and L1 fetches that also miss L2 (= L2's
+    own fetches) stall for the main-memory penalty instead. *)

@@ -302,6 +302,169 @@ let run_resumable ?(jobs = 1) ?(checkpoint_every = default_checkpoint_events)
     match progress with Some f -> f !cursor | None -> ()
   done
 
+(* --- Hierarchy sweeps --------------------------------------------------- *)
+
+(* The cache-grid machinery above, over fused multi-level hierarchies:
+   hierarchies are independent simulators and a sealed recording is
+   read-only, so the same dynamic work-claim gives per-hierarchy
+   results bit-identical to a serial run.  The hierarchies must be
+   fused ([Hier.create ~fused:true]): a hooked oracle's closures have
+   no business running on worker domains. *)
+
+let hier_run_into ~jobs hiers recording =
+  let n = Array.length hiers in
+  let jobs = max 1 (min jobs n) in
+  let replay_hier i =
+    let h = hiers.(i) in
+    Recording.iter_chunks recording (fun buf len ->
+        Hier.access_chunk h buf 0 len)
+  in
+  if jobs = 1 then
+    for i = 0 to n - 1 do
+      replay_hier i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          replay_hier i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end
+
+let hier_run_serial hiers recording = hier_run_into ~jobs:1 hiers recording
+let hier_run_parallel ~jobs hiers recording = hier_run_into ~jobs hiers recording
+
+(* Checkpoint framing identical to the cache-grid files — own magic,
+   same 24-byte header, [Hier.snapshot] bodies, temp+rename. *)
+
+let hier_checkpoint_magic = "SWHCKPT1"
+
+let save_hier_checkpoint hiers ~events ~cursor path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match
+     let hdr = Bytes.create 24 in
+     Bytes.set_int64_le hdr 0 (Int64.of_int cursor);
+     Bytes.set_int64_le hdr 8 (Int64.of_int events);
+     Bytes.set_int64_le hdr 16 (Int64.of_int (Array.length hiers));
+     output_string oc hier_checkpoint_magic;
+     output_bytes oc hdr;
+     let buf = Buffer.create (1 lsl 16) in
+     Array.iter
+       (fun h ->
+         Buffer.clear buf;
+         Hier.snapshot h buf;
+         Buffer.output_buffer oc buf)
+       hiers;
+     close_out oc
+   with
+   | () -> ()
+   | exception e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let load_hier_checkpoint hiers ~events path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let fail fmt =
+        Printf.ksprintf failwith ("Sweep.load_hier_checkpoint: " ^^ fmt)
+      in
+      let magic =
+        try really_input_string ic 8
+        with End_of_file -> fail "%s is not a hierarchy checkpoint" path
+      in
+      if magic <> hier_checkpoint_magic then
+        fail "%s is not a hierarchy checkpoint" path;
+      let hdr = Bytes.create 24 in
+      (try really_input ic hdr 0 24
+       with End_of_file -> fail "%s has a truncated header" path);
+      let cursor = Int64.to_int (Bytes.get_int64_le hdr 0) in
+      let ck_events = Int64.to_int (Bytes.get_int64_le hdr 8) in
+      let nhiers = Int64.to_int (Bytes.get_int64_le hdr 16) in
+      if ck_events <> events then
+        fail "%s was taken over %d events but the recording has %d" path
+          ck_events events;
+      if cursor < 0 || cursor > events then
+        fail "%s has a corrupt cursor %d (recording has %d events)" path
+          cursor events;
+      if nhiers <> Array.length hiers then
+        fail "%s holds %d hierarchies but the sweep has %d" path nhiers
+          (Array.length hiers);
+      let body_bytes = in_channel_length ic - pos_in ic in
+      let body = Bytes.create body_bytes in
+      really_input ic body 0 body_bytes;
+      let pos = ref 0 in
+      (try Array.iter (fun h -> pos := Hier.restore h body !pos) hiers
+       with Invalid_argument msg -> fail "%s: %s" path msg);
+      if !pos <> body_bytes then
+        fail "%s has %d trailing bytes" path (body_bytes - !pos);
+      cursor)
+
+let hier_replay_range h recording ~from_ ~until =
+  let base = ref 0 in
+  Recording.iter_chunks recording (fun buf len ->
+      let b = !base in
+      base := b + len;
+      let lo = max from_ b in
+      let hi = min until (b + len) in
+      if lo < hi then Hier.access_chunk h buf (lo - b) (hi - lo))
+
+let hier_replay_range_all hiers recording ~jobs ~from_ ~until =
+  let n = Array.length hiers in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then
+    for i = 0 to n - 1 do
+      hier_replay_range hiers.(i) recording ~from_ ~until
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          hier_replay_range hiers.(i) recording ~from_ ~until;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end
+
+let hier_run_resumable ?(jobs = 1)
+    ?(checkpoint_every = default_checkpoint_events) ?progress ~checkpoint
+    hiers recording =
+  let events = Recording.length recording in
+  let every = max 1 checkpoint_every in
+  let cursor = ref 0 in
+  if Sys.file_exists checkpoint then
+    cursor := load_hier_checkpoint hiers ~events checkpoint;
+  (match progress with Some f -> f !cursor | None -> ());
+  (* Same epoch barrier as [run_resumable]: one cursor describes every
+     hierarchy when the checkpoint is taken. *)
+  while !cursor < events do
+    let epoch_end = min events (!cursor + every) in
+    hier_replay_range_all hiers recording ~jobs ~from_:!cursor ~until:epoch_end;
+    cursor := epoch_end;
+    save_hier_checkpoint hiers ~events ~cursor:!cursor checkpoint;
+    match progress with Some f -> f !cursor | None -> ()
+  done
+
 (* --- Live production with parallel consumption ------------------------- *)
 
 (* Worker [j] owns caches j, j+jobs, j+2*jobs, ...: a static strided

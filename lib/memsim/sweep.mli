@@ -154,6 +154,46 @@ val run_resumable :
     @raise Failure as {!load_checkpoint} on a stale or foreign
     checkpoint file. *)
 
+(** {1 Hierarchy sweeps}
+
+    The replay machinery above, over fused multi-level hierarchies
+    ({!Hier}).  Hierarchies are independent simulators and a sealed
+    recording is read-only, so parallel and resumable runs are
+    bit-identical to serial ones, per level.  The hierarchies must be
+    fused ([Hier.create ~fused:true]); the hooked oracle exists for
+    differential tests, not for sweeps. *)
+
+val hier_run_serial : Hier.t array -> Recording.t -> unit
+(** Replay the whole recording into every hierarchy, one domain. *)
+
+val hier_run_parallel : jobs:int -> Hier.t array -> Recording.t -> unit
+(** Like {!hier_run_serial} with the hierarchies dynamically claimed
+    across [jobs] domains (clamped to the hierarchy count). *)
+
+val save_hier_checkpoint :
+  Hier.t array -> events:int -> cursor:int -> string -> unit
+(** As {!save_checkpoint}, snapshotting every level of every
+    hierarchy (tags, valid masks, dirty bits, packed policy words,
+    counters); written atomically via temp file + rename. *)
+
+val load_hier_checkpoint : Hier.t array -> events:int -> string -> int
+(** As {!load_checkpoint} for hierarchy checkpoints.
+    @raise Failure on a foreign, stale, or mismatched file. *)
+
+val hier_run_resumable :
+  ?jobs:int ->
+  ?checkpoint_every:int ->
+  ?progress:(int -> unit) ->
+  checkpoint:string ->
+  Hier.t array ->
+  Recording.t ->
+  unit
+(** As {!run_resumable} over hierarchies: restore from [checkpoint]
+    when present, then replay in epochs of [checkpoint_every] events
+    with a fresh checkpoint after each.  Per-level statistics are
+    bit-identical to an uninterrupted serial run no matter how many
+    times the process died, and regardless of [jobs]. *)
+
 val live_parallel :
   jobs:int ->
   ?chunk_events:int ->

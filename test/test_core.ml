@@ -90,11 +90,11 @@ let test_report_helpers () =
   Alcotest.(check string) "size label" "64k" (Core.Report.size_label (64 * 1024))
 
 let test_registry () =
-  Alcotest.(check int) "twenty experiments" 20
+  Alcotest.(check int) "twenty-one experiments" 21
     (List.length Core.Experiments.all);
   let ids =
     [ "T1"; "T2"; "F1"; "T3"; "T4"; "F2"; "T5"; "T6"; "F3"; "F4"; "T7"; "T8";
-      "F5"; "F6"; "F7"; "F8"; "A1"; "A2"; "A3"; "A4" ]
+      "F5"; "F6"; "F7"; "F8"; "A1"; "A2"; "A3"; "A4"; "H1" ]
   in
   Alcotest.(check (list string)) "ids in paper order" ids
     (List.map (fun e -> e.Core.Experiments.id) Core.Experiments.all);

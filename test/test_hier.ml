@@ -1,0 +1,314 @@
+(* Differential tests for the fused miss-stream hierarchy engine: on a
+   real recorded trace of every workload, the fused engine (L1 over
+   packed chunks, lower levels draining the appended miss stream) must
+   produce per-level statistics bit-identical to the hooked per-event
+   oracle, for every depth and replacement policy in the matrix.  The
+   parallel and kill-and-resume sweep paths must in turn be
+   bit-identical to a serial fused run. *)
+
+module Level = Memsim.Level
+module Hier = Memsim.Hier
+
+(* Small geometries so even the short scale-1 traces overflow every
+   level: L2 and L3 see plenty of traffic.  The matrix covers both
+   depths and all five policies, mixing policies across levels. *)
+let hier_configs =
+  [ ("2L-lru",
+     Hier.config
+       ~levels:
+         [ Level.config ~policy:Level.Lru ~size_bytes:2048 ~block_bytes:32
+             ~ways:2 ();
+           Level.config ~policy:Level.Lru ~size_bytes:8192 ~block_bytes:32
+             ~ways:4 ()
+         ]
+       ());
+    ("2L-plru",
+     Hier.config
+       ~levels:
+         [ Level.config ~policy:Level.Tree_plru ~size_bytes:2048
+             ~block_bytes:32 ~ways:4 ();
+           Level.config ~policy:Level.Tree_plru ~size_bytes:8192
+             ~block_bytes:64 ~ways:8 ()
+         ]
+       ());
+    ("3L-mru",
+     Hier.config
+       ~levels:
+         [ Level.config ~policy:Level.Tree_plru ~size_bytes:2048
+             ~block_bytes:32 ~ways:2 ();
+           Level.config ~policy:Level.Lru ~size_bytes:8192 ~block_bytes:64
+             ~ways:4 ();
+           Level.config ~policy:Level.Mru ~size_bytes:32768 ~block_bytes:64
+             ~ways:8 ()
+         ]
+       ());
+    ("3L-qlru-r1u2",
+     Hier.config
+       ~levels:
+         [ Level.config ~policy:Level.Tree_plru ~size_bytes:2048
+             ~block_bytes:32 ~ways:4 ();
+           Level.config ~policy:Level.Tree_plru ~size_bytes:8192
+             ~block_bytes:64 ~ways:4 ();
+           Level.config ~policy:Level.Qlru_h11_m1_r1_u2 ~size_bytes:32768
+             ~block_bytes:64 ~ways:8 ()
+         ]
+       ());
+    (* 12-way L3: a non-power-of-two associativity (the Coffee Lake
+       shape) through the packed QLRU age words. *)
+    ("3L-qlru-r0u0",
+     Hier.config
+       ~levels:
+         [ Level.config ~policy:Level.Lru ~size_bytes:2048 ~block_bytes:32
+             ~ways:2 ();
+           Level.config ~policy:Level.Tree_plru ~size_bytes:8192
+             ~block_bytes:64 ~ways:4 ();
+           Level.config ~policy:Level.Qlru_h11_m1_r0_u0 ~size_bytes:49152
+             ~block_bytes:64 ~ways:12 ()
+         ]
+       ())
+  ]
+
+let check_levels_identical name (a : Hier.t) (b : Hier.t) =
+  let sa = Hier.stats a and sb = Hier.stats b in
+  Alcotest.(check int) (name ^ ": level count") (Array.length sa)
+    (Array.length sb);
+  Array.iteri
+    (fun i (s : Memsim.Cache.stats) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: L%d stats bit-identical" name (i + 1))
+        true
+        (s = sb.(i)))
+    sa
+
+let drive_chunks h recording =
+  Memsim.Recording.iter_chunks recording (fun buf len ->
+      Hier.access_chunk h buf 0 len)
+
+(* --- fused = hooked oracle, full matrix ------------------------------ *)
+
+let test_workload w () =
+  let _, recording = Core.Runner.record ~scale:1 w in
+  List.iter
+    (fun (name, cfg) ->
+      let hooked = Hier.create ~fused:false cfg in
+      let fused = Hier.create ~fused:true cfg in
+      drive_chunks hooked recording;
+      drive_chunks fused recording;
+      check_levels_identical name hooked fused;
+      (* the chunked sink is the live-run delivery path *)
+      let live = Hier.create ~fused:true cfg in
+      let sink, flush = Hier.chunked_sink ~chunk_events:1021 live in
+      Memsim.Recording.replay recording sink;
+      flush ();
+      check_levels_identical (name ^ " via chunked_sink") hooked live)
+    hier_configs
+
+(* --- a 1-way Level is the direct-mapped reference engine ------------- *)
+
+let test_level_matches_cache () =
+  let _, recording =
+    Core.Runner.record ~scale:1 Workloads.Workload.nbody
+  in
+  List.iter
+    (fun policy ->
+      let cache =
+        Memsim.Cache.create
+          (Memsim.Cache.config ~size_bytes:4096 ~block_bytes:32 ())
+      in
+      let level =
+        Level.create
+          (Level.config ~policy ~size_bytes:4096 ~block_bytes:32 ~ways:1 ())
+      in
+      Memsim.Recording.iter_chunks recording (fun buf len ->
+          Memsim.Cache.access_chunk cache buf 0 len;
+          Level.access_chunk level buf 0 len);
+      Alcotest.(check bool)
+        (Level.policy_label policy
+        ^ ": 1-way level = direct-mapped cache")
+        true
+        (Level.stats level = Memsim.Cache.stats cache))
+    [ Level.Lru; Level.Mru; Level.Qlru_h11_m1_r1_u2 ]
+
+(* --- sweep engines over hierarchies ---------------------------------- *)
+
+let make_fleet () =
+  Array.of_list (List.map (fun (_, cfg) -> Hier.create cfg) hier_configs)
+
+let check_fleets_identical name a b =
+  Array.iteri (fun i h -> check_levels_identical
+                  (Printf.sprintf "%s: hier %d" name i) h b.(i)) a
+
+let test_parallel_vs_serial () =
+  let _, recording =
+    Core.Runner.record ~scale:1 Workloads.Workload.nbody
+  in
+  let serial = make_fleet () in
+  Memsim.Sweep.hier_run_serial serial recording;
+  List.iter
+    (fun jobs ->
+      let parallel = make_fleet () in
+      Memsim.Sweep.hier_run_parallel ~jobs parallel recording;
+      check_fleets_identical
+        (Printf.sprintf "hier_run_parallel jobs=%d" jobs)
+        serial parallel)
+    [ 2; 3; 8 ]
+
+let test_kill_and_resume () =
+  let _, recording =
+    Core.Runner.record ~scale:1 Workloads.Workload.nbody
+  in
+  let uninterrupted = make_fleet () in
+  Memsim.Sweep.hier_run_serial uninterrupted recording;
+  let ckpt = Filename.temp_file "hier" ".ckpt" in
+  Sys.remove ckpt;
+  let events = Memsim.Recording.length recording in
+  let every = max 1 (events / 7) in
+  (* First process: dies right after the third checkpoint lands. *)
+  let victim = make_fleet () in
+  (try
+     Memsim.Sweep.hier_run_resumable ~checkpoint_every:every
+       ~progress:(fun cursor -> if cursor >= 3 * every then raise Exit)
+       ~checkpoint:ckpt victim recording
+   with Exit -> ());
+  (* Second process: fresh hierarchies restored from the checkpoint,
+     replay finishes on two domains. *)
+  let resumed = make_fleet () in
+  Memsim.Sweep.hier_run_resumable ~jobs:2 ~checkpoint_every:every
+    ~checkpoint:ckpt resumed recording;
+  check_fleets_identical "kill-and-resume" uninterrupted resumed;
+  (* A third run restores the final checkpoint and replays nothing. *)
+  let idem = make_fleet () in
+  Memsim.Sweep.hier_run_resumable ~checkpoint_every:every ~checkpoint:ckpt
+    idem recording;
+  check_fleets_identical "resume of a finished run" uninterrupted idem;
+  Sys.remove ckpt
+
+(* --- hierarchy snapshot round trip ----------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  let _, recording =
+    Core.Runner.record ~scale:1 Workloads.Workload.nbody
+  in
+  let cfg = Hier.preset Hier.Nhm in
+  let a = Hier.create cfg in
+  drive_chunks a recording;
+  let buf = Buffer.create 1024 in
+  Hier.snapshot a buf;
+  Alcotest.(check int) "snapshot_bytes matches emitted size"
+    (Hier.snapshot_bytes a) (Buffer.length buf);
+  let b = Hier.create cfg in
+  let stop = Hier.restore b (Buffer.to_bytes buf) 0 in
+  Alcotest.(check int) "restore consumed the whole snapshot"
+    (Buffer.length buf) stop;
+  (* Both must continue bit-identically from the restored state. *)
+  drive_chunks a recording;
+  drive_chunks b recording;
+  check_levels_identical "restored hierarchy continues identically" a b
+
+(* --- the Hierarchy.overhead disjoint-charging fix -------------------- *)
+
+let test_hierarchy_overhead_disjoint () =
+  let mk bytes =
+    Memsim.Cache.config ~size_bytes:bytes ~block_bytes:64 ()
+  in
+  let cfg =
+    Memsim.Hierarchy.config ~l2_hit_ns:60.0 ~l1:(mk 1024) ~l2:(mk 8192) ()
+  in
+  let h = Memsim.Hierarchy.create cfg in
+  (* A then B (same L1 set, different L2 sets) then A again: three L1
+     fetches, two of which miss L2; the re-fetch of A hits L2. *)
+  Memsim.Hierarchy.access h 0 Memsim.Trace.Read Memsim.Trace.Mutator;
+  Memsim.Hierarchy.access h 1024 Memsim.Trace.Read Memsim.Trace.Mutator;
+  Memsim.Hierarchy.access h 0 Memsim.Trace.Read Memsim.Trace.Mutator;
+  let s1 = Memsim.Hierarchy.l1_stats h in
+  let s2 = Memsim.Hierarchy.l2_stats h in
+  Alcotest.(check int) "three L1 fetches" 3 s1.Memsim.Cache.fetches;
+  Alcotest.(check int) "two L2 fetches" 2 s2.Memsim.Cache.fetches;
+  let cpu = Memsim.Timing.Fast in
+  let instructions = 1000 in
+  (* One L2 hit pays the L2 latency; the two memory fetches pay the
+     miss penalty.  The pre-fix formula charged all three L1 fetches
+     the L2 latency on top. *)
+  let expected =
+    (1.0 *. 60.0 /. Memsim.Timing.cycle_ns cpu
+    +. 2.0 *. Memsim.Timing.miss_penalty cpu ~block_bytes:64)
+    /. float_of_int instructions
+  in
+  Alcotest.(check (float 1e-12)) "disjoint charging" expected
+    (Memsim.Hierarchy.overhead h cpu ~instructions)
+
+(* --- victim selection property --------------------------------------- *)
+
+let all_policies_arr = Array.of_list Level.all_policies
+
+let prop_victim_valid =
+  QCheck.Test.make ~count:300
+    ~name:"victim selection in range, invalid ways first, every policy"
+    QCheck.(
+      triple (int_range 0 (Array.length all_policies_arr - 1))
+        (int_range 1 32)
+        (list_of_size Gen.(int_range 1 300) (int_range 0 4095)))
+    (fun (pidx, raw_ways, addrs) ->
+      let policy = all_policies_arr.(pidx) in
+      let ways =
+        (* Tree-PLRU's implicit heap needs a power-of-two arity. *)
+        match policy with
+        | Level.Tree_plru ->
+          let rec pow2 p = if p * 2 > raw_ways then p else pow2 (p * 2) in
+          pow2 1
+        | _ -> raw_ways
+      in
+      let nsets = 4 and block = 16 in
+      let t =
+        Level.create
+          (Level.config ~policy ~size_bytes:(nsets * ways * block)
+             ~block_bytes:block ~ways ())
+      in
+      List.for_all
+        (fun a ->
+          Level.access t (a * 4) Memsim.Trace.Read Memsim.Trace.Mutator;
+          let ok = ref true in
+          for set = 0 to nsets - 1 do
+            let v = Level.victim_preview t ~set in
+            if v < 0 || v >= ways then ok := false;
+            (* When an invalid way exists the victim must be one. *)
+            let any_invalid = ref false in
+            for w = 0 to ways - 1 do
+              if not (Level.line_valid t ~set ~way:w) then
+                any_invalid := true
+            done;
+            if !any_invalid && Level.line_valid t ~set ~way:v then
+              ok := false
+          done;
+          !ok)
+        addrs)
+
+let workload_cases =
+  List.map
+    (fun (w : Workloads.Workload.t) ->
+      Alcotest.test_case
+        (Printf.sprintf "fused = hooked oracle: %s" w.name)
+        `Slow (test_workload w))
+    Workloads.Workload.all
+
+let () =
+  Alcotest.run "hier"
+    [ ("differential", workload_cases);
+      ("level",
+       [ Alcotest.test_case "1-way level = direct-mapped cache" `Quick
+           test_level_matches_cache
+       ]);
+      ("sweep",
+       [ Alcotest.test_case "parallel = serial" `Slow
+           test_parallel_vs_serial;
+         Alcotest.test_case "kill-and-resume = uninterrupted" `Slow
+           test_kill_and_resume;
+         Alcotest.test_case "snapshot round trip" `Quick
+           test_snapshot_roundtrip
+       ]);
+      ("overhead",
+       [ Alcotest.test_case "Hierarchy.overhead charges disjointly" `Quick
+           test_hierarchy_overhead_disjoint
+       ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_victim_valid ])
+    ]

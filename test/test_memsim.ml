@@ -394,9 +394,17 @@ let test_hierarchy_writeback_path () =
 let test_hierarchy_overhead () =
   let h = mk_hierarchy () in
   Memsim.Hierarchy.access h 0 Memsim.Trace.Read mutator;
-  (* one L1 fetch (60ns) + one L2 fetch (330ns) over 100 insns, slow *)
+  (* disjoint charging: the lone L1 fetch also misses L2, so it pays
+     only the memory penalty (330ns) — no L2-hit service — over 100
+     slow-processor instructions at 30ns each *)
   let o = Memsim.Hierarchy.overhead h Memsim.Timing.Slow ~instructions:100 in
-  Alcotest.(check (float 1e-9)) "overhead math" 0.13 o
+  Alcotest.(check (float 1e-9)) "overhead math" 0.11 o;
+  (* evict block 0 from L1 and re-read: that fetch hits L2 and adds
+     the 60ns L2 service on top *)
+  Memsim.Hierarchy.access h 512 Memsim.Trace.Read mutator;
+  Memsim.Hierarchy.access h 0 Memsim.Trace.Read mutator;
+  let o = Memsim.Hierarchy.overhead h Memsim.Timing.Slow ~instructions:100 in
+  Alcotest.(check (float 1e-9)) "disjoint L2 hit charge" 0.24 o
 
 (* A pseudo-random event stream delivered per-event and via the packed
    chunk codec must leave both levels in identical states: the chunked

@@ -26,7 +26,7 @@ type finding = { ident : string; f : Check.Finding.t }
 
 let hot_path_files =
   [ "lib/vscheme/mem.ml"; "lib/memsim/cache.ml"; "lib/memsim/chunk.ml";
-    "lib/memsim/recording.ml" ]
+    "lib/memsim/recording.ml"; "lib/memsim/level.ml" ]
 
 let partial_calls =
   [ ([ "List"; "hd" ], "List.hd"); ([ "List"; "tl" ], "List.tl");

@@ -25,7 +25,7 @@
 
 type finding = { ident : string; f : Check.Finding.t }
 
-let hot_path_modules = [ "Mem"; "Cache"; "Chunk"; "Recording" ]
+let hot_path_modules = [ "Mem"; "Cache"; "Chunk"; "Recording"; "Level"; "Hier" ]
 
 let pos_of_loc (loc : Location.t) =
   Check.Finding.Pos
