@@ -1,7 +1,8 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all build test test-parallel test-fastpath bench lint check-recordings \
-  check-profile golden golden-record check untracked-build clean
+.PHONY: all build test test-parallel test-fastpath bench lint policy-check \
+  check-recordings check-profile golden golden-record check untracked-build \
+  clean
 
 all: build
 
@@ -32,6 +33,20 @@ bench:
 lint:
 	dune build @check
 	dune exec tools/lint/lint.exe
+
+# Machine-check the fast paths.  The model checker enumerates every
+# reachable replacement-policy metadata state (assoc 2/4/8, all five
+# policies) against the executable spec and writes the certificate
+# CI uploads; the --mutate run seeds a known spec bug and succeeds
+# only if the checker catches it; the lint --self-test scans the
+# seeded-violation fixture so the interprocedural allocation pass is
+# proven alive, not just quiet.
+policy-check:
+	dune build @check
+	dune exec tools/policy_check/main.exe -- --json policy-certificate.json
+	dune exec tools/policy_check/main.exe -- -q --ways 4 \
+	  --mutate plru-flip --expect-findings
+	dune exec tools/lint/lint.exe -- --self-test
 
 # Record every workload (all three on-disk formats, plus one run under
 # the Cheney collector) and statically verify the traces: format
@@ -93,7 +108,7 @@ untracked-build:
 	  echo "error: $$n file(s) under _build/ are tracked by git"; exit 1; \
 	fi
 
-check: build test lint test-parallel test-fastpath check-recordings check-profile golden untracked-build
+check: build test lint policy-check test-parallel test-fastpath check-recordings check-profile golden untracked-build
 	@echo "check: ok"
 
 clean:

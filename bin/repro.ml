@@ -586,8 +586,27 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
     in
     let is_doc f = Filename.check_suffix f ".json" in
     let is_attr f = Filename.check_suffix f ".attr" in
+    (* Checkpoints have no fixed extension (--checkpoint takes any
+       path), so sniff the magic instead of the name. *)
+    let is_ckpt f =
+      (not (is_doc f)) && (not (is_attr f))
+      &&
+      match open_in_bin f with
+      | exception Sys_error _ -> false
+      | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match really_input_string ic 8 with
+            | "SWPCKPT1" | "SWHCKPT1" -> true
+            | _ -> false
+            | exception End_of_file -> false)
+    in
+    let ckpts = List.filter is_ckpt files in
     let traces =
-      List.filter (fun f -> not (is_doc f) && not (is_attr f)) files
+      List.filter
+        (fun f -> (not (is_doc f)) && (not (is_attr f)) && not (is_ckpt f))
+        files
     in
     let docs = List.filter is_doc files in
     let attrs = List.filter is_attr files in
@@ -637,6 +656,13 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
         (fun f -> (f, Check.Attr_check.scan ?events:trace_event_count f))
         attrs
     in
+    (* A checkpoint's header pins the event count of the recording it
+       was taken over — cross-checked the same way as sidecars. *)
+    let ckpt_results =
+      List.map
+        (fun f -> (f, Check.Ckpt_check.scan ?events:trace_event_count f))
+        ckpts
+    in
     let all_findings =
       List.concat_map (fun (_, (_, fs)) -> fs) doc_results
       @ List.concat_map
@@ -645,6 +671,9 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
       @ List.concat_map
           (fun (_, r) -> r.Check.Attr_check.findings)
           attr_results
+      @ List.concat_map
+          (fun (_, r) -> r.Check.Ckpt_check.findings)
+          ckpt_results
     in
     List.iter (fun f -> Format.fprintf ppf "%a@." Check.Finding.pp f)
       all_findings;
@@ -686,6 +715,20 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
               (Memsim.Attr.num_sites t)
           | None -> Format.fprintf ppf "%s: ok@." f)
       attr_results;
+    List.iter
+      (fun (f, r) ->
+        if not (Check.Finding.has_errors r.Check.Ckpt_check.findings) then
+          Format.fprintf ppf
+            "%s: ok: %s checkpoint (%d snapshot%s, cursor %d of %d events)@."
+            f
+            (match r.Check.Ckpt_check.kind with
+             | Some k -> Check.Ckpt_check.kind_string k
+             | None -> "?")
+            r.Check.Ckpt_check.snapshots
+            (if r.Check.Ckpt_check.snapshots = 1 then "" else "s")
+            (Option.value ~default:0 r.Check.Ckpt_check.cursor)
+            (Option.value ~default:0 r.Check.Ckpt_check.events))
+      ckpt_results;
     (match json_out with
      | None -> ()
      | Some path ->
@@ -717,13 +760,32 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
               Check.Finding.list_to_json r.Check.Attr_check.findings)
            ]
        in
+       let ckpt_json (f, r) =
+         Obs.Json.Obj
+           ([ ("file", Obs.Json.Str f) ]
+            @ (match r.Check.Ckpt_check.kind with
+               | Some k ->
+                 [ ("kind", Obs.Json.Str (Check.Ckpt_check.kind_string k)) ]
+               | None -> [])
+            @ (match r.Check.Ckpt_check.cursor with
+               | Some c -> [ ("cursor", Obs.Json.Int c) ]
+               | None -> [])
+            @ (match r.Check.Ckpt_check.events with
+               | Some e -> [ ("events", Obs.Json.Int e) ]
+               | None -> [])
+            @ [ ("snapshots", Obs.Json.Int r.Check.Ckpt_check.snapshots);
+                ("findings",
+                 Check.Finding.list_to_json r.Check.Ckpt_check.findings)
+              ])
+       in
        let doc =
          Obs.Json.Obj
            [ ("files",
               Obs.Json.List
                 (List.map file_json trace_results
                  @ List.map doc_json doc_results
-                 @ List.map attr_json attr_results))
+                 @ List.map attr_json attr_results
+                 @ List.map ckpt_json ckpt_results))
            ]
        in
        let out = Obs.Json.to_pretty_string doc in

@@ -1,0 +1,53 @@
+(** Static verification of sweep checkpoint files
+    ({!Memsim.Sweep.run_resumable} grid checkpoints and
+    {!Memsim.Sweep.hier_run_resumable} hierarchy checkpoints) without
+    restoring them into live caches.
+
+    Unlike [Sweep.load_checkpoint], which needs the matching sweep
+    already built and raises on the first problem, this scanner works
+    from the file alone: the snapshot bodies are self-describing (each
+    carries its geometry), so the walk recomputes every body length
+    and collects byte-located {!Finding.t}s instead of raising.
+    Rules:
+
+    - [ckpt.io] — the file could not be read;
+    - [ckpt.magic] — neither a grid ("SWPCKPT1") nor a hierarchy
+      ("SWHCKPT1") checkpoint;
+    - [ckpt.truncated] — short header, or a body that ends inside a
+      snapshot the header said should be there;
+    - [ckpt.header] — negative cursor / event / snapshot counts, or a
+      cursor past the event count;
+    - [ckpt.events] — header event count disagrees with the recording
+      the checkpoint is being checked against (only with [?events]);
+    - [ckpt.snapshot-magic] — a snapshot body does not start with the
+      cache / hierarchy / level magic the file kind promises;
+    - [ckpt.geometry] — a snapshot's geometry words describe a cache
+      no constructor would accept (sizes not powers of two, blocks
+      wider than 64 words, way counts out of 1..32, unknown policy or
+      flag codes);
+    - [ckpt.counter] — a negative event counter;
+    - [ckpt.state] — a line whose valid-word mask has bits beyond the
+      block width, a dirty byte that is neither 0 nor 1, or a tag
+      below the -1 invalid marker;
+    - [ckpt.trailing-bytes] — bytes after the last declared snapshot;
+    - [ckpt.suppressed] — warning noting findings beyond the cap. *)
+
+type kind =
+  | Grid  (** cache-grid checkpoint, one {!Memsim.Cache} snapshot each *)
+  | Hier  (** hierarchy checkpoint, one {!Memsim.Hier} snapshot each *)
+
+type result = {
+  file : string;
+  kind : kind option;           (** [None] when the magic is unknown *)
+  cursor : int option;          (** replay cursor, if the header was readable *)
+  events : int option;          (** recording event count the header pins *)
+  snapshots : int;              (** snapshot bodies actually walked *)
+  findings : Finding.t list;
+}
+
+val scan : ?events:int -> string -> result
+(** Read and verify one checkpoint file.  [?events] cross-checks the
+    header against the event count of the recording being swept.
+    Never raises: I/O errors become [ckpt.io] findings. *)
+
+val kind_string : kind -> string

@@ -1024,6 +1024,32 @@ let victim_preview t ~set =
   if set < 0 || set >= t.nsets then invalid_arg "Level.victim_preview";
   choose_victim t set
 
+(* Model-checking hooks: read-only views of one set's packed state,
+   for the exhaustive policy checker (tools/policy_check).  Not
+   simulation paths — they allocate and bounds-check freely. *)
+
+let check_coords name t ~set ~way =
+  if set < 0 || set >= t.nsets || way < 0 || way >= t.ways then
+    invalid_arg name
+
+let policy_words t ~set =
+  if set < 0 || set >= t.nsets then invalid_arg "Level.policy_words";
+  Array.sub t.pol (set * t.pstride) t.pstride
+
+let line_tag t ~set ~way =
+  check_coords "Level.line_tag" t ~set ~way;
+  let li = (set * t.ways) + way in
+  t.tags.(li)
+
+let line_dirty t ~set ~way =
+  check_coords "Level.line_dirty" t ~set ~way;
+  Bytes.get t.dirty ((set * t.ways) + way) = '\001'
+
+let line_valid_words t ~set ~way =
+  check_coords "Level.line_valid_words" t ~set ~way;
+  let li = (set * t.ways) + way in
+  (t.valid_lo.(li), t.valid_hi.(li))
+
 (* --- Checkpointing ------------------------------------------------------- *)
 
 (* Same discipline as [Cache.snapshot]: everything the access paths

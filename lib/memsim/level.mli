@@ -117,6 +117,35 @@ val reset_stats : t -> unit
 val line_valid : t -> set:int -> way:int -> bool
 (** Whether the line currently holds a block (test introspection). *)
 
+(** {1 Model-checking hooks}
+
+    Read-only views of one set's simulation state, exposed for the
+    exhaustive policy model checker ([tools/policy_check]) and the
+    policy unit tests.  The packed replacement-metadata encoding they
+    reveal is the one documented at the top of [level.ml]: 5-bit LRU
+    rank fields, one Tree-PLRU/MRU word, 2-bit QLRU ages.  None of
+    these are simulation paths — they allocate freely and bounds-check
+    their arguments. *)
+
+val policy_words : t -> set:int -> int array
+(** Copy of the packed replacement-metadata words of [set] ([pstride]
+    words; the checker decodes them against its reference spec).
+    @raise Invalid_argument on an out-of-range set. *)
+
+val line_tag : t -> set:int -> way:int -> int
+(** The memory-block number resident in the line, or [-1] when the
+    line is invalid.  @raise Invalid_argument on out-of-range
+    coordinates. *)
+
+val line_dirty : t -> set:int -> way:int -> bool
+(** Whether the line is dirty (would write back on eviction).
+    @raise Invalid_argument on out-of-range coordinates. *)
+
+val line_valid_words : t -> set:int -> way:int -> int * int
+(** The line's per-word valid masks [(lo, hi)] — bit [w] of [lo] is
+    word [w] for words 0–31, of [hi] for words 32–63.
+    @raise Invalid_argument on out-of-range coordinates. *)
+
 val victim_preview : t -> set:int -> int
 (** The way {!access} would fill on a miss in [set] right now.  QLRU
     normalization may age the set, exactly as a real miss would; meant

@@ -34,6 +34,10 @@ let sink t =
 
 let caches t = t.caches
 
+let write_miss_label = function
+  | Cache.Write_validate -> "write-validate"
+  | Cache.Fetch_on_write -> "fetch-on-write"
+
 let find t ~size_bytes ~block_bytes =
   let matches c =
     let g = Cache.geometry c in
@@ -41,11 +45,24 @@ let find t ~size_bytes ~block_bytes =
   in
   let rec loop i =
     if i >= Array.length t.caches then
+      (* Sweeps are policy-pluggable: name the configured write-miss
+         policies so a grid built under the wrong policy is
+         recognizable from the error alone. *)
+      let policies =
+        Array.fold_left
+          (fun acc c ->
+            let l = write_miss_label (Cache.geometry c).Cache.write_miss_policy in
+            if List.exists (String.equal l) acc then acc else l :: acc)
+          [] t.caches
+        |> List.rev |> String.concat "/"
+      in
       failwith
         (Format.asprintf
-           "Sweep.find: no %a cache with %db blocks among the %d configured"
+           "Sweep.find: no %a cache with %db blocks among the %d configured \
+            (%s)"
            pp_size size_bytes block_bytes
-           (Array.length t.caches))
+           (Array.length t.caches)
+           (if String.length policies = 0 then "no policies" else policies))
     else if matches t.caches.(i) then t.caches.(i)
     else loop (i + 1)
   in

@@ -85,10 +85,25 @@ let allowed entries ~rule ~file ~ident =
       hit)
     entries
 
-let stale ~src entries =
+(* Does the entry's file pattern still name a file the lint actually
+   scanned?  Suffix semantics mirror {!allowed}, so an entry can only
+   be orphaned when every path it could ever match is gone. *)
+let file_known ~files e =
+  List.exists (fun f -> suffix_match ~suffix:e.file f) files
+
+let stale ~src ~files entries =
   List.filter_map
     (fun e ->
       if e.used then None
+      else if not (file_known ~files e) then
+        Some
+          (Check.Finding.v ~severity:Check.Finding.Warning
+             ~rule:"lint.allowlist" ~file:src
+             ~where:(Check.Finding.Line e.line)
+             (Printf.sprintf
+                "orphaned allowlist entry: %s matches no scanned file \
+                 (deleted or renamed?); prune it with --prune-allow"
+                e.file))
       else
         Some
           (Check.Finding.v ~severity:Check.Finding.Warning
@@ -98,3 +113,34 @@ let stale ~src entries =
                 "stale allowlist entry: no %s finding matches %s / %s" e.rule
                 e.file e.ident)))
     entries
+
+(* Rewrite [src] without the orphaned entries (file gone), keeping
+   comments, blank lines and every live entry byte-for-byte.  Returns
+   the number of lines dropped. *)
+let prune ~src ~files entries =
+  let orphan_lines =
+    List.filter_map
+      (fun e -> if file_known ~files e then None else Some e.line)
+      entries
+  in
+  if orphan_lines = [] || not (Sys.file_exists src) then 0
+  else begin
+    let ic = open_in src in
+    let buf = Buffer.create 1024 in
+    let line = ref 0 in
+    (try
+       while true do
+         let s = input_line ic in
+         incr line;
+         if not (List.mem !line orphan_lines) then begin
+           Buffer.add_string buf s;
+           Buffer.add_char buf '\n'
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let oc = open_out src in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    List.length orphan_lines
+  end

@@ -1,0 +1,375 @@
+(* Interprocedural hot-path allocation analysis (Parsetree).
+
+   The per-function [lint.hot-alloc] rule only sees the body of a
+   [let[@hot]] binding; anything the fast path calls is invisible to
+   it.  This pass closes that hole: it builds a call graph over every
+   top-level value binding of the scanned tree, takes the [@hot]
+   bindings as roots, computes the set of functions reachable from
+   them, and flags allocation sites in that closure as
+   [lint.hot-alloc-deep] — each finding names the containing function
+   (the allowlist identifier) and one call path from a root, so the
+   audit trail survives refactors.
+
+   What counts as an allocation here: closures and [lazy] blocks,
+   boxed tuples (with the same match/destructure exemptions as the
+   per-function rule), non-empty array and record literals,
+   constructors and polymorphic variants with a payload, [ref], and a
+   table of known-allocating stdlib entry points (Printf, Buffer,
+   List/Array builders, string concatenation).  Raising guards
+   ([invalid_arg], [failwith]) are deliberately not in the table: a
+   bounds check that raises on the cold edge is hot-path idiom, not an
+   allocation the steady state pays for.
+
+   Resolution is name-based and deliberately modest: a bare identifier
+   resolves within its own module, a dotted one by its last two
+   components ("Level.fast_span") across the scanned set — the same
+   normalization the shape table uses for dune's module mangling.
+   Unresolved names (stdlib, externals) simply add no edge, which can
+   only under-approximate the closure, never flood it. *)
+
+type finding = { ident : string; f : Check.Finding.t }
+
+type node = {
+  qname : string;                 (* "Level.fast_span" *)
+  file : string;
+  loc : Location.t;
+  hot : bool;
+  func : bool;                    (* syntactic function (vs constant) *)
+  expr : Parsetree.expression;
+  mutable calls : string list;    (* resolved callee qnames *)
+}
+
+let pos_of_loc (loc : Location.t) =
+  Check.Finding.Pos
+    { line = loc.Location.loc_start.Lexing.pos_lnum;
+      col =
+        loc.Location.loc_start.Lexing.pos_cnum
+        - loc.Location.loc_start.Lexing.pos_bol
+    }
+
+let flatten lid = try Longident.flatten lid with Misc.Fatal_error -> []
+
+(* Known-allocating stdlib entry points, by flattened path. *)
+let allocating_calls =
+  [ ([ "Printf"; "sprintf" ], "Printf.sprintf");
+    ([ "Printf"; "ksprintf" ], "Printf.ksprintf");
+    ([ "Format"; "sprintf" ], "Format.sprintf");
+    ([ "Format"; "asprintf" ], "Format.asprintf");
+    ([ "String"; "concat" ], "String.concat");
+    ([ "String"; "make" ], "String.make");
+    ([ "String"; "sub" ], "String.sub");
+    ([ "String"; "init" ], "String.init");
+    ([ "String"; "split_on_char" ], "String.split_on_char");
+    ([ "Bytes"; "create" ], "Bytes.create");
+    ([ "Bytes"; "make" ], "Bytes.make");
+    ([ "Bytes"; "sub" ], "Bytes.sub");
+    ([ "Bytes"; "to_string" ], "Bytes.to_string");
+    ([ "Bytes"; "of_string" ], "Bytes.of_string");
+    ([ "Array"; "make" ], "Array.make");
+    ([ "Array"; "init" ], "Array.init");
+    ([ "Array"; "copy" ], "Array.copy");
+    ([ "Array"; "append" ], "Array.append");
+    ([ "Array"; "sub" ], "Array.sub");
+    ([ "Array"; "of_list" ], "Array.of_list");
+    ([ "Array"; "to_list" ], "Array.to_list");
+    ([ "Array"; "map" ], "Array.map");
+    ([ "Array"; "mapi" ], "Array.mapi");
+    ([ "List"; "map" ], "List.map");
+    ([ "List"; "mapi" ], "List.mapi");
+    ([ "List"; "init" ], "List.init");
+    ([ "List"; "rev" ], "List.rev");
+    ([ "List"; "append" ], "List.append");
+    ([ "List"; "concat" ], "List.concat");
+    ([ "List"; "concat_map" ], "List.concat_map");
+    ([ "List"; "filter" ], "List.filter");
+    ([ "List"; "filter_map" ], "List.filter_map");
+    ([ "List"; "sort" ], "List.sort");
+    ([ "Buffer"; "create" ], "Buffer.create");
+    ([ "Buffer"; "contents" ], "Buffer.contents");
+    ([ "Buffer"; "to_bytes" ], "Buffer.to_bytes");
+    ([ "Hashtbl"; "create" ], "Hashtbl.create");
+    ([ "Queue"; "create" ], "Queue.create");
+    ([ "ref" ], "ref");
+    ([ "^" ], "(^)");
+    ([ "@" ], "(@)");
+    ([ "^^" ], "(^^)")
+  ]
+
+(* --- graph construction -------------------------------------------------- *)
+
+(* Collect the top-level (and nested-module) value bindings of one
+   parsed file as graph nodes.  Local [let]s inside a body are not
+   nodes of their own: their allocations and calls are attributed to
+   the enclosing top-level binding, which is also how the allowlist
+   wants to talk about them. *)
+let collect_nodes ~file (str : Parsetree.structure) acc =
+  let modname = Shapes.module_of_file file in
+  let rec structure path acc (items : Parsetree.structure) =
+    List.fold_left (item path) acc items
+  and item path acc (si : Parsetree.structure_item) =
+    match si.Parsetree.pstr_desc with
+    | Parsetree.Pstr_value (_, vbs) ->
+      List.fold_left
+        (fun acc (vb : Parsetree.value_binding) ->
+          match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+          | Parsetree.Ppat_var name ->
+            let hot =
+              List.exists
+                (fun (a : Parsetree.attribute) ->
+                  String.equal a.Parsetree.attr_name.Asttypes.txt "hot")
+                (vb.Parsetree.pvb_attributes
+                @ vb.Parsetree.pvb_expr.Parsetree.pexp_attributes)
+            in
+            let func =
+              (* A top-level constant is evaluated once at module
+                 init; whatever it allocates, the hot path never pays
+                 again, so only syntactic functions get the
+                 per-call allocation scan. *)
+              match vb.Parsetree.pvb_expr.Parsetree.pexp_desc with
+              | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _
+              | Parsetree.Pexp_newtype _ ->
+                true
+              | _ -> false
+            in
+            { qname = String.concat "." (List.rev (name.Asttypes.txt :: path));
+              file;
+              loc = vb.Parsetree.pvb_loc;
+              hot;
+              func;
+              expr = vb.Parsetree.pvb_expr;
+              calls = []
+            }
+            :: acc
+          | _ -> acc)
+        acc vbs
+    | Parsetree.Pstr_module
+        { Parsetree.pmb_name = { Asttypes.txt = Some sub; _ };
+          pmb_expr = { Parsetree.pmod_desc = Parsetree.Pmod_structure s; _ };
+          _
+        } ->
+      structure (sub :: path) acc s
+    | _ -> acc
+  in
+  structure [ modname ] acc str
+
+type graph = {
+  nodes : (string, node) Hashtbl.t;       (* qname -> node *)
+  by_suffix : (string, string) Hashtbl.t; (* "Mod.fn" -> qname *)
+}
+
+let build_graph parsed =
+  let all =
+    List.fold_left (fun acc (file, str) -> collect_nodes ~file str acc) [] parsed
+  in
+  let nodes = Hashtbl.create 256 and by_suffix = Hashtbl.create 256 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace nodes n.qname n;
+      Hashtbl.replace by_suffix (Shapes.last_components 2 n.qname) n.qname)
+    all;
+  (* Resolve each node's references into edges. *)
+  let resolve_in_module modpath name =
+    let qn = modpath ^ "." ^ name in
+    if Hashtbl.mem nodes qn then Some qn else None
+  in
+  List.iter
+    (fun n ->
+      let modpath =
+        match String.rindex_opt n.qname '.' with
+        | Some i -> String.sub n.qname 0 i
+        | None -> n.qname
+      in
+      let seen = Hashtbl.create 16 in
+      let add_call q =
+        if (not (String.equal q n.qname)) && not (Hashtbl.mem seen q) then begin
+          Hashtbl.replace seen q ();
+          n.calls <- q :: n.calls
+        end
+      in
+      let it = Ast_iterator.default_iterator in
+      let expr sub (e : Parsetree.expression) =
+        (match e.Parsetree.pexp_desc with
+         | Parsetree.Pexp_ident { Asttypes.txt = lid; _ } -> (
+           match flatten lid with
+           | [ x ] -> (
+             match resolve_in_module modpath x with
+             | Some q -> add_call q
+             | None -> ())
+           | _ :: _ :: _ as parts -> (
+             let tail2 =
+               match List.rev parts with
+               | f :: m :: _ -> m ^ "." ^ f
+               | _ -> ""
+             in
+             match Hashtbl.find_opt by_suffix tail2 with
+             | Some q -> add_call q
+             | None -> ())
+           | [] -> ())
+         | _ -> ());
+        it.Ast_iterator.expr sub e
+      in
+      let sub = { it with Ast_iterator.expr } in
+      sub.Ast_iterator.expr sub n.expr)
+    all;
+  { nodes; by_suffix }
+
+(* BFS from the [@hot] roots; returns qname -> call path (root first). *)
+let reachable g =
+  let paths : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  let q = Queue.create () in
+  Hashtbl.iter
+    (fun qn n ->
+      if n.hot then begin
+        Hashtbl.replace paths qn [ qn ];
+        Queue.add n q
+      end)
+    g.nodes;
+  while not (Queue.is_empty q) do
+    let n = Queue.pop q in
+    let path = Hashtbl.find paths n.qname in
+    List.iter
+      (fun callee ->
+        if not (Hashtbl.mem paths callee) then begin
+          Hashtbl.replace paths callee (path @ [ callee ]);
+          match Hashtbl.find_opt g.nodes callee with
+          | Some cn -> Queue.add cn q
+          | None -> ()
+        end)
+      n.calls
+  done;
+  paths
+
+(* --- allocation scan over the closure ------------------------------------ *)
+
+let scan_node ~(path : string list) (n : node) out =
+  let add ~loc msg =
+    out :=
+      { ident = n.qname;
+        f =
+          Check.Finding.v ~rule:"lint.hot-alloc-deep" ~file:n.file
+            ~where:(pos_of_loc loc)
+            (Printf.sprintf "%s in %s, reachable from a [@hot] root via %s"
+               msg n.qname
+               (String.concat " -> " path))
+      }
+      :: !out
+  in
+  let tuple_ok : (Parsetree.expression, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* In a [@hot] root the per-function rule already owns closures,
+     lazy blocks and tuples; re-flagging them here would double-report
+     every site under two rules. *)
+  let skip_ast_kinds = n.hot in
+  let it = Ast_iterator.default_iterator in
+  let expr sub (e : Parsetree.expression) =
+    let loc = e.Parsetree.pexp_loc in
+    (match e.Parsetree.pexp_desc with
+     | Parsetree.Pexp_match (scrutinee, _) ->
+       (match scrutinee.Parsetree.pexp_desc with
+        | Parsetree.Pexp_tuple _ -> Hashtbl.replace tuple_ok scrutinee ()
+        | _ -> ())
+     | Parsetree.Pexp_let (_, bindings, _) ->
+       List.iter
+         (fun (vb : Parsetree.value_binding) ->
+           match
+             ( vb.Parsetree.pvb_pat.Parsetree.ppat_desc,
+               vb.Parsetree.pvb_expr.Parsetree.pexp_desc )
+           with
+           | Parsetree.Ppat_tuple _, Parsetree.Pexp_tuple _ ->
+             Hashtbl.replace tuple_ok vb.Parsetree.pvb_expr ()
+           | _ -> ())
+         bindings
+     | _ -> ());
+    (match e.Parsetree.pexp_desc with
+     | (Parsetree.Pexp_fun _ | Parsetree.Pexp_function _)
+       when not skip_ast_kinds ->
+       add ~loc "closure allocated"
+     | Parsetree.Pexp_lazy _ when not skip_ast_kinds ->
+       add ~loc "lazy block allocated"
+     | Parsetree.Pexp_tuple _
+       when (not skip_ast_kinds) && not (Hashtbl.mem tuple_ok e) ->
+       add ~loc "boxed tuple allocated"
+     | Parsetree.Pexp_array (_ :: _) -> add ~loc "array literal allocated"
+     | Parsetree.Pexp_record _ -> add ~loc "record allocated"
+     | Parsetree.Pexp_construct (_, Some _) when not skip_ast_kinds ->
+       add ~loc "boxed constructor allocated"
+     | Parsetree.Pexp_variant (_, Some _) when not skip_ast_kinds ->
+       add ~loc "boxed polymorphic variant allocated"
+     | Parsetree.Pexp_apply (fn, _) -> (
+       match fn.Parsetree.pexp_desc with
+       | Parsetree.Pexp_ident { Asttypes.txt = lid; _ } ->
+         let parts = flatten lid in
+         List.iter
+           (fun (p, name) ->
+             if parts = p then
+               add ~loc (Printf.sprintf "allocating call %s" name))
+           allocating_calls
+       | _ -> ())
+     | _ -> ());
+    it.Ast_iterator.expr sub e
+  in
+  (* The outermost curried parameters — including a final `function'
+     — are the function itself, not per-call allocations. *)
+  let rec body (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_fun (_, _, _, rest) -> body rest
+    | Parsetree.Pexp_newtype (_, rest) -> body rest
+    | Parsetree.Pexp_function cases ->
+      let sub = { it with Ast_iterator.expr } in
+      List.iter (sub.Ast_iterator.case sub) cases
+    | _ ->
+      let sub = { it with Ast_iterator.expr } in
+      sub.Ast_iterator.expr sub e
+  in
+  if n.func then body n.expr
+
+(* --- entry points --------------------------------------------------------- *)
+
+type t = { g : graph; paths : (string, string list) Hashtbl.t }
+
+let analyze parsed =
+  let g = build_graph parsed in
+  { g; paths = reachable g }
+
+let roots t =
+  Hashtbl.fold (fun qn n acc -> if n.hot then qn :: acc else acc) t.g.nodes []
+  |> List.sort String.compare
+
+let closure_size t = Hashtbl.length t.paths
+
+let scan t =
+  let out = ref [] in
+  let flagged = ref [] in
+  Hashtbl.iter
+    (fun qn path ->
+      match Hashtbl.find_opt t.g.nodes qn with
+      | Some n -> flagged := (n, path) :: !flagged
+      | None -> ())
+    t.paths;
+  (* Deterministic order: by file then location. *)
+  let flagged =
+    List.sort
+      (fun (a, _) (b, _) ->
+        match String.compare a.file b.file with
+        | 0 ->
+          compare a.loc.Location.loc_start.Lexing.pos_cnum
+            b.loc.Location.loc_start.Lexing.pos_cnum
+        | c -> c)
+      !flagged
+  in
+  List.iter (fun (n, path) -> scan_node ~path n out) flagged;
+  List.rev !out
+
+(* Suffix-matching membership test for the typed rules: is the
+   function [modname.fname] in the hot closure?  (The typed pass sees
+   dune-mangled top modules only, so matching on the last two
+   components mirrors {!Shapes.normalize}.) *)
+let mem t ~modname ~fname =
+  let key = modname ^ "." ^ fname in
+  Hashtbl.fold
+    (fun qn _ acc ->
+      acc
+      || String.equal (Shapes.last_components 2 qn) key
+         && (match Hashtbl.find_opt t.g.nodes qn with
+            | Some n -> n.func
+            | None -> false))
+    t.paths false

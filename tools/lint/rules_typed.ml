@@ -11,6 +11,21 @@
      on boxed types ([Int64.t], closures, options of closures) it is a
      correctness trap besides.
 
+   - [lint.hot-partial-app] — inside a function belonging to the
+     [@hot] call-graph closure (see {!Rules_interproc}), an
+     application whose result type is still an arrow: partial
+     application allocates a closure per evaluation, exactly the cost
+     the hot tag forbids.  Detected on the Typedtree because only the
+     typed result distinguishes a partial application from a saturated
+     call through a function-returning function.
+
+   - [lint.hot-write-barrier] — inside a closure function, a mutable
+     record-field assignment whose right-hand side is not statically
+     immediate: such stores go through [caml_modify], whose card-table
+     work on the per-event paths costs more than the store itself.
+     Assignments of ints, chars and bools compile to a plain store and
+     pass.
+
    - [lint.domain-race] — the domain-race audit.  For every
      [Domain.spawn] application: take the free identifiers of the
      spawned expression, transitively expanding identifiers whose
@@ -96,7 +111,8 @@ let poly_op_name path =
 
 (* --- the scan ------------------------------------------------------------ *)
 
-let scan ~file ~shapes (str : Typedtree.structure) =
+let scan ~file ~shapes ?(in_closure = fun ~modname:_ ~fname:_ -> false)
+    (str : Typedtree.structure) =
   let out = ref [] in
   let add ~rule ~loc ~ident msg =
     out :=
@@ -105,6 +121,19 @@ let scan ~file ~shapes (str : Typedtree.structure) =
   in
   let modname = Shapes.module_of_file file in
   let hot = List.exists (String.equal modname) hot_path_modules in
+
+  (* The top-level binding currently being traversed, for attributing
+     the closure rules; local lets keep the enclosing name, matching
+     the interprocedural graph's granularity. *)
+  let current_fn = ref None in
+  let in_hot_closure () =
+    match !current_fn with
+    | Some fname -> in_closure ~modname ~fname
+    | None -> false
+  in
+  (* Qualified like the interprocedural pass names its nodes, so one
+     allowlist ident covers both rule families. *)
+  let qual () = modname ^ "." ^ Option.value ~default:"?" !current_fn in
 
   (* Every value binding in the unit, for spawn-argument expansion. *)
   let bindings : (Ident.t, Typedtree.expression) Hashtbl.t =
@@ -120,6 +149,33 @@ let scan ~file ~shapes (str : Typedtree.structure) =
     | _ -> ()
   in
   let expr sub (e : Typedtree.expression) =
+    (if in_hot_closure () then
+       match e.Typedtree.exp_desc with
+       | Typedtree.Texp_apply (_, _) -> (
+         match Types.get_desc e.Typedtree.exp_type with
+         | Types.Tarrow _ ->
+           add ~rule:"lint.hot-partial-app" ~loc:e.Typedtree.exp_loc
+             ~ident:(qual ())
+             (Printf.sprintf
+                "partial application in %s.%s (reachable from a [@hot] \
+                 root) allocates a closure per evaluation; saturate the \
+                 call or hoist it"
+                modname
+                (Option.value ~default:"?" !current_fn))
+         | _ -> ())
+       | Typedtree.Texp_setfield (_, _, label, v) -> (
+         match classify shapes v.Typedtree.exp_type with
+         | Immediate -> ()
+         | Safe | Func | Mutable _ | Unknown ->
+           add ~rule:"lint.hot-write-barrier" ~loc:e.Typedtree.exp_loc
+             ~ident:(qual ())
+             (Printf.sprintf
+                "store of a non-immediate value into mutable field %s in \
+                 %s.%s (reachable from a [@hot] root) runs the caml_modify \
+                 write barrier per event"
+                label.Types.lbl_name modname
+                (Option.value ~default:"?" !current_fn)))
+       | _ -> ());
     (match e.Typedtree.exp_desc with
      | Typedtree.Texp_apply (fn, args) -> (
        match fn.Typedtree.exp_desc with
@@ -156,7 +212,12 @@ let scan ~file ~shapes (str : Typedtree.structure) =
   in
   let value_binding sub vb =
     collect_binding vb;
-    iter.Tast_iterator.value_binding sub vb
+    match (!current_fn, vb.Typedtree.vb_pat.Typedtree.pat_desc) with
+    | None, Typedtree.Tpat_var (id, _) ->
+      current_fn := Some (Ident.name id);
+      iter.Tast_iterator.value_binding sub vb;
+      current_fn := None
+    | _ -> iter.Tast_iterator.value_binding sub vb
   in
   let sub = { iter with Tast_iterator.expr; value_binding } in
   sub.Tast_iterator.structure sub str;

@@ -1,0 +1,180 @@
+(* Reference executable spec of the replacement policies.  See spec.mli
+   for the reading of the state array per policy.  Everything here is
+   pure and naive on purpose: the checker's verdicts are only as good
+   as this file is obvious. *)
+
+type mutation =
+  | Plru_flip
+  | Lru_stuck
+  | Mru_nowrap
+  | Qlru_hit_reset
+  | Victim_way0
+
+let mutation_label = function
+  | Plru_flip -> "plru-flip"
+  | Lru_stuck -> "lru-stuck"
+  | Mru_nowrap -> "mru-nowrap"
+  | Qlru_hit_reset -> "qlru-hit-reset"
+  | Victim_way0 -> "victim-way0"
+
+let all_mutations =
+  [ Plru_flip; Lru_stuck; Mru_nowrap; Qlru_hit_reset; Victim_way0 ]
+
+let mutation_of_label l =
+  List.find_opt (fun m -> String.equal (mutation_label m) l) all_mutations
+
+type state = {
+  policy : Memsim.Level.policy;
+  ways : int;
+  v : int array;
+  mutate : mutation option;
+}
+
+let mutated s m = s.mutate = Some m
+
+let init ?mutate policy ~ways =
+  let v =
+    match (policy : Memsim.Level.policy) with
+    | Lru -> Array.init ways (fun w -> w)
+    | Tree_plru -> Array.make (ways - 1) 0
+    | Mru -> Array.make ways 0
+    | Qlru_h11_m1_r1_u2 | Qlru_h11_m1_r0_u0 -> Array.make ways 0
+  in
+  { policy; ways; v; mutate }
+
+(* Tree-PLRU: the tree bits live at v.(p-1) for heap node p (root 1);
+   the leaf for [way] is node [way + ways].  After a touch of [way]
+   every node on the root path points *away* from it: 1 when the way
+   is in the left subtree (even child), 0 when in the right. *)
+let plru_touch s way =
+  let v = Array.copy s.v in
+  let i = ref (way + s.ways) in
+  while !i > 1 do
+    let p = !i lsr 1 in
+    let away = if !i land 1 = 0 then 1 else 0 in
+    let away = if mutated s Plru_flip then 1 - away else away in
+    v.(p - 1) <- away;
+    i := p
+  done;
+  { s with v }
+
+let promote s way =
+  match s.policy with
+  | Memsim.Level.Lru ->
+    if mutated s Lru_stuck then s
+    else begin
+      (* Every way more recent than [way] ages by one; [way] becomes
+         rank 0.  Ranks stay a permutation of 0..ways-1. *)
+      let rw = s.v.(way) in
+      let v = Array.map (fun r -> if r < rw then r + 1 else r) s.v in
+      v.(way) <- 0;
+      { s with v }
+    end
+  | Memsim.Level.Tree_plru -> plru_touch s way
+  | Memsim.Level.Mru ->
+    let v = Array.copy s.v in
+    v.(way) <- 1;
+    (* Wrap: when the touch saturates the bits, only the touched way
+       survives as MRU. *)
+    if Array.for_all (fun b -> b = 1) v && not (mutated s Mru_nowrap)
+    then begin
+      Array.fill v 0 s.ways 0;
+      v.(way) <- 1
+    end;
+    { s with v }
+  | Memsim.Level.Qlru_h11_m1_r1_u2 | Memsim.Level.Qlru_h11_m1_r0_u0 ->
+    let v = Array.copy s.v in
+    (* H11: ages 3,2 -> 1 and 1,0 -> 0. *)
+    v.(way) <- (if mutated s Qlru_hit_reset then 0 else s.v.(way) lsr 1);
+    { s with v }
+
+let fill s way =
+  match s.policy with
+  | Memsim.Level.Lru | Memsim.Level.Tree_plru | Memsim.Level.Mru ->
+    promote s way
+  | Memsim.Level.Qlru_h11_m1_r1_u2 ->
+    (* M1 insertion at age 1; U2 ages every other line (saturating). *)
+    let v =
+      Array.mapi
+        (fun y a -> if y = way then 1 else if a < 3 then a + 1 else a)
+        s.v
+    in
+    { s with v }
+  | Memsim.Level.Qlru_h11_m1_r0_u0 ->
+    let v = Array.copy s.v in
+    v.(way) <- 1;
+    { s with v }
+
+let normalize s =
+  match s.policy with
+  | Memsim.Level.Qlru_h11_m1_r1_u2 | Memsim.Level.Qlru_h11_m1_r0_u0 ->
+    let maxage = Array.fold_left max 0 s.v in
+    let deficit = 3 - maxage in
+    if deficit = 0 then s else { s with v = Array.map (( + ) deficit) s.v }
+  | Memsim.Level.Lru | Memsim.Level.Tree_plru | Memsim.Level.Mru -> s
+
+let victim s =
+  if mutated s Victim_way0 then 0
+  else
+    match s.policy with
+    | Memsim.Level.Lru ->
+      let w = ref 0 in
+      Array.iteri (fun y r -> if r = s.ways - 1 then w := y) s.v;
+      !w
+    | Memsim.Level.Tree_plru ->
+      (* Descend from the root following the bits: 0 left, 1 right. *)
+      let i = ref 1 in
+      while !i < s.ways do
+        i := (!i lsl 1) lor s.v.(!i - 1)
+      done;
+      !i - s.ways
+    | Memsim.Level.Mru ->
+      (* Lowest-index non-MRU way; all-set is unreachable after the
+         wrap reset but fall back to the last way as the engine does. *)
+      let rec first y =
+        if y >= s.ways then s.ways - 1
+        else if s.v.(y) = 0 then y
+        else first (y + 1)
+      in
+      first 0
+    | Memsim.Level.Qlru_h11_m1_r0_u0 ->
+      let n = normalize s in
+      let rec first y = if n.v.(y) = 3 then y else first (y + 1) in
+      first 0
+    | Memsim.Level.Qlru_h11_m1_r1_u2 ->
+      let n = normalize s in
+      let rec last y = if n.v.(y) = 3 then y else last (y - 1) in
+      last (s.ways - 1)
+
+let equal a b =
+  a.policy = b.policy && a.ways = b.ways
+  && Array.length a.v = Array.length b.v
+  && Array.for_all2 ( = ) a.v b.v
+
+let to_string s =
+  Printf.sprintf "%s/%d [%s]"
+    (Memsim.Level.policy_label s.policy)
+    s.ways
+    (String.concat ";" (Array.to_list (Array.map string_of_int s.v)))
+
+(* Decode the engine's packed words per the layout in level.ml:
+   LRU 5-bit rank fields, 12 per word; Tree-PLRU/MRU one bit word;
+   QLRU 2-bit age fields, 31 per word. *)
+let decode lvl ~set =
+  let cfg = Memsim.Level.geometry lvl in
+  let ways = cfg.Memsim.Level.ways in
+  let words = Memsim.Level.policy_words lvl ~set in
+  let v =
+    match cfg.Memsim.Level.policy with
+    | Memsim.Level.Lru ->
+      Array.init ways (fun w ->
+          (words.(w / 12) lsr (5 * (w mod 12))) land 31)
+    | Memsim.Level.Tree_plru ->
+      Array.init (ways - 1) (fun i -> (words.(0) lsr i) land 1)
+    | Memsim.Level.Mru ->
+      Array.init ways (fun w -> (words.(0) lsr w) land 1)
+    | Memsim.Level.Qlru_h11_m1_r1_u2 | Memsim.Level.Qlru_h11_m1_r0_u0 ->
+      Array.init ways (fun w ->
+          (words.(w / 31) lsr (2 * (w mod 31))) land 3)
+  in
+  { policy = cfg.Memsim.Level.policy; ways; v; mutate = None }

@@ -1,0 +1,67 @@
+(** Reference executable specification of the replacement policies.
+
+    An independent, deliberately naive restatement of the replacement
+    semantics documented at the top of [lib/memsim/level.ml]: states
+    are plain per-way integer arrays, operations copy, and there is no
+    packing, no hint, no fast path.  The model checker drives this
+    spec and the packed {!Memsim.Level} engine in lockstep and fails
+    on the first divergence, so the spec is the trusted base — keep it
+    small and obviously right. *)
+
+(** A deliberately seeded spec mutation, used to verify that the
+    checker detects a policy-update bug (negative testing): a checker
+    that cannot distinguish a mutated spec from the real engine would
+    also miss the symmetric engine bug. *)
+type mutation =
+  | Plru_flip       (** promote points tree bits toward the hit way *)
+  | Lru_stuck       (** promote never moves the hit way to rank 0 *)
+  | Mru_nowrap      (** the all-bits-set wrap reset is skipped *)
+  | Qlru_hit_reset  (** hits reset the age to 0 (H00 instead of H11) *)
+  | Victim_way0     (** the victim is always way 0 *)
+
+val mutation_label : mutation -> string
+val mutation_of_label : string -> mutation option
+val all_mutations : mutation list
+
+(** The state array [v] means, per policy:
+    - LRU: recency rank per way (0 = MRU; always a permutation);
+    - Tree-PLRU: the ways-1 tree bits, index [p-1] = node [p] of the
+      implicit heap rooted at 1, 0 = victim search descends left;
+    - MRU (bit-PLRU): one MRU bit per way;
+    - QLRU: 2-bit age per way.
+    [mutate] carries the seeded bug, if any, so every operation on a
+    mutated state misbehaves consistently. *)
+type state = {
+  policy : Memsim.Level.policy;
+  ways : int;
+  v : int array;
+  mutate : mutation option;
+}
+
+val init : ?mutate:mutation -> Memsim.Level.policy -> ways:int -> state
+(** The metadata state of a freshly created level. *)
+
+val promote : state -> int -> state
+(** State after a hit on [way]; pure. *)
+
+val fill : state -> int -> state
+(** State after a miss fill into [way]; pure. *)
+
+val victim : state -> int
+(** The way the policy would evict from a full set.  Pure — QLRU age
+    normalization is exposed separately as {!normalize} because the
+    engine mutates the set when it has to normalize. *)
+
+val normalize : state -> state
+(** QLRU age normalization a real miss would apply before choosing the
+    victim (raise every age by the same deficit so the maximum is 3);
+    the identity for every other policy. *)
+
+val equal : state -> state -> bool
+val to_string : state -> string
+
+val decode : Memsim.Level.t -> set:int -> state
+(** Decode the packed replacement-metadata words of one engine set
+    ({!Memsim.Level.policy_words}) into a spec state, per the
+    documented field layout.  This decoder is part of the checker's
+    trusted base. *)
