@@ -1,8 +1,8 @@
 # Convenience targets; CI runs `make check`.
 
 .PHONY: all build test test-parallel test-fastpath bench lint policy-check \
-  check-recordings check-profile golden golden-record check untracked-build \
-  clean
+  check-recordings check-profile check-serve bench-gate golden golden-record \
+  check untracked-build clean
 
 all: build
 
@@ -88,6 +88,47 @@ check-profile:
 	test -s "$$tmp/lred.json" && test -s "$$tmp/lred.folded" && test -s "$$tmp/nbody.json"
 	@echo "check-profile: ok"
 
+# The serve daemon end to end over a real socket: boot it, submit a
+# synthetic load (12 distinct configurations, 24 submissions, so the
+# result cache answers half), SIGKILL the daemon mid-run, restart it on
+# the same spool, drain, and shut down.  Then verify the spool
+# offline: every resumed job's stored fixture must be bit-identical
+# to an uninterrupted re-measurement, and `repro check` must accept
+# the journal, result store and checkpoint layout.  The CI serve-soak
+# job runs the same script at 200 submissions with --require 1.
+check-serve:
+	dune build
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	set -e; \
+	repro=$$PWD/_build/default/bin/repro.exe; \
+	sock="$$tmp/serve.sock"; spool="$$tmp/spool"; \
+	"$$repro" serve --socket "$$sock" --dir "$$spool" \
+	  --workers 2 --checkpoint-every 100000 > "$$tmp/serve.log" 2>&1 & \
+	pid=$$!; \
+	"$$repro" client ping --socket "$$sock" --timeout 30; \
+	"$$repro" client load --socket "$$sock" -n 24 --distinct 12; \
+	sleep 1; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	rm -f "$$sock"; \
+	"$$repro" serve --socket "$$sock" --dir "$$spool" \
+	  --workers 2 --checkpoint-every 100000 >> "$$tmp/serve.log" 2>&1 & \
+	pid=$$!; \
+	"$$repro" client ping --socket "$$sock" --timeout 30; \
+	"$$repro" client drain --socket "$$sock" --timeout 300; \
+	"$$repro" client stats --socket "$$sock"; \
+	"$$repro" client shutdown --socket "$$sock"; \
+	wait $$pid || true; \
+	"$$repro" client verify-resumed --dir "$$spool"; \
+	"$$repro" check "$$spool"
+	@echo "check-serve: ok"
+
+# Gate the committed BENCH_metrics.json against the committed baseline
+# bands.  CI runs this in the regression job against the metrics file
+# the bench step just produced.
+bench-gate:
+	dune build
+	dune exec tools/bench_gate/bench_gate.exe
+
 # The golden regression gate: re-measure every run in golden/manifest.sexp
 # and compare against the committed fixtures.  Exact counters must match
 # bit-for-bit; derived ratios within a 1e-9 relative band.
@@ -108,7 +149,7 @@ untracked-build:
 	  echo "error: $$n file(s) under _build/ are tracked by git"; exit 1; \
 	fi
 
-check: build test lint policy-check test-parallel test-fastpath check-recordings check-profile golden untracked-build
+check: build test lint policy-check test-parallel test-fastpath check-recordings check-profile check-serve golden untracked-build
 	@echo "check: ok"
 
 clean:

@@ -609,6 +609,102 @@ let producer_gap_entry () =
     if gaps = [] then [] else [ ("producer_gap", Obs.Json.Obj gaps) ]
   | _ -> []
 
+(* The serve daemon's scheduler, in-process: K distinct synthetic
+   manifests are swept once each, then repeats up to [total]
+   submissions are answered from the content-hash result cache.  The
+   split is deterministic, so serve.cache_hit_ratio is an exact
+   (total - distinct) / total and the bench gate can hold it to a
+   tight band; throughput and latency quantiles are machine-dependent
+   and gate softly.  Runs even under REPRO_SKIP_PERF: the regression
+   job's metrics file is where the gate reads it. *)
+let measure_serve () =
+  let distinct = 8 and total = 1000 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "repro-serve-bench-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | exception Unix.Unix_error _ -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    | _ -> Unix.unlink path
+  in
+  rm_rf dir;
+  let synthetic v =
+    let base =
+      match Golden.Manifest.default.Golden.Manifest.runs with
+      | r :: _ -> r
+      | [] -> assert false
+    in
+    let sizes = [| 16384; 32768; 65536; 131072; 262144; 524288 |] in
+    let blocks = [| 16; 32; 64; 128 |] in
+    (* v mod 6 x v/6 is injective below 24, so every v < distinct is a
+       genuinely different grid and the hit count is exact. *)
+    let run =
+      { base with
+        Golden.Manifest.name = Printf.sprintf "bench-%03d" v;
+        cache_sizes = [ sizes.(v mod 6) ];
+        block_sizes = [ blocks.(v / 6 mod 4) ];
+        jobs = 1
+      }
+    in
+    Sexp.Datum.to_string (Golden.Manifest.run_to_datum run)
+  in
+  let config = { Serve.Sched.default_config with Serve.Sched.workers = 4 } in
+  let sched = Serve.Sched.create ~config dir in
+  let submit v =
+    match Serve.Sched.submit sched (synthetic v) with
+    | Ok _ -> ()
+    | Error msg -> failwith ("serve bench: submit failed: " ^ msg)
+  in
+  let t0 = Unix.gettimeofday () in
+  for v = 0 to distinct - 1 do
+    submit v
+  done;
+  Serve.Sched.drain sched;
+  let sweep_s = Unix.gettimeofday () -. t0 in
+  for i = distinct to total - 1 do
+    submit (i mod distinct)
+  done;
+  Serve.Sched.drain sched;
+  let dt = Unix.gettimeofday () -. t0 in
+  let counter = Serve.Sched.counter_value sched in
+  let completed = counter "completed" in
+  let cache_hits = counter "cache_hits" in
+  let p50 = Serve.Sched.latency_quantile sched 0.50 in
+  let p90 = Serve.Sched.latency_quantile sched 0.90 in
+  let p99 = Serve.Sched.latency_quantile sched 0.99 in
+  Serve.Sched.shutdown ~drain:true sched;
+  rm_rf dir;
+  if completed <> total then
+    failwith
+      (Printf.sprintf "serve bench: %d of %d jobs completed" completed total);
+  let ratio = float_of_int cache_hits /. float_of_int total in
+  Format.fprintf ppf
+    "@.==== serve (%d submissions, %d distinct, %d workers) ====@." total
+    distinct config.Serve.Sched.workers;
+  Format.fprintf ppf
+    "%.1f jobs/s   sweeps %.2fs   cache-hit ratio %.3f   latency p50 %.1fms \
+     p90 %.1fms p99 %.1fms@."
+    (float_of_int total /. dt)
+    sweep_s ratio p50 p90 p99;
+  ( "serve",
+    Obs.Json.Obj
+      [ ("submissions", Obs.Json.Int total);
+        ("distinct", Obs.Json.Int distinct);
+        ("workers", Obs.Json.Int config.Serve.Sched.workers);
+        ("completed", Obs.Json.Int completed);
+        ("cache_hits", Obs.Json.Int cache_hits);
+        ("cache_hit_ratio", Obs.Json.Float ratio);
+        ("jobs_per_s", Obs.Json.Float (float_of_int total /. dt));
+        ("sweep_s", Obs.Json.Float sweep_s);
+        ("p50_latency_ms", Obs.Json.Float p50);
+        ("p90_latency_ms", Obs.Json.Float p90);
+        ("p99_latency_ms", Obs.Json.Float p99)
+      ] )
+
 let write_bench_metrics results extra =
   let json =
     Obs.Json.Obj
@@ -643,5 +739,6 @@ let () =
       @ [ measure_sweep (); measure_hierarchy (); measure_attribution ();
           measure_recording_formats () ]
   in
-  write_bench_metrics results (sweep_gauges () @ producer_gap_entry () @ extra);
+  write_bench_metrics results
+    (sweep_gauges () @ producer_gap_entry () @ extra @ [ measure_serve () ]);
   Format.pp_print_flush ppf ()

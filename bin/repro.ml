@@ -584,6 +584,53 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
       if raw then None
       else Some (check_geometry gc heap_bytes static_bytes stack_bytes)
     in
+    (* A directory with a journal.jsonl is a serve spool: the journal
+       and store layout go through Serve_check, and each stored
+       fixture's content is re-hashed against its file name (the one
+       spool rule that needs the golden library). *)
+    let is_spool f =
+      Sys.file_exists f && Sys.is_directory f
+      && Sys.file_exists (Filename.concat f "journal.jsonl")
+    in
+    let spools = List.filter is_spool files in
+    let files = List.filter (fun f -> not (is_spool f)) files in
+    let spool_hash_findings dir =
+      let results = Filename.concat dir "results" in
+      let entries =
+        match Sys.readdir results with
+        | entries ->
+          let l = Array.to_list entries in
+          List.sort String.compare l
+        | exception Sys_error _ -> []
+      in
+      List.concat_map
+        (fun name ->
+          if not (Filename.check_suffix name ".sexp") then []
+          else
+            let file = Filename.concat results name in
+            let stem = Filename.chop_suffix name ".sexp" in
+            match Golden.Fixture.load file with
+            | exception Golden.Sx.Parse_error msg ->
+              [ Check.Finding.v ~rule:"serve.result.parse" ~file msg ]
+            | fx ->
+              let hash = Golden.Manifest.content_hash fx.Golden.Fixture.run in
+              if hash = stem then []
+              else
+                [ Check.Finding.v ~rule:"serve.result.hash" ~file
+                    (Printf.sprintf
+                       "stored fixture's manifest re-hashes to %s, not the \
+                        file's %s"
+                       hash stem)
+                ])
+        entries
+    in
+    let spool_results =
+      List.map
+        (fun dir ->
+          let r = Check.Serve_check.scan dir in
+          (dir, r, spool_hash_findings dir))
+        spools
+    in
     let is_doc f = Filename.check_suffix f ".json" in
     let is_attr f = Filename.check_suffix f ".attr" in
     (* Checkpoints have no fixed extension (--checkpoint takes any
@@ -674,6 +721,9 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
       @ List.concat_map
           (fun (_, r) -> r.Check.Ckpt_check.findings)
           ckpt_results
+      @ List.concat_map
+          (fun (_, r, hash_fs) -> r.Check.Serve_check.findings @ hash_fs)
+          spool_results
     in
     List.iter (fun f -> Format.fprintf ppf "%a@." Check.Finding.pp f)
       all_findings;
@@ -729,6 +779,18 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
             (Option.value ~default:0 r.Check.Ckpt_check.cursor)
             (Option.value ~default:0 r.Check.Ckpt_check.events))
       ckpt_results;
+    List.iter
+      (fun (dir, r, hash_fs) ->
+        if
+          not (Check.Finding.has_errors (r.Check.Serve_check.findings @ hash_fs))
+        then
+          Format.fprintf ppf
+            "%s: ok: serve spool (%d events, %d jobs, %d dangling, %d \
+             results, %d checkpoints)@."
+            dir r.Check.Serve_check.events r.Check.Serve_check.jobs
+            r.Check.Serve_check.dangling r.Check.Serve_check.results
+            r.Check.Serve_check.checkpoints)
+      spool_results;
     (match json_out with
      | None -> ()
      | Some path ->
@@ -778,6 +840,19 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
                  Check.Finding.list_to_json r.Check.Ckpt_check.findings)
               ])
        in
+       let spool_json (dir, r, hash_fs) =
+         Obs.Json.Obj
+           [ ("file", Obs.Json.Str dir);
+             ("events", Obs.Json.Int r.Check.Serve_check.events);
+             ("jobs", Obs.Json.Int r.Check.Serve_check.jobs);
+             ("dangling", Obs.Json.Int r.Check.Serve_check.dangling);
+             ("results", Obs.Json.Int r.Check.Serve_check.results);
+             ("checkpoints", Obs.Json.Int r.Check.Serve_check.checkpoints);
+             ("findings",
+              Check.Finding.list_to_json
+                (r.Check.Serve_check.findings @ hash_fs))
+           ]
+       in
        let doc =
          Obs.Json.Obj
            [ ("files",
@@ -785,7 +860,8 @@ let check_files files gc heap_bytes static_bytes stack_bytes raw json_out =
                 (List.map file_json trace_results
                  @ List.map doc_json doc_results
                  @ List.map attr_json attr_results
-                 @ List.map ckpt_json ckpt_results))
+                 @ List.map ckpt_json ckpt_results
+                 @ List.map spool_json spool_results))
            ]
        in
        let out = Obs.Json.to_pretty_string doc in
@@ -1409,12 +1485,527 @@ let golden_cmd =
              reference fixtures, verify current behaviour against them")
     [ record; verify ]
 
+(* ------------------------------------------------------------------ *)
+(* serve / client                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(value & opt string "repro-serve.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket the daemon listens on (default \
+                 ./repro-serve.sock)")
+
+let spool_arg =
+  Arg.(value & opt string "serve-spool"
+       & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Spool directory: event journal, content-addressed result \
+                 cache, and per-job sweep checkpoints (default \
+                 ./serve-spool)")
+
+let parse_tcp spec =
+  match String.rindex_opt spec ':' with
+  | Some i -> (
+    let host = String.sub spec 0 i in
+    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt port with
+    | Some port -> Ok ((if host = "" then "127.0.0.1" else host), port)
+    | None -> Error (Printf.sprintf "bad --tcp port %S" port))
+  | None -> (
+    match int_of_string_opt spec with
+    | Some port -> Ok ("127.0.0.1", port)
+    | None -> Error (Printf.sprintf "bad --tcp spec %S (want HOST:PORT)" spec))
+
+let serve_daemon socket dir workers checkpoint_every tcp =
+  match
+    match tcp with
+    | None -> Ok None
+    | Some spec -> Result.map Option.some (parse_tcp spec)
+  with
+  | Error msg ->
+    Printf.eprintf "repro serve: %s\n" msg;
+    1
+  | Ok tcp ->
+    let config =
+      { Serve.Sched.default_config with workers; checkpoint_every }
+    in
+    let sched = Serve.Sched.create ~config dir in
+    let server = Serve.Server.create ?tcp ~socket sched in
+    List.iter
+      (fun s ->
+        try
+          Sys.set_signal s
+            (Sys.Signal_handle
+               (fun _ -> Serve.Server.request_shutdown server ~drain:false))
+        with Invalid_argument _ -> ())
+      [ Sys.sigterm; Sys.sigint ];
+    Printf.printf "repro serve: listening on %s (%d workers, spool %s)\n%!"
+      socket workers dir;
+    Serve.Server.run server;
+    Printf.printf "repro serve: stopped\n%!";
+    0
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker domains in the pool")
+  in
+  let checkpoint_every =
+    Arg.(value & opt (some int) None
+         & info [ "checkpoint-every" ] ~docv:"EVENTS"
+             ~doc:"Replay events between sweep checkpoints (default: the \
+                   sweep's own cadence)")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT"
+             ~doc:"Additionally listen on a TCP socket")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the sweep daemon: accept manifest jobs over a socket, \
+             schedule them across a worker-domain pool with work stealing, \
+             checkpoint running sweeps so a killed worker's job resumes \
+             rather than restarts, and serve repeat submissions from a \
+             content-hash result cache")
+    Term.(const serve_daemon $ socket_arg $ spool_arg $ workers
+          $ checkpoint_every $ tcp)
+
+(* --- client helpers --- *)
+
+let with_conn socket f =
+  match Serve.Client.connect_unix socket with
+  | conn ->
+    Fun.protect ~finally:(fun () -> Serve.Client.close conn) (fun () -> f conn)
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "repro client: cannot connect to %s: %s\n" socket
+      (Unix.error_message e);
+    1
+
+let read_whole_file path =
+  if path = "-" then In_channel.input_all stdin
+  else In_channel.with_open_bin path In_channel.input_all
+
+let client_submit socket wait manifest files =
+  match
+    (match manifest with
+     | None -> []
+     | Some path ->
+       let m = Golden.Manifest.load path in
+       List.map
+         (fun r -> Sexp.Datum.to_string (Golden.Manifest.run_to_datum r))
+         m.Golden.Manifest.runs)
+    @ List.concat_map
+        (fun path ->
+          List.map Sexp.Datum.to_string
+            (Sexp.Parser.parse_all ~filename:path (read_whole_file path)))
+        files
+  with
+  | exception Sexp.Parser.Error (msg, _) ->
+    Printf.eprintf "repro client submit: parse error: %s\n" msg;
+    1
+  | exception Sexp.Lexer.Error (msg, _) ->
+    Printf.eprintf "repro client submit: lex error: %s\n" msg;
+    1
+  | exception Golden.Sx.Parse_error msg ->
+    Printf.eprintf "repro client submit: %s\n" msg;
+    1
+  | [] ->
+    Printf.eprintf "repro client submit: nothing to submit\n";
+    1
+  | texts ->
+    with_conn socket (fun conn ->
+      let failed = ref 0 in
+      List.iter
+        (fun run_text ->
+          match
+            Serve.Client.request conn (Serve.Proto.Submit { run_text; wait })
+          with
+          | Ok reply -> print_endline (Obs.Json.to_string reply)
+          | Error msg ->
+            incr failed;
+            Printf.eprintf "submit failed: %s\n" msg)
+        texts;
+      if !failed = 0 then 0 else 1)
+
+let client_simple socket req =
+  with_conn socket (fun conn ->
+    match Serve.Client.request conn req with
+    | Ok reply ->
+      print_endline (Obs.Json.to_string reply);
+      0
+    | Error msg ->
+      Printf.eprintf "repro client: %s\n" msg;
+      1)
+
+let client_result socket id out =
+  with_conn socket (fun conn ->
+    match Serve.Client.request conn (Serve.Proto.Result id) with
+    | Error msg ->
+      Printf.eprintf "repro client: %s\n" msg;
+      1
+    | Ok reply -> (
+      match Obs.Json.member "fixture" reply with
+      | Some (Obs.Json.Str text) ->
+        (match out with
+         | None -> print_endline text
+         | Some path ->
+           Out_channel.with_open_bin path (fun oc ->
+             Out_channel.output_string oc text;
+             Out_channel.output_string oc "\n"));
+        0
+      | Some _ | None ->
+        Printf.eprintf "repro client: reply without a fixture\n";
+        1))
+
+let client_stats socket json =
+  with_conn socket (fun conn ->
+    match Serve.Client.request conn Serve.Proto.Stats with
+    | Error msg ->
+      Printf.eprintf "repro client: %s\n" msg;
+      1
+    | Ok reply ->
+      let text = Obs.Json.to_pretty_string reply in
+      (match json with
+       | None -> print_endline text
+       | Some path ->
+         Out_channel.with_open_bin path (fun oc ->
+           Out_channel.output_string oc text;
+           Out_channel.output_string oc "\n"));
+      0)
+
+let client_ping socket timeout =
+  if Serve.Client.wait_ready ~timeout_s:timeout socket then begin
+    Printf.printf "ready\n";
+    0
+  end
+  else begin
+    Printf.eprintf "repro client: %s not answering after %.1fs\n" socket
+      timeout;
+    1
+  end
+
+let client_watch socket =
+  with_conn socket (fun conn ->
+    match Serve.Client.request conn Serve.Proto.Subscribe with
+    | Error msg ->
+      Printf.eprintf "repro client: %s\n" msg;
+      1
+    | Ok _ ->
+      Serve.Client.stream conn (fun ev ->
+        print_endline (Obs.Json.to_string ev);
+        flush stdout);
+      0)
+
+let live_jobs stats_reply =
+  let jobs = Obs.Json.member "jobs" stats_reply in
+  let count st =
+    match Option.bind jobs (Obs.Json.member st) with
+    | Some (Obs.Json.Int n) -> n
+    | Some _ | None -> 0
+  in
+  count "queued" + count "running"
+
+let client_drain socket timeout =
+  with_conn socket (fun conn ->
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec poll () =
+      match Serve.Client.request conn Serve.Proto.Stats with
+      | Error msg ->
+        Printf.eprintf "repro client: %s\n" msg;
+        1
+      | Ok reply ->
+        if live_jobs reply = 0 then begin
+          Printf.printf "drained\n";
+          0
+        end
+        else if Unix.gettimeofday () >= deadline then begin
+          Printf.eprintf "repro client: still %d live jobs after %.1fs\n"
+            (live_jobs reply) timeout;
+          1
+        end
+        else begin
+          ignore (Unix.select [] [] [] 0.2);
+          poll ()
+        end
+    in
+    poll ())
+
+(* Synthetic smoke manifests for load generation: tiny single-config
+   grids derived from the committed smoke suite, distinct in content
+   (cache geometry), so [--distinct K] exercises exactly K sweeps and
+   every further submission is a cache hit. *)
+let synthetic_run_text v =
+  let base =
+    match Golden.Manifest.default.Golden.Manifest.runs with
+    | r :: _ -> r
+    | [] -> assert false
+  in
+  let sizes = [| 16384; 32768; 65536; 131072; 262144; 524288 |] in
+  let blocks = [| 16; 32; 64; 128 |] in
+  let a = sizes.(v mod 6) and b = sizes.(v / 6 mod 6) in
+  let cache_sizes = if a = b then [ a ] else [ a; b ] in
+  let run =
+    { base with
+      Golden.Manifest.name = Printf.sprintf "synthetic-%03d" v;
+      cache_sizes;
+      block_sizes = [ blocks.(v / 36 mod 4) ];
+      jobs = 1
+    }
+  in
+  Sexp.Datum.to_string (Golden.Manifest.run_to_datum run)
+
+let client_load socket n distinct wait =
+  if distinct < 1 || distinct > 144 then begin
+    Printf.eprintf "repro client load: --distinct must be in [1, 144]\n";
+    1
+  end
+  else
+    with_conn socket (fun conn ->
+      let failed = ref 0 in
+      for i = 0 to n - 1 do
+        let run_text = synthetic_run_text (i mod distinct) in
+        match
+          Serve.Client.request conn (Serve.Proto.Submit { run_text; wait })
+        with
+        | Ok _ -> ()
+        | Error msg ->
+          incr failed;
+          Printf.eprintf "submit %d failed: %s\n" i msg
+      done;
+      Printf.printf "submitted %d jobs (%d distinct configs, %d failures)\n"
+        n distinct !failed;
+      if !failed = 0 then 0 else 1)
+
+(* Offline differential proof over a spool: every job the journal
+   shows was resumed from a checkpoint and then completed by sweeping
+   (not from the cache) is re-measured uninterrupted and compared
+   bit-for-bit against the fixture the daemon stored. *)
+let client_verify_resumed dir require =
+  let events = Serve.Store.read_journal dir in
+  let runs : (int, string) Hashtbl.t = Hashtbl.create 32 in
+  let resumed : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let fresh_done : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun ev ->
+      let str name =
+        match Obs.Json.member name ev with
+        | Some (Obs.Json.Str s) -> Some s
+        | Some _ | None -> None
+      in
+      let flag name =
+        match Obs.Json.member name ev with
+        | Some (Obs.Json.Bool b) -> b
+        | Some _ | None -> false
+      in
+      let id =
+        match Obs.Json.member "job" ev with
+        | Some (Obs.Json.Int id) -> Some id
+        | Some _ | None -> None
+      in
+      match (str "ev", id) with
+      | Some "submitted", Some id -> (
+        match str "run" with
+        | Some text -> Hashtbl.replace runs id text
+        | None -> ())
+      | Some "started", Some id ->
+        if flag "resumed" then Hashtbl.replace resumed id ()
+      | Some "done", Some id ->
+        if not (flag "cached") then Hashtbl.replace fresh_done id ()
+      | _ -> ())
+    events;
+  let candidates =
+    List.sort compare
+      (Hashtbl.fold
+         (fun id () acc ->
+           if Hashtbl.mem fresh_done id then id :: acc else acc)
+         resumed [])
+  in
+  if List.length candidates < require then begin
+    Printf.eprintf
+      "verify-resumed: only %d resumed-and-completed jobs in %s (need %d)\n"
+      (List.length candidates) dir require;
+    1
+  end
+  else begin
+    let failures = ref 0 in
+    List.iter
+      (fun id ->
+        match Hashtbl.find_opt runs id with
+        | None -> ()
+        | Some run_text -> (
+          let run =
+            Golden.Manifest.run_of_datum ~file:"<journal>"
+              (Sexp.Parser.parse_one ~filename:"<journal>" run_text)
+          in
+          let hash = Golden.Manifest.content_hash run in
+          let path =
+            Filename.concat (Filename.concat dir "results") (hash ^ ".sexp")
+          in
+          match Golden.Fixture.load path with
+          | exception Golden.Sx.Parse_error msg ->
+            incr failures;
+            Printf.printf "job %d (%s): stored result unreadable: %s\n" id
+              run.Golden.Manifest.name msg
+          | stored ->
+            let fresh = Golden.Fixture.measure run in
+            let findings =
+              Golden.Fixture.compare ~file:path ~expected:fresh ~actual:stored
+                ()
+            in
+            if Check.Finding.has_errors findings then begin
+              incr failures;
+              Printf.printf "job %d (%s): RESUMED RESULT DIFFERS\n" id
+                run.Golden.Manifest.name;
+              List.iter
+                (fun f -> Format.printf "  %a@." Check.Finding.pp f)
+                findings
+            end
+            else
+              Printf.printf "job %d (%s): resumed result bit-identical\n" id
+                run.Golden.Manifest.name))
+      candidates;
+    if !failures = 0 then begin
+      Printf.printf "verify-resumed: %d resumed jobs verified\n"
+        (List.length candidates);
+      0
+    end
+    else 1
+  end
+
+let job_arg =
+  Arg.(required & pos 0 (some int) None & info [] ~docv:"JOB" ~doc:"Job id")
+
+let client_cmd =
+  let submit =
+    let wait =
+      Arg.(value & flag
+           & info [ "wait" ] ~doc:"Block until each job is terminal")
+    in
+    let manifest =
+      Arg.(value & opt (some file) None
+           & info [ "manifest" ] ~docv:"FILE"
+               ~doc:"Submit every run of a golden manifest file")
+    in
+    let files =
+      Arg.(value & pos_all string []
+           & info [] ~docv:"FILE"
+               ~doc:"Files of (run ...) forms to submit (`-' for stdin)")
+    in
+    Cmd.v
+      (Cmd.info "submit" ~doc:"Submit manifest runs as jobs")
+      Term.(const client_submit $ socket_arg $ wait $ manifest $ files)
+  in
+  let status =
+    Cmd.v (Cmd.info "status" ~doc:"One job's state snapshot")
+      Term.(const (fun s id -> client_simple s (Serve.Proto.Status id))
+            $ socket_arg $ job_arg)
+  in
+  let result =
+    let out =
+      Arg.(value & opt (some string) None
+           & info [ "o"; "output" ] ~docv:"FILE"
+               ~doc:"Write the fixture sexp to $(docv) instead of stdout")
+    in
+    Cmd.v (Cmd.info "result" ~doc:"Fetch a finished job's fixture")
+      Term.(const client_result $ socket_arg $ job_arg $ out)
+  in
+  let cancel =
+    Cmd.v (Cmd.info "cancel" ~doc:"Cancel a queued or running job")
+      Term.(const (fun s id -> client_simple s (Serve.Proto.Cancel id))
+            $ socket_arg $ job_arg)
+  in
+  let stats =
+    let json =
+      Arg.(value & opt (some string) None
+           & info [ "json" ] ~docv:"FILE"
+               ~doc:"Write the stats document to $(docv)")
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Scheduler statistics: per-state job counts, counters \
+               (cache hits, resumes, requeues), latency quantiles")
+      Term.(const client_stats $ socket_arg $ json)
+  in
+  let shutdown =
+    let no_drain =
+      Arg.(value & flag
+           & info [ "no-drain" ]
+               ~doc:"Cancel queued jobs and interrupt running ones instead \
+                     of finishing the queue first")
+    in
+    Cmd.v (Cmd.info "shutdown" ~doc:"Stop the daemon")
+      Term.(const (fun s nd ->
+              client_simple s (Serve.Proto.Shutdown { drain = not nd }))
+            $ socket_arg $ no_drain)
+  in
+  let ping =
+    let timeout =
+      Arg.(value & opt float 10.0
+           & info [ "timeout" ] ~docv:"S" ~doc:"Give up after $(docv) seconds")
+    in
+    Cmd.v (Cmd.info "ping" ~doc:"Wait until the daemon answers")
+      Term.(const client_ping $ socket_arg $ timeout)
+  in
+  let watch =
+    Cmd.v
+      (Cmd.info "watch"
+         ~doc:"Subscribe to the daemon's event stream and print it as JSONL")
+      Term.(const client_watch $ socket_arg)
+  in
+  let drain =
+    let timeout =
+      Arg.(value & opt float 600.0
+           & info [ "timeout" ] ~docv:"S" ~doc:"Give up after $(docv) seconds")
+    in
+    Cmd.v
+      (Cmd.info "drain" ~doc:"Poll until no job is queued or running")
+      Term.(const client_drain $ socket_arg $ timeout)
+  in
+  let load =
+    let n =
+      Arg.(value & opt int 100
+           & info [ "n"; "count" ] ~docv:"N" ~doc:"Total submissions")
+    in
+    let distinct =
+      Arg.(value & opt int 20
+           & info [ "distinct" ] ~docv:"K"
+               ~doc:"Distinct configurations among them (the rest are \
+                     content-hash repeats, served from the result cache)")
+    in
+    let wait =
+      Arg.(value & flag & info [ "wait" ] ~doc:"Block per submission")
+    in
+    Cmd.v
+      (Cmd.info "load"
+         ~doc:"Submit synthetic smoke manifests for soak and load testing")
+      Term.(const client_load $ socket_arg $ n $ distinct $ wait)
+  in
+  let verify_resumed =
+    let require =
+      Arg.(value & opt int 0
+           & info [ "require" ] ~docv:"N"
+               ~doc:"Fail unless at least $(docv) resumed jobs are found")
+    in
+    Cmd.v
+      (Cmd.info "verify-resumed"
+         ~doc:"Offline differential proof over a spool directory: \
+               re-measure every job that resumed from a checkpoint, \
+               uninterrupted, and compare bit-for-bit against the fixture \
+               the daemon stored")
+      Term.(const client_verify_resumed $ spool_arg $ require)
+  in
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running `repro serve' daemon")
+    [ submit; status; result; cancel; stats; shutdown; ping; watch; drain;
+      load; verify_resumed ]
+
 let main =
   Cmd.group
     (Cmd.info "repro" ~version:"1.0.0"
        ~doc:"Cache Performance of Garbage-Collected Programs (PLDI 1994), \
              reproduced")
     [ experiments_cmd; run_cmd; scheme_cmd; workloads_cmd; simulate_cmd;
-      record_cmd; replay_cmd; stats_cmd; profile_cmd; check_cmd; golden_cmd ]
+      record_cmd; replay_cmd; stats_cmd; profile_cmd; check_cmd; golden_cmd;
+      serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' main)

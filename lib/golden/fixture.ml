@@ -35,14 +35,15 @@ let saved_bytes recording format =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () -> in_channel_length ic))
 
-let measure (run : Manifest.run) =
+let measure ?ctx ?checkpoint ?checkpoint_every ?progress (run : Manifest.run) =
   let w =
     match Workloads.Workload.find run.Manifest.workload with
     | Some w -> w
     | None ->
       failwith
-        (Printf.sprintf "golden run %S: unknown workload %S" run.Manifest.name
-           run.Manifest.workload)
+        (Printf.sprintf "%sgolden run %S: unknown workload %S"
+           (match ctx with None -> "" | Some c -> c ^ ": ")
+           run.Manifest.name run.Manifest.workload)
   in
   let r, recording =
     Core.Runner.record ~gc:run.Manifest.gc ?heap_bytes:run.Manifest.heap_bytes
@@ -77,7 +78,14 @@ let measure (run : Manifest.run) =
           (Memsim.Hier.preset
              ~write_miss_policy:run.Manifest.write_miss_policy cpu)
       in
-      Memsim.Sweep.hier_run_serial [| h |] recording;
+      (match checkpoint with
+       | Some ck ->
+         (* Per-level statistics are bit-identical to the serial
+            replay no matter how often the measurement died and
+            resumed from [ck]. *)
+         Memsim.Sweep.hier_run_resumable ?ctx ?checkpoint_every ?progress
+           ~jobs:run.Manifest.jobs ~checkpoint:ck [| h |] recording
+       | None -> Memsim.Sweep.hier_run_serial [| h |] recording);
       let cfg = Memsim.Hier.geometry h in
       List.mapi
         (fun i s ->
@@ -93,9 +101,14 @@ let measure (run : Manifest.run) =
              ~cache_sizes:run.Manifest.cache_sizes
              ~block_sizes:run.Manifest.block_sizes ())
       in
-      if run.Manifest.jobs > 1 then
-        Memsim.Sweep.run_parallel ~jobs:run.Manifest.jobs sweep recording
-      else Memsim.Sweep.run_serial sweep recording;
+      (match checkpoint with
+       | Some ck ->
+         Memsim.Sweep.run_resumable ?ctx ?checkpoint_every ?progress
+           ~jobs:run.Manifest.jobs ~checkpoint:ck sweep recording
+       | None ->
+         if run.Manifest.jobs > 1 then
+           Memsim.Sweep.run_parallel ~jobs:run.Manifest.jobs sweep recording
+         else Memsim.Sweep.run_serial sweep recording);
       List.map
         (fun (cfg, s) ->
           result_of

@@ -40,10 +40,26 @@ type t = {
   caches : cache_result list;   (** in grid order *)
 }
 
-val measure : Manifest.run -> t
+val measure :
+  ?ctx:string ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?progress:(int -> unit) ->
+  Manifest.run ->
+  t
 (** Run the workload, sweep the manifest grid over its recording
     (with [run.jobs] worker domains), and measure the saved trace's
-    byte size.  @raise Failure on an unknown workload name. *)
+    byte size.  With [checkpoint], the sweep goes through
+    {!Memsim.Sweep.run_resumable} (or its hierarchy counterpart): the
+    replay snapshots every [checkpoint_every] events and, when the
+    checkpoint file already exists, resumes from it bit-identically —
+    the trace itself is re-recorded, which is free of drift because
+    the simulator is deterministic.  [progress] observes the replay
+    cursor after the restore and after every epoch; raising from it
+    abandons the measurement (the serve scheduler uses this for
+    cancellation and for its kill-injection tests).  [ctx] prefixes
+    error messages as in {!Memsim.Sweep.find}.
+    @raise Failure on an unknown workload name. *)
 
 val default_tolerance : float
 (** Relative tolerance for derived ratios ([1e-9]). *)

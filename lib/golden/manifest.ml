@@ -151,6 +151,32 @@ let run_of_fields ~file fields =
 let run_of_datum ~file d =
   run_of_fields ~file (Sx.fields ~file ~tag:"run" d)
 
+(* --- Content hashing ---------------------------------------------------- *)
+
+(* The canonical content datum re-serializes the *parsed* record, so
+   field order, whitespace and comments in the source text cannot
+   reach the hash, and an elided optional field hashes identically to
+   its explicit default.  [name] is a label (the fixture file stem)
+   and [jobs] is provenance (results are parallelism-invariant), so
+   neither determines the run's numbers and both are excluded: a
+   resubmission of the same configuration under a new name or a
+   different worker count is the same content. *)
+let content_datum r =
+  match Sexp.Datum.list_opt (run_to_datum r) with
+  | Some (head :: fields) ->
+    Sexp.Datum.list
+      (head
+       :: List.filter
+            (fun f ->
+              match Sexp.Datum.list_opt f with
+              | Some (Sexp.Datum.Sym ("name" | "jobs") :: _) -> false
+              | Some _ | None -> true)
+            fields)
+  | Some [] | None -> assert false
+
+let content_hash r =
+  Digest.to_hex (Digest.string (Sexp.Datum.to_string (content_datum r)))
+
 let to_datum t =
   Sexp.Datum.list
     [ Sexp.Datum.sym "golden-manifest";

@@ -52,6 +52,19 @@ val run_of_datum : file:string -> Sexp.Datum.t -> run
 (** The [(run ...)] form, shared with fixtures (which embed the run
     they were measured under). *)
 
+val content_datum : run -> Sexp.Datum.t
+(** The canonical encoding of the quantities that determine a run's
+    numbers.  Built by re-serializing the parsed record, so source
+    field order, whitespace and elided defaults cannot affect it; the
+    [name] (a label) and [jobs] (provenance — results are
+    parallelism-invariant) fields are excluded. *)
+
+val content_hash : run -> string
+(** Hex digest of {!content_datum}: the result-cache key of the serve
+    scheduler.  Two runs share a hash exactly when they are the same
+    measurement; renaming a run or changing its worker count does not
+    change its hash. *)
+
 val policy_string : Memsim.Cache.write_miss_policy -> string
 val format_string : Memsim.Recording.format -> string
 

@@ -38,7 +38,14 @@ let write_miss_label = function
   | Cache.Write_validate -> "write-validate"
   | Cache.Fetch_on_write -> "fetch-on-write"
 
-let find t ~size_bytes ~block_bytes =
+(* Error context: callers that run sweeps on behalf of something else
+   (the serve scheduler runs them for submitted jobs) prefix failures
+   with who the work was for, so a surfaced error names the job and
+   manifest, not just the geometry. *)
+let with_ctx ctx msg =
+  match ctx with None -> msg | Some c -> c ^ ": " ^ msg
+
+let find ?ctx t ~size_bytes ~block_bytes =
   let matches c =
     let g = Cache.geometry c in
     g.Cache.size_bytes = size_bytes && g.Cache.block_bytes = block_bytes
@@ -57,12 +64,13 @@ let find t ~size_bytes ~block_bytes =
         |> List.rev |> String.concat "/"
       in
       failwith
-        (Format.asprintf
-           "Sweep.find: no %a cache with %db blocks among the %d configured \
-            (%s)"
-           pp_size size_bytes block_bytes
-           (Array.length t.caches)
-           (if String.length policies = 0 then "no policies" else policies))
+        (with_ctx ctx
+           (Format.asprintf
+              "Sweep.find: no %a cache with %db blocks among the %d \
+               configured (%s)"
+              pp_size size_bytes block_bytes
+              (Array.length t.caches)
+              (if String.length policies = 0 then "no policies" else policies)))
     else if matches t.caches.(i) then t.caches.(i)
     else loop (i + 1)
   in
@@ -223,12 +231,16 @@ let save_checkpoint t ~events ~cursor path =
      raise e);
   Sys.rename tmp path
 
-let load_checkpoint t ~events path =
+let load_checkpoint ?ctx t ~events path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let fail fmt = Printf.ksprintf failwith ("Sweep.load_checkpoint: " ^^ fmt) in
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg -> failwith (with_ctx ctx ("Sweep.load_checkpoint: " ^ msg)))
+          fmt
+      in
       let magic =
         try really_input_string ic 8
         with End_of_file -> fail "%s is not a sweep checkpoint" path
@@ -299,13 +311,14 @@ let replay_range_all t recording ~jobs ~from_ ~until =
 
 let default_checkpoint_events = 1 lsl 22
 
-let run_resumable ?(jobs = 1) ?(checkpoint_every = default_checkpoint_events)
-    ?progress ~checkpoint t recording =
+let run_resumable ?ctx ?(jobs = 1)
+    ?(checkpoint_every = default_checkpoint_events) ?progress ~checkpoint t
+    recording =
   let events = Recording.length recording in
   let every = max 1 checkpoint_every in
   let cursor = ref 0 in
   if Sys.file_exists checkpoint then
-    cursor := load_checkpoint t ~events checkpoint;
+    cursor := load_checkpoint ?ctx t ~events checkpoint;
   (match progress with Some f -> f !cursor | None -> ());
   (* Epochs with a barrier at each checkpoint: within an epoch the
      caches progress independently (possibly on worker domains), but
@@ -391,13 +404,16 @@ let save_hier_checkpoint hiers ~events ~cursor path =
      raise e);
   Sys.rename tmp path
 
-let load_hier_checkpoint hiers ~events path =
+let load_hier_checkpoint ?ctx hiers ~events path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let fail fmt =
-        Printf.ksprintf failwith ("Sweep.load_hier_checkpoint: " ^^ fmt)
+        Printf.ksprintf
+          (fun msg ->
+            failwith (with_ctx ctx ("Sweep.load_hier_checkpoint: " ^ msg)))
+          fmt
       in
       let magic =
         try really_input_string ic 8
@@ -463,14 +479,14 @@ let hier_replay_range_all hiers recording ~jobs ~from_ ~until =
     Array.iter Domain.join domains
   end
 
-let hier_run_resumable ?(jobs = 1)
+let hier_run_resumable ?ctx ?(jobs = 1)
     ?(checkpoint_every = default_checkpoint_events) ?progress ~checkpoint
     hiers recording =
   let events = Recording.length recording in
   let every = max 1 checkpoint_every in
   let cursor = ref 0 in
   if Sys.file_exists checkpoint then
-    cursor := load_hier_checkpoint hiers ~events checkpoint;
+    cursor := load_hier_checkpoint ?ctx hiers ~events checkpoint;
   (match progress with Some f -> f !cursor | None -> ());
   (* Same epoch barrier as [run_resumable]: one cursor describes every
      hierarchy when the checkpoint is taken. *)

@@ -52,9 +52,13 @@ val sink : t -> Trace.sink
 val caches : t -> Cache.t array
 (** The underlying caches, in configuration order. *)
 
-val find : t -> size_bytes:int -> block_bytes:int -> Cache.t
+val find : ?ctx:string -> t -> size_bytes:int -> block_bytes:int -> Cache.t
 (** The first cache with the given geometry.
-    @raise Failure naming the requested geometry when absent. *)
+    @raise Failure naming the requested geometry (and the configured
+    write-miss policies) when absent.  [ctx] prefixes the message with
+    who the sweep belongs to — the serve scheduler passes the job id
+    and manifest name so a surfaced error locates the job, not just
+    the geometry. *)
 
 val results : t -> (Cache.config * Cache.stats) list
 
@@ -125,16 +129,18 @@ val save_checkpoint : t -> events:int -> cursor:int -> string -> unit
     cache and the replay position: all caches have consumed exactly
     the first [cursor] of the recording's [events] events. *)
 
-val load_checkpoint : t -> events:int -> string -> int
+val load_checkpoint : ?ctx:string -> t -> events:int -> string -> int
 (** Restore every cache from a checkpoint and return its cursor.
     @raise Failure when the file is not a checkpoint, was taken over a
     recording of a different length, or its caches do not match the
-    sweep's configurations (count or geometry). *)
+    sweep's configurations (count or geometry); [ctx] prefixes the
+    message as in {!find}. *)
 
 val default_checkpoint_events : int
 (** Events between checkpoints when unspecified (4 Mi). *)
 
 val run_resumable :
+  ?ctx:string ->
   ?jobs:int ->
   ?checkpoint_every:int ->
   ?progress:(int -> unit) ->
@@ -176,11 +182,13 @@ val save_hier_checkpoint :
     hierarchy (tags, valid masks, dirty bits, packed policy words,
     counters); written atomically via temp file + rename. *)
 
-val load_hier_checkpoint : Hier.t array -> events:int -> string -> int
+val load_hier_checkpoint :
+  ?ctx:string -> Hier.t array -> events:int -> string -> int
 (** As {!load_checkpoint} for hierarchy checkpoints.
     @raise Failure on a foreign, stale, or mismatched file. *)
 
 val hier_run_resumable :
+  ?ctx:string ->
   ?jobs:int ->
   ?checkpoint_every:int ->
   ?progress:(int -> unit) ->

@@ -1,0 +1,16 @@
+(* Run one job to a fixture.  All the heavy lifting is
+   Fixture.measure; this module's job is to aim it at the right
+   checkpoint file and to make every error it can raise carry the job
+   id and manifest name, so a failure surfacing through the daemon
+   never loses track of which submission it belongs to. *)
+
+exception Cancelled
+(* Raised out of the progress callback when the job's cancel flag is
+   set; Fixture.measure lets it propagate, abandoning the sweep. *)
+
+let ctx_of job = Printf.sprintf "job %d (%s)" job.Job.id job.Job.name
+
+let run ~store ~checkpoint_every ~progress job =
+  let checkpoint = Store.checkpoint_path store ~id:job.Job.id in
+  Golden.Fixture.measure ~ctx:(ctx_of job) ~checkpoint ?checkpoint_every
+    ~progress job.Job.run

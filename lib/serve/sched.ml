@@ -1,0 +1,655 @@
+(* The job scheduler: a Domain.spawn worker pool over per-worker
+   queue shards with work stealing, fronted by a content-hash result
+   cache and backed by the spool's journal and checkpoint files.
+
+   Concurrency discipline: every mutable field of [t] and of the jobs
+   it owns is read and written under [t.mutex], with two exceptions
+   that are deliberate and benign — the progress callback polls
+   [job.cancel_requested] and [t.stop] without the lock (a stale read
+   just delays cancellation by one epoch; OCaml's memory model makes
+   the racy bool read well-defined), and listeners are invoked outside
+   the lock so a slow subscriber socket cannot stall the scheduler.
+   Journal appends happen inside the lock, so the journal's event
+   order always agrees with the state transitions it records.
+
+   Jobs with the same content hash dedup two ways: a repeat of an
+   already-measured manifest is answered from the result store at
+   submit time (a cache hit), and a repeat of a manifest that is still
+   queued or running piggybacks on the in-flight leader and completes
+   with it.  Either way the grid is swept once per distinct config.
+
+   Kill-and-resume: a worker that dies mid-job (simulated by the
+   [kill] injection hook, or a whole-process SIGKILL in the soak test)
+   leaves the job's checkpoint behind; the job is requeued (or
+   recovered from the journal on restart) and the next attempt resumes
+   from the checkpoint bit-identically. *)
+
+exception Killed
+(* Raised out of the progress callback by the kill-injection hook to
+   simulate a worker dying mid-job. *)
+
+type config = {
+  workers : int;
+  checkpoint_every : int option;
+  kill : (Job.t -> int -> bool) option;
+}
+
+let default_config = { workers = 2; checkpoint_every = None; kill = None }
+
+type t = {
+  store : Store.t;
+  config : config;
+  mutex : Mutex.t;
+  work : Condition.t;
+  change : Condition.t;
+  shards : Job.t Queue.t array;
+  jobs : (int, Job.t) Hashtbl.t;
+  by_hash : (string, int) Hashtbl.t;
+  followers : (int, int list) Hashtbl.t;
+  mutable next_id : int;
+  mutable next_shard : int;
+  mutable stop : [ `No | `Drain | `Now ];
+  mutable domains : unit Domain.t list;
+  listeners : (int, Obs.Json.t -> unit) Hashtbl.t;
+  mutable next_listener : int;
+  registry : Obs.Metrics.registry;
+  m_submitted : Obs.Metrics.Counter.t;
+  m_completed : Obs.Metrics.Counter.t;
+  m_failed : Obs.Metrics.Counter.t;
+  m_cancelled : Obs.Metrics.Counter.t;
+  m_cache_hits : Obs.Metrics.Counter.t;
+  m_resumed : Obs.Metrics.Counter.t;
+  m_requeued : Obs.Metrics.Counter.t;
+  g_queued : Obs.Metrics.Gauge.t;
+  g_running : Obs.Metrics.Gauge.t;
+  h_latency : Obs.Metrics.Histogram.t;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* --- Events -------------------------------------------------------------- *)
+
+let event kind job fields =
+  Obs.Json.Obj
+    (("ev", Obs.Json.Str kind)
+     :: ("t", Obs.Json.Float (now ()))
+     :: ("job", Obs.Json.Int job.Job.id)
+     :: fields)
+
+(* Called with [t.mutex] held: the journal line lands in transition
+   order.  Listener delivery is deferred to [deliver] after unlock. *)
+let emit t pending ev =
+  Store.append t.store ev;
+  pending := ev :: !pending
+
+let deliver t pending =
+  match List.rev !pending with
+  | [] -> ()
+  | events ->
+    Mutex.lock t.mutex;
+    let ls = Hashtbl.fold (fun id cb acc -> (id, cb) :: acc) t.listeners [] in
+    Mutex.unlock t.mutex;
+    List.iter
+      (fun ev ->
+        List.iter
+          (fun (id, cb) ->
+            try cb ev
+            with _ ->
+              Mutex.lock t.mutex;
+              Hashtbl.remove t.listeners id;
+              Mutex.unlock t.mutex)
+          ls)
+      events
+
+let locked t f =
+  Mutex.lock t.mutex;
+  let pending = ref [] in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () -> f pending)
+  in
+  deliver t pending;
+  result
+
+(* --- Job-state transitions (all with t.mutex held) ----------------------- *)
+
+let update_gauges t =
+  let queued = ref 0 and running = ref 0 in
+  Hashtbl.iter
+    (fun _ j ->
+      match j.Job.state with
+      | Job.Queued -> incr queued
+      | Job.Running _ -> incr running
+      | Job.Done | Job.Failed _ | Job.Cancelled -> ())
+    t.jobs;
+  Obs.Metrics.Gauge.set t.g_queued (float_of_int !queued);
+  Obs.Metrics.Gauge.set t.g_running (float_of_int !running)
+
+let enqueue t job =
+  Queue.push job t.shards.(t.next_shard);
+  t.next_shard <- (t.next_shard + 1) mod Array.length t.shards;
+  Condition.signal t.work
+
+let finish t pending job state ~cached =
+  job.Job.state <- state;
+  job.Job.cached <- cached;
+  job.Job.finished_at <- Some (now ());
+  Obs.Metrics.Histogram.observe t.h_latency (Job.latency_ms ~now:(now ()) job);
+  (match state with
+   | Job.Done ->
+     Obs.Metrics.Counter.incr t.m_completed;
+     if cached then Obs.Metrics.Counter.incr t.m_cache_hits;
+     emit t pending
+       (event "done" job
+          [ ("cached", Obs.Json.Bool cached);
+            ("latency_ms", Obs.Json.Float (Job.latency_ms ~now:(now ()) job))
+          ])
+   | Job.Failed msg ->
+     Obs.Metrics.Counter.incr t.m_failed;
+     emit t pending
+       (event "failed" job
+          [ ("name", Obs.Json.Str job.Job.name); ("error", Obs.Json.Str msg) ])
+   | Job.Cancelled ->
+     Obs.Metrics.Counter.incr t.m_cancelled;
+     emit t pending (event "cancelled" job [])
+   | Job.Queued | Job.Running _ -> assert false);
+  update_gauges t;
+  Condition.broadcast t.change
+
+(* The leader for [job.hash] is done with the hash (finished,
+   cancelled, or failed).  On success every live follower completes as
+   a cache hit; otherwise the first live follower is promoted to
+   leader and enqueued, inheriting the rest. *)
+let release_hash t pending job ~success =
+  (match Hashtbl.find_opt t.by_hash job.Job.hash with
+   | Some leader when leader = job.Job.id -> Hashtbl.remove t.by_hash job.Job.hash
+   | Some _ | None -> ());
+  let ids = Option.value ~default:[] (Hashtbl.find_opt t.followers job.Job.id) in
+  Hashtbl.remove t.followers job.Job.id;
+  let live =
+    List.filter_map
+      (fun id ->
+        match Hashtbl.find_opt t.jobs id with
+        | Some f when not (Job.terminal f) -> Some f
+        | Some _ | None -> None)
+      ids
+  in
+  if success then
+    List.iter (fun f -> finish t pending f Job.Done ~cached:true) live
+  else
+    match live with
+    | [] -> ()
+    | next :: rest ->
+      Hashtbl.replace t.by_hash next.Job.hash next.Job.id;
+      Hashtbl.replace t.followers next.Job.id
+        (List.map (fun f -> f.Job.id) rest);
+      enqueue t next
+
+(* --- Submission ---------------------------------------------------------- *)
+
+let parse_run run_text =
+  match Sexp.Parser.parse_one ~filename:"<submit>" run_text with
+  | exception Sexp.Parser.Error (msg, _) -> Error ("manifest parse error: " ^ msg)
+  | exception Sexp.Lexer.Error (msg, _) -> Error ("manifest lex error: " ^ msg)
+  | datum -> (
+    match Golden.Manifest.run_of_datum ~file:"<submit>" datum with
+    | run -> Ok run
+    | exception Golden.Sx.Parse_error msg -> Error msg
+    | exception Failure msg -> Error msg)
+
+let submit t run_text =
+  match parse_run run_text with
+  | Error _ as e -> e
+  | Ok run ->
+    (* The store lookup (disk I/O) happens outside the lock; a losing
+       race just means the worker-side lookup answers instead. *)
+    let hash = Golden.Manifest.content_hash run in
+    let cached = Store.lookup t.store hash in
+    locked t (fun pending ->
+      if t.stop <> `No then Error "daemon is shutting down"
+      else begin
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let job = Job.make ~id ~now:(now ()) ~run ~run_text in
+        Hashtbl.replace t.jobs id job;
+        Obs.Metrics.Counter.incr t.m_submitted;
+        emit t pending
+          (event "submitted" job
+             [ ("name", Obs.Json.Str job.Job.name);
+               ("hash", Obs.Json.Str job.Job.hash);
+               ("run", Obs.Json.Str run_text)
+             ]);
+        (match cached with
+         | Some _ -> finish t pending job Job.Done ~cached:true
+         | None -> (
+           match Hashtbl.find_opt t.by_hash job.Job.hash with
+           | Some leader ->
+             Hashtbl.replace t.followers leader
+               (Option.value ~default:[] (Hashtbl.find_opt t.followers leader)
+                @ [ id ])
+           | None ->
+             Hashtbl.replace t.by_hash job.Job.hash id;
+             enqueue t job));
+        update_gauges t;
+        Ok id
+      end)
+
+(* --- Queries ------------------------------------------------------------- *)
+
+let job_json t id =
+  locked t (fun _ ->
+    match Hashtbl.find_opt t.jobs id with
+    | Some job -> Ok (Job.to_json ~now:(now ()) job)
+    | None -> Error (Printf.sprintf "no such job %d" id))
+
+let result t id =
+  let info =
+    locked t (fun _ ->
+      match Hashtbl.find_opt t.jobs id with
+      | None -> Error (Printf.sprintf "no such job %d" id)
+      | Some job -> (
+        match job.Job.state with
+        | Job.Done -> Ok (job.Job.hash, job.Job.name)
+        | Job.Failed msg ->
+          Error (Printf.sprintf "job %d (%s) failed: %s" id job.Job.name msg)
+        | Job.Cancelled ->
+          Error (Printf.sprintf "job %d (%s) was cancelled" id job.Job.name)
+        | Job.Queued | Job.Running _ ->
+          Error
+            (Printf.sprintf "job %d (%s) is still %s" id job.Job.name
+               (Job.state_string job))))
+  in
+  match info with
+  | Error _ as e -> e
+  | Ok (hash, name) -> (
+    match Store.lookup t.store hash with
+    | Some fx -> Ok fx
+    | None ->
+      Error
+        (Printf.sprintf "job %d (%s): result %s missing from the store" id name
+           hash))
+
+let cancel t id =
+  locked t (fun pending ->
+    match Hashtbl.find_opt t.jobs id with
+    | None -> Error (Printf.sprintf "no such job %d" id)
+    | Some job -> (
+      match job.Job.state with
+      | Job.Done | Job.Failed _ | Job.Cancelled ->
+        Error
+          (Printf.sprintf "job %d (%s) is already %s" id job.Job.name
+             (Job.state_string job))
+      | Job.Queued ->
+        job.Job.cancel_requested <- true;
+        finish t pending job Job.Cancelled ~cached:false;
+        (* A queued leader may still sit in a shard; workers skip
+           non-Queued entries on pop, but its followers must not wait
+           on a corpse. *)
+        release_hash t pending job ~success:false;
+        Ok "cancelled"
+      | Job.Running _ ->
+        job.Job.cancel_requested <- true;
+        Ok "cancelling"))
+
+let counters_json t =
+  Obs.Json.Obj
+    [ ("submitted", Obs.Json.Int (Obs.Metrics.Counter.value t.m_submitted));
+      ("completed", Obs.Json.Int (Obs.Metrics.Counter.value t.m_completed));
+      ("failed", Obs.Json.Int (Obs.Metrics.Counter.value t.m_failed));
+      ("cancelled", Obs.Json.Int (Obs.Metrics.Counter.value t.m_cancelled));
+      ("cache_hits", Obs.Json.Int (Obs.Metrics.Counter.value t.m_cache_hits));
+      ("resumed", Obs.Json.Int (Obs.Metrics.Counter.value t.m_resumed));
+      ("requeued", Obs.Json.Int (Obs.Metrics.Counter.value t.m_requeued))
+    ]
+
+let stats t =
+  locked t (fun _ ->
+    update_gauges t;
+    let count st =
+      Hashtbl.fold
+        (fun _ j acc -> if Job.state_string j = st then acc + 1 else acc)
+        t.jobs 0
+    in
+    Obs.Json.Obj
+      [ ("workers", Obs.Json.Int t.config.workers);
+        ( "jobs",
+          Obs.Json.Obj
+            (List.map
+               (fun st -> (st, Obs.Json.Int (count st)))
+               [ "queued"; "running"; "done"; "failed"; "cancelled" ]) );
+        ("counters", counters_json t);
+        ("metrics", Obs.Metrics.to_json t.registry)
+      ])
+
+(* --- Waiting ------------------------------------------------------------- *)
+
+let wait t id =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let rec loop () =
+        match Hashtbl.find_opt t.jobs id with
+        | None -> Error (Printf.sprintf "no such job %d" id)
+        | Some job when Job.terminal job -> Ok (Job.to_json ~now:(now ()) job)
+        | Some _ ->
+          Condition.wait t.change t.mutex;
+          loop ()
+      in
+      loop ())
+
+let drain t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let live () =
+        Hashtbl.fold
+          (fun _ j acc -> acc || not (Job.terminal j))
+          t.jobs false
+      in
+      while live () do
+        Condition.wait t.change t.mutex
+      done)
+
+(* --- Subscriptions ------------------------------------------------------- *)
+
+let subscribe t cb =
+  locked t (fun _ ->
+    let id = t.next_listener in
+    t.next_listener <- id + 1;
+    Hashtbl.replace t.listeners id cb;
+    id)
+
+let unsubscribe t id = locked t (fun _ -> Hashtbl.remove t.listeners id)
+
+(* --- Workers ------------------------------------------------------------- *)
+
+(* Pop the next Queued job, scanning this worker's shard first and
+   then stealing from the others.  Entries whose job has left the
+   Queued state (cancelled while queued) are dropped in passing. *)
+let pop_any t w =
+  let n = Array.length t.shards in
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < n do
+    let shard = t.shards.((w + !i) mod n) in
+    (try
+       while !found = None do
+         let job = Queue.pop shard in
+         match job.Job.state with
+         | Job.Queued -> found := Some job
+         | Job.Running _ | Job.Done | Job.Failed _ | Job.Cancelled -> ()
+       done
+     with Queue.Empty -> ());
+    incr i
+  done;
+  !found
+
+let run_job t w job =
+  let resumed_now = Sys.file_exists (Store.checkpoint_path t.store ~id:job.Job.id) in
+  locked t (fun pending ->
+    job.Job.state <- Job.Running w;
+    job.Job.attempts <- job.Job.attempts + 1;
+    if resumed_now && not job.Job.resumed then begin
+      job.Job.resumed <- true;
+      Obs.Metrics.Counter.incr t.m_resumed
+    end;
+    update_gauges t;
+    emit t pending
+      (event "started" job
+         [ ("worker", Obs.Json.Int w);
+           ("attempt", Obs.Json.Int job.Job.attempts);
+           ("resumed", Obs.Json.Bool resumed_now)
+         ]));
+  (* Racy reads of [cancel_requested] and [t.stop] are deliberate:
+     taking the scheduler lock every replay epoch would serialize the
+     pool, and a one-epoch-stale read only delays the cancellation. *)
+  let progress cursor =
+    if job.Job.cancel_requested || t.stop = `Now then raise Exec.Cancelled;
+    match t.config.kill with
+    | Some k -> if k job cursor then raise Killed
+    | None -> ()
+  in
+  match
+    Exec.run ~store:t.store ~checkpoint_every:t.config.checkpoint_every
+      ~progress job
+  with
+  | fx ->
+    Store.put t.store fx;
+    Store.remove_checkpoint t.store ~id:job.Job.id;
+    locked t (fun pending ->
+      finish t pending job Job.Done ~cached:false;
+      release_hash t pending job ~success:true)
+  | exception Exec.Cancelled ->
+    Store.remove_checkpoint t.store ~id:job.Job.id;
+    locked t (fun pending ->
+      finish t pending job Job.Cancelled ~cached:false;
+      release_hash t pending job ~success:false)
+  | exception Killed ->
+    (* The checkpoint stays; the next attempt resumes from it. *)
+    locked t (fun pending ->
+      job.Job.state <- Job.Queued;
+      Obs.Metrics.Counter.incr t.m_requeued;
+      emit t pending (event "requeued" job [ ("reason", Obs.Json.Str "killed") ]);
+      enqueue t job;
+      update_gauges t)
+  | exception exn ->
+    let msg =
+      match exn with Failure m -> m | exn -> Printexc.to_string exn
+    in
+    Store.remove_checkpoint t.store ~id:job.Job.id;
+    locked t (fun pending ->
+      finish t pending job (Job.Failed msg) ~cached:false;
+      release_hash t pending job ~success:false)
+
+let worker t w =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let job =
+      let rec take () =
+        if t.stop = `Now then None
+        else
+          match pop_any t w with
+          | Some job -> Some job
+          | None ->
+            if t.stop = `Drain then None
+            else begin
+              Condition.wait t.work t.mutex;
+              take ()
+            end
+      in
+      take ()
+    in
+    Mutex.unlock t.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+      (* A worker-side cache check catches the leader-less races the
+         submit-side lookup can miss (e.g. a recovered duplicate). *)
+      (match Store.lookup t.store job.Job.hash with
+       | Some _ ->
+         locked t (fun pending ->
+           if job.Job.state = Job.Queued then begin
+             finish t pending job Job.Done ~cached:true;
+             release_hash t pending job ~success:true
+           end)
+       | None -> run_job t w job);
+      loop ()
+  in
+  loop ()
+
+(* --- Journal recovery ---------------------------------------------------- *)
+
+let recover t events =
+  let float_member name json =
+    match Obs.Json.member name json with
+    | Some j -> Obs.Json.to_float j
+    | None -> None
+  in
+  let int_member name json =
+    match Obs.Json.member name json with
+    | Some j -> Obs.Json.to_int j
+    | None -> None
+  in
+  let str_member name json =
+    match Obs.Json.member name json with
+    | Some j -> Obs.Json.to_str j
+    | None -> None
+  in
+  List.iter
+    (fun ev ->
+      match (str_member "ev" ev, int_member "job" ev) with
+      | Some kind, Some id -> (
+        match kind with
+        | "submitted" -> (
+          match str_member "run" ev with
+          | None -> ()
+          | Some run_text -> (
+            match parse_run run_text with
+            | Error _ -> ()
+            | Ok run ->
+              let submitted_at =
+                Option.value ~default:(now ()) (float_member "t" ev)
+              in
+              let job = Job.make ~id ~now:submitted_at ~run ~run_text in
+              Hashtbl.replace t.jobs id job;
+              if id >= t.next_id then t.next_id <- id + 1))
+        | _ -> (
+          match Hashtbl.find_opt t.jobs id with
+          | None -> ()
+          | Some job -> (
+            match kind with
+            | "started" ->
+              job.Job.state <- Job.Running 0;
+              job.Job.attempts <-
+                Option.value ~default:(job.Job.attempts + 1)
+                  (int_member "attempt" ev)
+            | "done" ->
+              job.Job.state <- Job.Done;
+              (match Obs.Json.member "cached" ev with
+               | Some (Obs.Json.Bool b) -> job.Job.cached <- b
+               | Some _ | None -> ());
+              job.Job.finished_at <- float_member "t" ev
+            | "failed" ->
+              job.Job.state <-
+                Job.Failed
+                  (Option.value ~default:"unknown" (str_member "error" ev));
+              job.Job.finished_at <- float_member "t" ev
+            | "cancelled" ->
+              job.Job.state <- Job.Cancelled;
+              job.Job.finished_at <- float_member "t" ev
+            | "requeued" | "recovered" -> job.Job.state <- Job.Queued
+            | _ -> ())))
+      | _ -> ())
+    events;
+  (* Re-enqueue everything the dead daemon left non-terminal.  A job
+     whose checkpoint survives resumes from it; journal order makes a
+     fair replay order. *)
+  let live =
+    List.sort
+      (fun a b -> compare a.Job.id b.Job.id)
+      (Hashtbl.fold
+         (fun _ j acc -> if Job.terminal j then acc else j :: acc)
+         t.jobs [])
+  in
+  locked t (fun pending ->
+    List.iter
+      (fun job ->
+        job.Job.state <- Job.Queued;
+        emit t pending (event "recovered" job []);
+        match Hashtbl.find_opt t.by_hash job.Job.hash with
+        | Some leader ->
+          Hashtbl.replace t.followers leader
+            (Option.value ~default:[] (Hashtbl.find_opt t.followers leader)
+             @ [ job.Job.id ])
+        | None ->
+          Hashtbl.replace t.by_hash job.Job.hash job.Job.id;
+          enqueue t job)
+      live;
+    update_gauges t)
+
+(* --- Lifecycle ----------------------------------------------------------- *)
+
+let latency_buckets =
+  [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000.; 10000.;
+     30000.; 60000. |]
+
+let create ?(config = default_config) dir =
+  if config.workers < 1 then invalid_arg "Sched.create: workers < 1";
+  let events = Store.read_journal dir in
+  let store = Store.create dir in
+  let registry = Obs.Metrics.create () in
+  let t =
+    { store;
+      config;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      change = Condition.create ();
+      shards = Array.init config.workers (fun _ -> Queue.create ());
+      jobs = Hashtbl.create 64;
+      by_hash = Hashtbl.create 64;
+      followers = Hashtbl.create 16;
+      next_id = 1;
+      next_shard = 0;
+      stop = `No;
+      domains = [];
+      listeners = Hashtbl.create 4;
+      next_listener = 1;
+      registry;
+      m_submitted = Obs.Metrics.counter registry "serve.submitted";
+      m_completed = Obs.Metrics.counter registry "serve.completed";
+      m_failed = Obs.Metrics.counter registry "serve.failed";
+      m_cancelled = Obs.Metrics.counter registry "serve.cancelled";
+      m_cache_hits = Obs.Metrics.counter registry "serve.cache_hits";
+      m_resumed = Obs.Metrics.counter registry "serve.resumed";
+      m_requeued = Obs.Metrics.counter registry "serve.requeued";
+      g_queued = Obs.Metrics.gauge registry "serve.queued";
+      g_running = Obs.Metrics.gauge registry "serve.running";
+      h_latency =
+        Obs.Metrics.histogram registry "serve.latency_ms"
+          ~buckets:latency_buckets
+    }
+  in
+  recover t events;
+  t.domains <-
+    List.init config.workers (fun w -> Domain.spawn (fun () -> worker t w));
+  t
+
+let shutdown ?(drain = true) t =
+  locked t (fun pending ->
+    if t.stop = `No then begin
+      t.stop <- (if drain then `Drain else `Now);
+      if not drain then
+        Hashtbl.iter
+          (fun _ job ->
+            match job.Job.state with
+            | Job.Queued ->
+              job.Job.cancel_requested <- true;
+              finish t pending job Job.Cancelled ~cached:false;
+              release_hash t pending job ~success:false
+            | Job.Running _ -> job.Job.cancel_requested <- true
+            | Job.Done | Job.Failed _ | Job.Cancelled -> ())
+          t.jobs;
+      Condition.broadcast t.work;
+      Condition.broadcast t.change
+    end);
+  List.iter Domain.join t.domains;
+  t.domains <- [];
+  Store.close t.store
+
+let latency_quantile t q = Obs.Metrics.Histogram.quantile t.h_latency q
+
+let counter_value t name =
+  match name with
+  | "submitted" -> Obs.Metrics.Counter.value t.m_submitted
+  | "completed" -> Obs.Metrics.Counter.value t.m_completed
+  | "failed" -> Obs.Metrics.Counter.value t.m_failed
+  | "cancelled" -> Obs.Metrics.Counter.value t.m_cancelled
+  | "cache_hits" -> Obs.Metrics.Counter.value t.m_cache_hits
+  | "resumed" -> Obs.Metrics.Counter.value t.m_resumed
+  | "requeued" -> Obs.Metrics.Counter.value t.m_requeued
+  | name -> invalid_arg ("Sched.counter_value: unknown counter " ^ name)
+
+let store t = t.store

@@ -1,0 +1,93 @@
+(* The daemon's on-disk spool:
+
+     <dir>/journal.jsonl       append-only event journal (crash recovery)
+     <dir>/results/<hash>.sexp fixture per manifest content hash
+     <dir>/ckpt/job-<id>.ckpt  sweep checkpoint of a running job
+
+   The journal is opened in append mode and flushed after every event,
+   so the tail a crashed daemon leaves behind is at worst one torn
+   line; [read_journal] skips lines that do not parse.  Results are
+   written atomically by Fixture.save (temp + rename), so a reader
+   never sees a half-written fixture. *)
+
+type t = {
+  dir : string;
+  journal : out_channel;
+  writer : Obs.Jsonl.t;
+  mutex : Mutex.t;
+}
+
+let ensure_dir path =
+  if not (Sys.file_exists path) then Unix.mkdir path 0o755
+
+let journal_path dir = Filename.concat dir "journal.jsonl"
+let results_dir dir = Filename.concat dir "results"
+let ckpt_dir dir = Filename.concat dir "ckpt"
+
+let create dir =
+  ensure_dir dir;
+  ensure_dir (results_dir dir);
+  ensure_dir (ckpt_dir dir);
+  let journal =
+    open_out_gen [ Open_append; Open_creat ] 0o644 (journal_path dir)
+  in
+  { dir; journal; writer = Obs.Jsonl.to_channel journal; mutex = Mutex.create () }
+
+let append t event =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      Obs.Jsonl.write t.writer event;
+      Obs.Jsonl.flush t.writer;
+      flush t.journal)
+
+let read_journal dir =
+  let path = journal_path dir in
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let events = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match Obs.Json.of_string line with
+               | Ok json -> events := json :: !events
+               | Error _ -> () (* torn tail of a crashed daemon *)
+           done
+         with End_of_file -> ());
+        List.rev !events)
+  end
+
+let result_path t hash = Filename.concat (results_dir t.dir) (hash ^ ".sexp")
+
+let lookup t hash =
+  let path = result_path t hash in
+  if Sys.file_exists path then
+    match Golden.Fixture.load path with
+    | fx -> Some fx
+    | exception Golden.Sx.Parse_error _ -> None
+  else None
+
+let put t fixture =
+  let hash = Golden.Manifest.content_hash fixture.Golden.Fixture.run in
+  Golden.Fixture.save fixture (result_path t hash)
+
+let checkpoint_path t ~id =
+  Filename.concat (ckpt_dir t.dir) (Printf.sprintf "job-%d.ckpt" id)
+
+let remove_checkpoint t ~id =
+  let path = checkpoint_path t ~id in
+  if Sys.file_exists path then Sys.remove path
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      Obs.Jsonl.close t.writer;
+      close_out_noerr t.journal)

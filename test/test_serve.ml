@@ -1,0 +1,611 @@
+(* The serve daemon's moving parts, without sockets:
+
+   - manifest content hashing is canonical (field order, whitespace
+     and label/provenance fields cannot move it; every
+     number-determining field does), and the committed smoke-suite
+     hashes are pinned;
+   - the scheduler serves repeat submissions from the result cache and
+     piggybacks in-flight duplicates, asserted by its counters;
+   - the kill-and-resume differential proof: a job whose worker dies
+     mid-sweep resumes from its checkpoint and finishes bit-identical
+     to an uninterrupted measurement, with one worker and with a
+     stealing pool;
+   - malformed manifests are structured errors, never crashes, and
+     execution failures carry the job id and manifest name;
+   - journal recovery re-enqueues what a killed daemon left behind
+     (skipping the torn final line) and continues the id sequence;
+   - the wire protocol round-trips and rejects oversized or garbage
+     frames;
+   - Serve_check accepts a healthy spool and localizes corrupt
+     journals, impossible event orders and store-layout violations. *)
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "test_serve_%d_%d" (Unix.getpid ()) !n)
+    in
+    path
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+
+let with_spool f =
+  let dir = tmp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let base_run =
+  match Golden.Manifest.(find default "selfcomp") with
+  | Some r -> r
+  | None -> assert false
+
+(* A one-config grid over the smallest smoke workload: cheap enough to
+   sweep many times in this file, with enough events (~800k) that a
+   50k-event checkpoint cadence yields several epochs to kill inside. *)
+let small_run ?(name = "small") ?(cache = 65536) ?(block = 32) () =
+  { base_run with
+    Golden.Manifest.name;
+    cache_sizes = [ cache ];
+    block_sizes = [ block ];
+    jobs = 1
+  }
+
+let run_text r = Sexp.Datum.to_string (Golden.Manifest.run_to_datum r)
+
+let findings_errors fs = List.length (Check.Finding.errors fs)
+
+let has_rule rule fs =
+  List.exists (fun f -> f.Check.Finding.rule = rule) fs
+
+(* --- Content hashing ----------------------------------------------------- *)
+
+let test_hash_canonical () =
+  let r = small_run () in
+  let h = Golden.Manifest.content_hash r in
+  (* The same logical run, written with scrambled field order and
+     whitespace, parses to the same hash. *)
+  let scrambled =
+    Printf.sprintf
+      "(run   (format \"v2\")\n  (policy \"write-validate\")\n\
+      \  (block-sizes 32) (cache-sizes 65536)\n\
+      \  (gc \"cheney:48k\") (scale 1) (workload \"selfcomp\") (jobs 1)\n\
+      \  (name \"small\"))"
+  in
+  let r2 =
+    Golden.Manifest.run_of_datum ~file:"<test>"
+      (Sexp.Parser.parse_one scrambled)
+  in
+  Alcotest.(check string) "field order and whitespace are invisible" h
+    (Golden.Manifest.content_hash r2)
+
+let test_hash_ignores_label_fields () =
+  let r = small_run () in
+  let h = Golden.Manifest.content_hash r in
+  Alcotest.(check string) "name is a label" h
+    (Golden.Manifest.content_hash { r with Golden.Manifest.name = "other" });
+  Alcotest.(check string) "jobs is provenance" h
+    (Golden.Manifest.content_hash { r with Golden.Manifest.jobs = 7 })
+
+let test_hash_sensitive_to_content () =
+  let r = small_run () in
+  let h = Golden.Manifest.content_hash r in
+  let variants =
+    [ ("workload", { r with Golden.Manifest.workload = "prover" });
+      ("scale", { r with Golden.Manifest.scale = 2 });
+      ("gc", { r with Golden.Manifest.gc = Vscheme.Machine.No_gc });
+      ("heap", { r with Golden.Manifest.heap_bytes = Some (1 lsl 24) });
+      ("cache-sizes", { r with Golden.Manifest.cache_sizes = [ 131072 ] });
+      ("block-sizes", { r with Golden.Manifest.block_sizes = [ 64 ] });
+      ( "policy",
+        { r with
+          Golden.Manifest.write_miss_policy = Memsim.Cache.Fetch_on_write
+        } );
+      ("format", { r with Golden.Manifest.trace_format = Memsim.Recording.V3 })
+    ]
+  in
+  let hashes =
+    List.map
+      (fun (field, v) ->
+        let hv = Golden.Manifest.content_hash v in
+        Alcotest.(check bool)
+          (Printf.sprintf "perturbing %s moves the hash" field)
+          true (hv <> h);
+        hv)
+      variants
+  in
+  let distinct = List.sort_uniq String.compare (h :: hashes) in
+  Alcotest.(check int) "all perturbations distinct"
+    (List.length hashes + 1)
+    (List.length distinct)
+
+(* Pinned hashes of the committed smoke suite: if one of these moves,
+   every cached result keyed by it is orphaned — regenerating the
+   stores must be a deliberate act, like regenerating fixtures. *)
+let test_hash_pinned () =
+  let pinned =
+    [ ("selfcomp", "204b6bb6e131928e510bf00999af16ae");
+      ("prover", "c4d91b27ad507cce4533757cb4734136");
+      ("lred", "2804bff46333f7820648336eb7d00206");
+      ("nbody", "860c20d24943158a1e5e00ea1ba02f51");
+      ("mexpr", "bb54fa790e76bfe46970289069ac5529");
+      ("nbody-nogc", "72aaa944cf3ac42b16dfd51daf1d3cc2");
+      ("nbody-cfl-hier", "b34d6b340c92596ec8f7e7b4026e61f3")
+    ]
+  in
+  List.iter
+    (fun (r : Golden.Manifest.run) ->
+      match List.assoc_opt r.Golden.Manifest.name pinned with
+      | Some h ->
+        Alcotest.(check string)
+          (r.Golden.Manifest.name ^ " hash pinned")
+          h
+          (Golden.Manifest.content_hash r)
+      | None ->
+        Alcotest.fail
+          ("unpinned run in the default manifest: " ^ r.Golden.Manifest.name))
+    Golden.Manifest.default.Golden.Manifest.runs
+
+(* --- Scheduler: cache and dedup ------------------------------------------ *)
+
+let quiet_config workers =
+  { Serve.Sched.default_config with Serve.Sched.workers }
+
+let submit_ok sched r =
+  match Serve.Sched.submit sched (run_text r) with
+  | Ok id -> id
+  | Error msg -> Alcotest.fail ("submit failed: " ^ msg)
+
+let test_repeat_submission_cached () =
+  with_spool (fun dir ->
+      let sched = Serve.Sched.create ~config:(quiet_config 1) dir in
+      let r = small_run () in
+      let id1 = submit_ok sched r in
+      Serve.Sched.drain sched;
+      let id2 = submit_ok sched r in
+      Serve.Sched.drain sched;
+      Alcotest.(check int) "ids distinct" (id1 + 1) id2;
+      Alcotest.(check int) "both completed" 2
+        (Serve.Sched.counter_value sched "completed");
+      Alcotest.(check int) "exactly one cache hit" 1
+        (Serve.Sched.counter_value sched "cache_hits");
+      (match Serve.Sched.job_json sched id2 with
+       | Ok json ->
+         Alcotest.(check bool) "second job marked cached" true
+           (Obs.Json.member "cached" json = Some (Obs.Json.Bool true))
+       | Error msg -> Alcotest.fail msg);
+      Serve.Sched.shutdown sched)
+
+let test_inflight_duplicate_piggybacks () =
+  with_spool (fun dir ->
+      (* The hold hook slows the leader's sweep so the duplicate is
+         submitted while it is still running. *)
+      let config =
+        { (quiet_config 1) with
+          Serve.Sched.kill =
+            Some
+              (fun _ _ ->
+                Unix.sleepf 0.01;
+                false)
+        }
+      in
+      let sched = Serve.Sched.create ~config dir in
+      let r = small_run () in
+      let _id1 = submit_ok sched r in
+      let id2 = submit_ok sched r in
+      Serve.Sched.drain sched;
+      Alcotest.(check int) "both completed" 2
+        (Serve.Sched.counter_value sched "completed");
+      Alcotest.(check int) "duplicate answered without a second sweep" 1
+        (Serve.Sched.counter_value sched "cache_hits");
+      (match Serve.Sched.job_json sched id2 with
+       | Ok json ->
+         Alcotest.(check bool) "follower marked cached" true
+           (Obs.Json.member "cached" json = Some (Obs.Json.Bool true))
+       | Error msg -> Alcotest.fail msg);
+      Serve.Sched.shutdown sched)
+
+(* --- Scheduler: kill and resume ------------------------------------------ *)
+
+(* Kill every job's FIRST attempt once it is past [at] events.  The
+   attempt gate keeps the resumed attempt alive even though its
+   restored cursor is already past the kill point. *)
+let kill_first_attempt_at at =
+  Some (fun (j : Serve.Job.t) cursor -> j.Serve.Job.attempts = 1 && cursor >= at)
+
+let assert_stored_matches_fresh sched (r : Golden.Manifest.run) =
+  let hash = Golden.Manifest.content_hash r in
+  match Serve.Store.lookup (Serve.Sched.store sched) hash with
+  | None -> Alcotest.fail ("no stored result for " ^ r.Golden.Manifest.name)
+  | Some stored ->
+    let fresh = Golden.Fixture.measure r in
+    let findings =
+      Golden.Fixture.compare ~file:r.Golden.Manifest.name ~expected:fresh
+        ~actual:stored ()
+    in
+    List.iter (fun f -> Format.printf "%a@." Check.Finding.pp f) findings;
+    Alcotest.(check int)
+      (r.Golden.Manifest.name ^ ": resumed result bit-identical to fresh")
+      0
+      (findings_errors findings)
+
+let test_kill_resume_serial () =
+  with_spool (fun dir ->
+      let config =
+        { (quiet_config 1) with
+          Serve.Sched.checkpoint_every = Some 50_000;
+          kill = kill_first_attempt_at 100_000
+        }
+      in
+      let sched = Serve.Sched.create ~config dir in
+      let r = small_run () in
+      let id = submit_ok sched r in
+      Serve.Sched.drain sched;
+      Alcotest.(check int) "requeued once" 1
+        (Serve.Sched.counter_value sched "requeued");
+      Alcotest.(check int) "resumed once" 1
+        (Serve.Sched.counter_value sched "resumed");
+      (match Serve.Sched.job_json sched id with
+       | Ok json ->
+         Alcotest.(check bool) "job marked resumed" true
+           (Obs.Json.member "resumed" json = Some (Obs.Json.Bool true));
+         Alcotest.(check bool) "two attempts" true
+           (Obs.Json.member "attempts" json = Some (Obs.Json.Int 2))
+       | Error msg -> Alcotest.fail msg);
+      assert_stored_matches_fresh sched r;
+      Serve.Sched.shutdown sched)
+
+let test_kill_resume_parallel () =
+  with_spool (fun dir ->
+      let config =
+        { (quiet_config 2) with
+          Serve.Sched.checkpoint_every = Some 50_000;
+          kill = kill_first_attempt_at 100_000
+        }
+      in
+      let sched = Serve.Sched.create ~config dir in
+      let runs =
+        [ small_run ~name:"a" ~cache:32768 ();
+          small_run ~name:"b" ~cache:65536 ();
+          small_run ~name:"c" ~cache:131072 ()
+        ]
+      in
+      let _ids = List.map (submit_ok sched) runs in
+      Serve.Sched.drain sched;
+      Alcotest.(check int) "every job killed once" 3
+        (Serve.Sched.counter_value sched "requeued");
+      Alcotest.(check int) "every job resumed" 3
+        (Serve.Sched.counter_value sched "resumed");
+      Alcotest.(check int) "all completed" 3
+        (Serve.Sched.counter_value sched "completed");
+      List.iter (assert_stored_matches_fresh sched) runs;
+      Serve.Sched.shutdown sched)
+
+(* --- Scheduler: errors carry the job --------------------------------------- *)
+
+let test_malformed_submission_is_error () =
+  with_spool (fun dir ->
+      let sched = Serve.Sched.create ~config:(quiet_config 1) dir in
+      (match Serve.Sched.submit sched "(((" with
+       | Ok _ -> Alcotest.fail "unterminated sexp accepted"
+       | Error msg ->
+         Alcotest.(check bool) "parse error is structured" true
+           (contains msg "parse" || contains msg "lex"));
+      (match Serve.Sched.submit sched "(run (name \"x\"))" with
+       | Ok _ -> Alcotest.fail "field-less run accepted"
+       | Error msg ->
+         Alcotest.(check bool) "missing-field error names the field" true
+           (contains msg "workload" || contains msg "missing"));
+      (* The scheduler survives: a good job still completes. *)
+      let id = submit_ok sched (small_run ()) in
+      (match Serve.Sched.wait sched id with
+       | Ok json ->
+         Alcotest.(check bool) "good job done after bad submissions" true
+           (Obs.Json.member "state" json = Some (Obs.Json.Str "done"))
+       | Error msg -> Alcotest.fail msg);
+      Serve.Sched.shutdown sched)
+
+let test_failure_names_job () =
+  with_spool (fun dir ->
+      let sched = Serve.Sched.create ~config:(quiet_config 1) dir in
+      let r = { (small_run ~name:"ghost" ()) with Golden.Manifest.workload = "nosuch" } in
+      let id = submit_ok sched r in
+      (match Serve.Sched.wait sched id with
+       | Ok json ->
+         Alcotest.(check bool) "state is failed" true
+           (Obs.Json.member "state" json = Some (Obs.Json.Str "failed"));
+         (match Obs.Json.member "error" json with
+          | Some (Obs.Json.Str msg) ->
+            Alcotest.(check bool) "error carries the job id" true
+              (contains msg (Printf.sprintf "job %d" id));
+            Alcotest.(check bool) "error carries the manifest name" true
+              (contains msg "ghost")
+          | Some _ | None -> Alcotest.fail "failed job without an error field")
+       | Error msg -> Alcotest.fail msg);
+      Serve.Sched.shutdown sched)
+
+(* --- Journal recovery ----------------------------------------------------- *)
+
+let write_journal dir events_and_garbage =
+  Unix.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir "journal.jsonl") in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    events_and_garbage;
+  close_out oc
+
+let ev fields = Obs.Json.to_string (Obs.Json.Obj fields)
+
+let submitted_event ~id ~t r =
+  ev
+    [ ("ev", Obs.Json.Str "submitted");
+      ("t", Obs.Json.Float t);
+      ("job", Obs.Json.Int id);
+      ("name", Obs.Json.Str r.Golden.Manifest.name);
+      ("hash", Obs.Json.Str (Golden.Manifest.content_hash r));
+      ("run", Obs.Json.Str (run_text r))
+    ]
+
+let test_journal_recovery () =
+  with_spool (fun dir ->
+      let a = small_run ~name:"a" ~cache:32768 () in
+      let b = small_run ~name:"b" ~cache:65536 () in
+      write_journal dir
+        [ submitted_event ~id:1 ~t:1.0 a;
+          submitted_event ~id:2 ~t:2.0 b;
+          ev
+            [ ("ev", Obs.Json.Str "started");
+              ("t", Obs.Json.Float 3.0);
+              ("job", Obs.Json.Int 1);
+              ("worker", Obs.Json.Int 0);
+              ("attempt", Obs.Json.Int 1);
+              ("resumed", Obs.Json.Bool false)
+            ];
+          "{\"ev\":\"done\",\"t\":4.0,\"jo" (* torn tail of a SIGKILL *)
+        ];
+      let sched = Serve.Sched.create ~config:(quiet_config 2) dir in
+      Serve.Sched.drain sched;
+      Alcotest.(check int) "both recovered jobs completed" 2
+        (Serve.Sched.counter_value sched "completed");
+      (match Serve.Sched.job_json sched 1 with
+       | Ok json ->
+         Alcotest.(check bool) "job 1 done" true
+           (Obs.Json.member "state" json = Some (Obs.Json.Str "done"))
+       | Error msg -> Alcotest.fail msg);
+      (* The id sequence continues above the journal's maximum. *)
+      let id3 = submit_ok sched (small_run ~name:"c" ~cache:131072 ()) in
+      Alcotest.(check int) "next id continues from the journal" 3 id3;
+      Serve.Sched.drain sched;
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (r.Golden.Manifest.name ^ " result stored")
+            true
+            (Serve.Store.lookup (Serve.Sched.store sched)
+               (Golden.Manifest.content_hash r)
+             <> None))
+        [ a; b ];
+      Serve.Sched.shutdown sched)
+
+(* --- Wire protocol -------------------------------------------------------- *)
+
+let test_proto_roundtrip () =
+  List.iter
+    (fun req ->
+      match Serve.Proto.(request_of_json (request_to_json req)) with
+      | Ok back ->
+        Alcotest.(check bool) "request round-trips" true (back = req)
+      | Error msg -> Alcotest.fail msg)
+    [ Serve.Proto.Submit { run_text = "(run (name \"x\"))"; wait = true };
+      Serve.Proto.Status 7;
+      Serve.Proto.Result 7;
+      Serve.Proto.Cancel 7;
+      Serve.Proto.Stats;
+      Serve.Proto.Subscribe;
+      Serve.Proto.Shutdown { drain = false };
+      Serve.Proto.Ping
+    ]
+
+let test_proto_rejects_garbage () =
+  (match Serve.Proto.request_of_json (Obs.Json.Obj []) with
+   | Ok _ -> Alcotest.fail "op-less request accepted"
+   | Error msg -> Alcotest.(check bool) "names op" true (contains msg "op"));
+  match
+    Serve.Proto.request_of_json
+      (Obs.Json.Obj [ ("op", Obs.Json.Str "launch-missiles") ])
+  with
+  | Ok _ -> Alcotest.fail "unknown op accepted"
+  | Error msg ->
+    Alcotest.(check bool) "names the op" true (contains msg "launch-missiles")
+
+let test_proto_frames () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      let msg = Obs.Json.Obj [ ("hello", Obs.Json.Int 42) ] in
+      Serve.Proto.write_frame w msg;
+      (match Serve.Proto.read_frame r with
+       | Ok back -> Alcotest.(check bool) "frame round-trips" true (back = msg)
+       | Error _ -> Alcotest.fail "readable frame rejected");
+      (* A length header past the cap is rejected without allocating. *)
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_be hdr 0 0x7fffffffl;
+      ignore (Unix.write w hdr 0 4);
+      (match Serve.Proto.read_frame r with
+       | Error (`Error msg) ->
+         Alcotest.(check bool) "oversized length named" true
+           (contains msg "length")
+       | Ok _ | Error `Closed -> Alcotest.fail "oversized frame accepted");
+      (* Garbage payload of a valid length is a parse error. *)
+      Bytes.set_int32_be hdr 0 3l;
+      ignore (Unix.write w hdr 0 4);
+      ignore (Unix.write w (Bytes.of_string "%%%") 0 3);
+      (match Serve.Proto.read_frame r with
+       | Error (`Error msg) ->
+         Alcotest.(check bool) "unparseable payload named" true
+           (contains msg "unparseable")
+       | Ok _ | Error `Closed -> Alcotest.fail "garbage payload accepted");
+      (* Clean EOF is `Closed, not an error. *)
+      Unix.close w;
+      match Serve.Proto.read_frame r with
+      | Error `Closed -> ()
+      | Ok _ | Error (`Error _) -> Alcotest.fail "EOF not reported as Closed")
+
+(* --- Serve_check ----------------------------------------------------------- *)
+
+let test_serve_check_healthy_spool () =
+  with_spool (fun dir ->
+      let sched = Serve.Sched.create ~config:(quiet_config 1) dir in
+      let r = small_run () in
+      let _ = submit_ok sched r in
+      let _ = submit_ok sched r in
+      Serve.Sched.drain sched;
+      Serve.Sched.shutdown sched;
+      let result = Check.Serve_check.scan dir in
+      List.iter
+        (fun f -> Format.printf "%a@." Check.Finding.pp f)
+        result.Check.Serve_check.findings;
+      Alcotest.(check int) "no findings on a healthy spool" 0
+        (List.length result.Check.Serve_check.findings);
+      Alcotest.(check int) "two jobs" 2 result.Check.Serve_check.jobs;
+      Alcotest.(check int) "one stored result" 1
+        result.Check.Serve_check.results;
+      Alcotest.(check int) "nothing dangling" 0
+        result.Check.Serve_check.dangling)
+
+let test_serve_check_corrupt_journal () =
+  with_spool (fun dir ->
+      let a = small_run () in
+      write_journal dir
+        [ submitted_event ~id:1 ~t:1.0 a;
+          "this is not json";
+          submitted_event ~id:1 ~t:2.0 a;  (* submitted twice *)
+          ev
+            [ ("ev", Obs.Json.Str "done");
+              ("t", Obs.Json.Float 3.0);
+              ("job", Obs.Json.Int 9);  (* done before any submitted *)
+              ("cached", Obs.Json.Bool false)
+            ];
+          "{\"torn" (* final line: only a warning *)
+        ];
+      let result = Check.Serve_check.scan dir in
+      let fs = result.Check.Serve_check.findings in
+      Alcotest.(check bool) "mid-file garbage is an error" true
+        (has_rule "serve.journal.json" fs);
+      Alcotest.(check bool) "impossible order located" true
+        (has_rule "serve.journal.order" fs);
+      Alcotest.(check bool) "torn final line only warns" true
+        (List.exists
+           (fun f ->
+             f.Check.Finding.rule = "serve.journal.torn"
+             && not (Check.Finding.is_error f))
+           fs);
+      Alcotest.(check bool) "dangling job warned" true
+        (has_rule "serve.journal.dangling" fs))
+
+let test_serve_check_store_layout () =
+  with_spool (fun dir ->
+      let a = small_run () in
+      write_journal dir
+        [ submitted_event ~id:1 ~t:1.0 a;
+          ev
+            [ ("ev", Obs.Json.Str "done");
+              ("t", Obs.Json.Float 2.0);
+              ("job", Obs.Json.Int 1);
+              ("cached", Obs.Json.Bool false)
+            ]
+        ];
+      Unix.mkdir (Filename.concat dir "results") 0o755;
+      Unix.mkdir (Filename.concat dir "ckpt") 0o755;
+      let touch path = close_out (open_out path) in
+      touch (Filename.concat dir "results/not-a-hash.sexp");
+      touch (Filename.concat dir "ckpt/job-1.ckpt");  (* orphan, and empty *)
+      touch (Filename.concat dir "ckpt/stray.bin");
+      let result = Check.Serve_check.scan dir in
+      let fs = result.Check.Serve_check.findings in
+      Alcotest.(check bool) "bad result name is an error" true
+        (has_rule "serve.result.name" fs);
+      Alcotest.(check bool) "stray checkpoint file is an error" true
+        (has_rule "serve.ckpt.name" fs);
+      Alcotest.(check bool) "orphan checkpoint warned" true
+        (List.exists
+           (fun f ->
+             f.Check.Finding.rule = "serve.ckpt.orphan"
+             && not (Check.Finding.is_error f))
+           fs);
+      (* The empty job-1.ckpt also fails the checkpoint body scan. *)
+      Alcotest.(check bool) "checkpoint body scanned" true
+        (List.exists
+           (fun f ->
+             String.length f.Check.Finding.rule >= 5
+             && String.sub f.Check.Finding.rule 0 5 = "ckpt.")
+           fs))
+
+let () =
+  Alcotest.run "serve"
+    [ ( "hash",
+        [ Alcotest.test_case "canonical under reformatting" `Quick
+            test_hash_canonical;
+          Alcotest.test_case "name and jobs excluded" `Quick
+            test_hash_ignores_label_fields;
+          Alcotest.test_case "every content field moves it" `Quick
+            test_hash_sensitive_to_content;
+          Alcotest.test_case "committed smoke hashes pinned" `Quick
+            test_hash_pinned
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "repeat submission served from cache" `Quick
+            test_repeat_submission_cached;
+          Alcotest.test_case "in-flight duplicate piggybacks" `Quick
+            test_inflight_duplicate_piggybacks
+        ] );
+      ( "resume",
+        [ Alcotest.test_case "kill and resume = uninterrupted (serial)" `Quick
+            test_kill_resume_serial;
+          Alcotest.test_case "kill and resume = uninterrupted (pool)" `Quick
+            test_kill_resume_parallel
+        ] );
+      ( "errors",
+        [ Alcotest.test_case "malformed manifest is a structured error" `Quick
+            test_malformed_submission_is_error;
+          Alcotest.test_case "failures carry job id and name" `Quick
+            test_failure_names_job
+        ] );
+      ( "recovery",
+        [ Alcotest.test_case "journal recovery resumes the spool" `Quick
+            test_journal_recovery
+        ] );
+      ( "proto",
+        [ Alcotest.test_case "requests round-trip" `Quick test_proto_roundtrip;
+          Alcotest.test_case "garbage requests rejected" `Quick
+            test_proto_rejects_garbage;
+          Alcotest.test_case "framing rejects oversize and garbage" `Quick
+            test_proto_frames
+        ] );
+      ( "spool-check",
+        [ Alcotest.test_case "healthy spool is clean" `Quick
+            test_serve_check_healthy_spool;
+          Alcotest.test_case "corrupt journal localized" `Quick
+            test_serve_check_corrupt_journal;
+          Alcotest.test_case "store layout violations localized" `Quick
+            test_serve_check_store_layout
+        ] )
+    ]

@@ -1,0 +1,192 @@
+(* bench-gate: diff BENCH_metrics.json against the committed baseline
+   (golden/bench-baseline.json) with per-metric tolerance bands.
+
+   The baseline is a list of entries, each naming a dotted key path
+   into the metrics document plus one check:
+
+     { "key": "serve.cache_hit_ratio",
+       "mode": "hard",            // "hard" fails the gate, "soft" warns
+       "require": true,           // missing metric is a failure (default:
+                                  //   missing only warns, because the CI
+                                  //   regression job runs REPRO_SKIP_PERF=1
+                                  //   and most perf sections are absent)
+       "value": 0.968, "band": 0.0001 }   // |actual-value| <= band*|value|
+       // ... or "min": x / "max": x for one-sided bounds
+
+   Deterministic ratios (cache-hit ratio, completion counts,
+   compression ratios) gate hard; machine-dependent throughput and
+   raw-nanosecond timings gate soft.  Exit 1 iff a hard check fails.
+   --summary appends a GitHub-flavoured Markdown table (for
+   $GITHUB_STEP_SUMMARY). *)
+
+let usage = "bench_gate [--metrics FILE] [--baseline FILE] [--summary FILE]"
+
+type status = Ok_ | Warn | Fail
+
+type row = {
+  key : string;
+  mode : string;
+  expected : string;
+  actual : string;
+  status : status;
+  note : string;
+}
+
+let status_string = function Ok_ -> "ok" | Warn -> "WARN" | Fail -> "FAIL"
+
+let load_json path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> Obs.Json.of_string text
+
+let resolve json key =
+  let rec walk json = function
+    | [] -> Some json
+    | seg :: rest -> (
+      match Obs.Json.member seg json with
+      | Some j -> walk j rest
+      | None -> None)
+  in
+  walk json (String.split_on_char '.' key)
+
+let number = function
+  | Obs.Json.Float f -> Some f
+  | Obs.Json.Int i -> Some (float_of_int i)
+  | Obs.Json.Null | Obs.Json.Bool _ | Obs.Json.Str _ | Obs.Json.List _
+  | Obs.Json.Obj _ ->
+    None
+
+let str_field name ~default entry =
+  match Obs.Json.member name entry with
+  | Some (Obs.Json.Str s) -> s
+  | Some _ | None -> default
+
+let num_field name entry = Option.bind (Obs.Json.member name entry) number
+
+let bool_field name ~default entry =
+  match Obs.Json.member name entry with
+  | Some (Obs.Json.Bool b) -> b
+  | Some _ | None -> default
+
+let check_entry metrics entry =
+  let key = str_field "key" ~default:"" entry in
+  let mode = str_field "mode" ~default:"hard" entry in
+  let require = bool_field "require" ~default:false entry in
+  let missing_status = if require && mode = "hard" then Fail else Warn in
+  let expected =
+    match (num_field "value" entry, num_field "min" entry, num_field "max" entry)
+    with
+    | Some v, _, _ ->
+      Printf.sprintf "%g ±%g%%" v (100.0 *. Option.value ~default:0.0 (num_field "band" entry))
+    | None, Some v, _ -> Printf.sprintf ">= %g" v
+    | None, None, Some v -> Printf.sprintf "<= %g" v
+    | None, None, None -> "?"
+  in
+  match resolve metrics key with
+  | None ->
+    { key;
+      mode;
+      expected;
+      actual = "absent";
+      status = missing_status;
+      note = "metric not in this run's metrics file"
+    }
+  | Some j -> (
+    match number j with
+    | None ->
+      { key;
+        mode;
+        expected;
+        actual = Obs.Json.to_string j;
+        status = (if mode = "hard" then Fail else Warn);
+        note = "metric is not a number"
+      }
+    | Some actual -> (
+      let fail_or_warn = if mode = "hard" then Fail else Warn in
+      let finish status note =
+        { key; mode; expected; actual = Printf.sprintf "%g" actual; status; note }
+      in
+      match
+        (num_field "value" entry, num_field "min" entry, num_field "max" entry)
+      with
+      | Some value, _, _ ->
+        let band = Option.value ~default:0.0 (num_field "band" entry) in
+        let delta = Float.abs (actual -. value) in
+        let allowed = band *. Float.abs value in
+        if delta <= allowed then finish Ok_ ""
+        else
+          finish fail_or_warn
+            (Printf.sprintf "off baseline by %g (band allows %g)" delta allowed)
+      | None, Some lo, _ ->
+        if actual >= lo then finish Ok_ ""
+        else finish fail_or_warn (Printf.sprintf "below the %g floor" lo)
+      | None, None, Some hi ->
+        if actual <= hi then finish Ok_ ""
+        else finish fail_or_warn (Printf.sprintf "above the %g ceiling" hi)
+      | None, None, None ->
+        finish Warn "baseline entry has no value/min/max to check"))
+
+let summary_table rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "### Bench gate\n\n";
+  Buffer.add_string b "| metric | mode | baseline | actual | status |\n";
+  Buffer.add_string b "|---|---|---|---|---|\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "| `%s` | %s | %s | %s | %s%s |\n" r.key r.mode
+           r.expected r.actual (status_string r.status)
+           (if r.note = "" then "" else " — " ^ r.note)))
+    rows;
+  Buffer.contents b
+
+let () =
+  let metrics_path = ref "BENCH_metrics.json" in
+  let baseline_path = ref "golden/bench-baseline.json" in
+  let summary_path = ref "" in
+  Arg.parse
+    [ ("--metrics", Arg.Set_string metrics_path, "metrics file to gate");
+      ("--baseline", Arg.Set_string baseline_path, "committed baseline");
+      ("--summary", Arg.Set_string summary_path, "append a Markdown table")
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  let die msg =
+    prerr_endline ("bench-gate: " ^ msg);
+    exit 1
+  in
+  let metrics =
+    match load_json !metrics_path with
+    | Ok j -> j
+    | Error msg -> die (!metrics_path ^ ": " ^ msg)
+  in
+  let baseline =
+    match load_json !baseline_path with
+    | Ok j -> j
+    | Error msg -> die (!baseline_path ^ ": " ^ msg)
+  in
+  let entries =
+    match Obs.Json.member "entries" baseline with
+    | Some (Obs.Json.List l) -> l
+    | Some _ | None -> die (!baseline_path ^ ": no \"entries\" list")
+  in
+  let rows = List.map (check_entry metrics) entries in
+  List.iter
+    (fun r ->
+      Printf.printf "bench-gate: %-4s [%s] %-50s baseline %-18s actual %s%s\n"
+        (status_string r.status) r.mode r.key r.expected r.actual
+        (if r.note = "" then "" else "  (" ^ r.note ^ ")"))
+    rows;
+  (if !summary_path <> "" then
+     let oc =
+       open_out_gen [ Open_append; Open_creat ] 0o644 !summary_path
+     in
+     output_string oc (summary_table rows);
+     close_out oc);
+  let fails = List.filter (fun r -> r.status = Fail) rows in
+  let warns = List.filter (fun r -> r.status = Warn) rows in
+  Printf.printf "bench-gate: %d checked, %d ok, %d warned, %d failed\n"
+    (List.length rows)
+    (List.length rows - List.length fails - List.length warns)
+    (List.length warns) (List.length fails);
+  exit (if fails = [] then 0 else 1)
